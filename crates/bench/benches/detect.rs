@@ -1,0 +1,37 @@
+//! Benchmarks of the static anomaly detector (the Time column of Table 1
+//! is dominated by these queries).
+
+use atropos_detect::{detect_anomalies, ConsistencyLevel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_detect(c: &mut Criterion) {
+    let smallbank = atropos_workloads::smallbank::program();
+    let courseware = atropos_workloads::courseware::program();
+    let mut g = c.benchmark_group("detect");
+    g.sample_size(10);
+    g.bench_function("smallbank-ec", |b| {
+        b.iter(|| {
+            black_box(detect_anomalies(
+                &smallbank,
+                ConsistencyLevel::EventualConsistency,
+            ))
+        })
+    });
+    g.bench_function("courseware-all-levels", |b| {
+        b.iter(|| {
+            for lvl in [
+                ConsistencyLevel::EventualConsistency,
+                ConsistencyLevel::CausalConsistency,
+                ConsistencyLevel::RepeatableRead,
+                ConsistencyLevel::Serializable,
+            ] {
+                black_box(detect_anomalies(&courseware, lvl));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_detect);
+criterion_main!(benches);

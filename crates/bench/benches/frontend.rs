@@ -1,0 +1,23 @@
+//! Micro-benchmarks of the DSL front-end (lexer + parser + checker).
+
+use atropos_dsl::{check_program, parse};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_frontend(c: &mut Criterion) {
+    let src = atropos_workloads::tpcc::SOURCE;
+    c.bench_function("frontend/parse-tpcc", |b| b.iter(|| black_box(parse(src).unwrap())));
+    let program = parse(src).unwrap();
+    c.bench_function("frontend/check-tpcc", |b| {
+        b.iter(|| black_box(check_program(&program).unwrap()))
+    });
+    c.bench_function("frontend/print-parse-roundtrip-tpcc", |b| {
+        b.iter(|| {
+            let text = atropos_dsl::print_program(&program);
+            black_box(parse(&text).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_frontend);
+criterion_main!(benches);

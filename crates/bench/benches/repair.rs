@@ -1,0 +1,33 @@
+//! Benchmarks of the end-to-end repair pipeline (analysis + refactoring).
+
+use atropos_core::repair_program;
+use atropos_detect::ConsistencyLevel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_repair(c: &mut Criterion) {
+    let courseware = atropos_workloads::courseware::program();
+    let sibench = atropos_workloads::sibench::program();
+    let mut g = c.benchmark_group("repair");
+    g.sample_size(10);
+    g.bench_function("courseware", |b| {
+        b.iter(|| {
+            black_box(repair_program(
+                &courseware,
+                ConsistencyLevel::EventualConsistency,
+            ))
+        })
+    });
+    g.bench_function("sibench", |b| {
+        b.iter(|| {
+            black_box(repair_program(
+                &sibench,
+                ConsistencyLevel::EventualConsistency,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_repair);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the CDCL SAT solver substrate.
+
+use atropos_sat::{Lit, Solver, Var};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+    let mut s = Solver::new();
+    let mut at = vec![vec![Var(0); holes]; pigeons];
+    for p in at.iter_mut() {
+        for h in p.iter_mut() {
+            *h = s.new_var();
+        }
+    }
+    for p in 0..pigeons {
+        s.add_clause((0..holes).map(|h| at[p][h].positive()));
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                s.add_clause([at[p1][h].negative(), at[p2][h].negative()]);
+            }
+        }
+    }
+    s
+}
+
+fn random_3sat(vars: usize, clauses: usize, seed: u64) -> Solver {
+    let mut s = Solver::new();
+    for _ in 0..vars {
+        s.new_var();
+    }
+    let mut state = seed;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..clauses {
+        let lits: Vec<Lit> = (0..3)
+            .map(|_| Lit::new(Var((next() % vars as u64) as u32), next() % 2 == 0))
+            .collect();
+        s.add_clause(lits);
+    }
+    s
+}
+
+fn bench_sat(c: &mut Criterion) {
+    c.bench_function("sat/pigeonhole-7-6-unsat", |b| {
+        b.iter(|| black_box(pigeonhole(7, 6).solve()))
+    });
+    c.bench_function("sat/random-3sat-150v-600c", |b| {
+        b.iter(|| black_box(random_3sat(150, 600, 42).solve()))
+    });
+}
+
+criterion_group!(benches, bench_sat);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Benchmarks of the discrete-event store simulator and the operational-
+//! semantics interpreter.
+
+use atropos_sim::{run_simulation, ClusterConfig, SimConfig};
+use atropos_workloads::{derive_workload, TableSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let program = atropos_workloads::smallbank::program();
+    let workload = derive_workload(
+        &program,
+        &atropos_workloads::smallbank::mix(),
+        &TableSpec::default(),
+    );
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("smallbank-ec-50c-10s", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::new(ClusterConfig::us(), 50);
+            cfg.duration_ms = 10_000.0;
+            black_box(run_simulation(&workload, &cfg))
+        })
+    });
+    g.bench_function("smallbank-sc-50c-10s", |b| {
+        let sc = workload.clone().all_serializable();
+        b.iter(|| {
+            let mut cfg = SimConfig::new(ClusterConfig::us(), 50);
+            cfg.duration_ms = 10_000.0;
+            black_box(run_simulation(&sc, &cfg))
+        })
+    });
+    g.finish();
+
+    // Interpreter throughput on the Fig. 1 program.
+    use atropos_semantics::{run_interleaved, Invocation, ViewStrategy};
+    let courseware = atropos_workloads::courseware::program();
+    let invs: Vec<Invocation> = (0..20)
+        .map(|i| {
+            Invocation::new(
+                "regSt",
+                vec![atropos_dsl::Value::Int(i % 4), atropos_dsl::Value::Int(7)],
+            )
+        })
+        .collect();
+    c.bench_function("interp/courseware-20-interleaved", |b| {
+        b.iter(|| {
+            black_box(
+                run_interleaved(
+                    &courseware,
+                    |i| {
+                        for k in 0..4 {
+                            i.populate(
+                                "STUDENT",
+                                vec![atropos_dsl::Value::Int(k)],
+                                [("st_em_id", atropos_dsl::Value::Int(k))],
+                            );
+                        }
+                        i.populate("COURSE", vec![atropos_dsl::Value::Int(7)], [
+                            ("co_st_cnt", atropos_dsl::Value::Int(0)),
+                        ]);
+                    },
+                    &invs,
+                    ViewStrategy::RandomAtoms { p: 0.5 },
+                    1,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

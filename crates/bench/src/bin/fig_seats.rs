@@ -1,0 +1,17 @@
+//! Regenerates the seats performance figure (latency + throughput vs client
+//! count, on the VA / US / Global clusters) for the four configurations
+//! EC, AT-EC, SC, and AT-SC.
+
+use atropos_bench::perf::{print_headline, run_figure};
+use atropos_bench::write_csv;
+
+fn main() {
+    let clients: Vec<usize> = vec![1, 25, 50, 75, 100, 125];
+    let fig = run_figure("SEATS", &clients, 90_000.0);
+    println!("{}", fig.table.render());
+    print_headline(&fig, *clients.last().unwrap());
+    match write_csv("fig_seats", &fig.table) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates the smallbank performance figure (latency + throughput vs client
+//! count, on the VA / US / Global clusters) for the four configurations
+//! EC, AT-EC, SC, and AT-SC.
+
+use atropos_bench::perf::{print_headline, run_figure};
+use atropos_bench::write_csv;
+
+fn main() {
+    let clients: Vec<usize> = vec![1, 25, 50, 100, 150, 200, 250];
+    let fig = run_figure("SmallBank", &clients, 90_000.0);
+    println!("{}", fig.table.render());
+    print_headline(&fig, *clients.last().unwrap());
+    match write_csv("fig_smallbank", &fig.table) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

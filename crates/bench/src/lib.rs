@@ -1,0 +1,13 @@
+//! # atropos-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! `DESIGN.md` §6 for the experiment index) plus Criterion micro-benchmarks
+//! of every substrate. Results are printed as aligned text tables and also
+//! written as CSV under `experiments/`.
+
+#![warn(missing_docs)]
+
+pub mod perf;
+pub mod reporting;
+
+pub use reporting::{write_csv, Table};

@@ -1,0 +1,120 @@
+//! Minimal text-table and CSV reporting for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// An aligned text table with a header row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity");
+        self.rows.push(row);
+    }
+
+    /// Read access to the accumulated rows.
+    pub fn rows_ref(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<w$}  ", c, w = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(esc).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Writes a table as `experiments/<name>.csv` (relative to the workspace
+/// root when run via `cargo run`), returning the path written.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_csv(name: &str, table: &Table) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("experiments");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    fs::write(&path, table.to_csv())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "n"]);
+        t.row(vec!["aa", "1"]);
+        t.row(vec!["b", "22"]);
+        let r = t.render();
+        assert!(r.contains("name  n"));
+        assert!(r.lines().count() == 4);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["x,y"]);
+        assert!(t.to_csv().contains("\"x,y\""));
+    }
+}

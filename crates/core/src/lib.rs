@@ -1,0 +1,50 @@
+//! # atropos-core
+//!
+//! The Atropos refactoring engine: value-correspondence-driven program
+//! rewriting and the oracle-guided repair algorithm of *Repairing
+//! Serializability Bugs in Distributed Database Programs via Automated
+//! Schema Refactoring* (PLDI 2021).
+//!
+//! * [`analysis`] — AST traversal, variable liveness, field-access analysis;
+//! * [`rewrite`] — the `⟦·⟧_v` rewrite function: the **redirect** and
+//!   **logger** rule instantiations of `intro v`;
+//! * [`merge`] — `try_merging`: fusing commands into single-row atomic ops;
+//! * [`dce`] — post-processing (dead selects, final merges, obsolete
+//!   tables);
+//! * [`repair`] — the Fig. 10 driver: preprocessing splits, per-anomaly
+//!   `try_repair`, post-processing, and the [`RepairReport`];
+//! * [`random_search`] — the random-refactoring baseline of Fig. 16.
+//!
+//! # Examples
+//!
+//! ```
+//! use atropos_core::repair_program;
+//! use atropos_detect::ConsistencyLevel;
+//!
+//! let program = atropos_dsl::parse(
+//!     "schema C { id: int key, cnt: int }
+//!      txn bump(k: int) {
+//!          x := select cnt from C where id = k;
+//!          update C set cnt = x.cnt + 1 where id = k;
+//!          return 0;
+//!      }",
+//! ).unwrap();
+//! let report = repair_program(&program, ConsistencyLevel::EventualConsistency);
+//! assert!(report.remaining.is_empty());
+//! assert!(report.repaired.schema("C_CNT_LOG").is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod dce;
+pub mod merge;
+pub mod random_search;
+pub mod repair;
+pub mod rewrite;
+
+pub use dce::{post_process, PostProcessReport};
+pub use merge::try_merging;
+pub use random_search::{random_refactor, RandomSearchOutcome};
+pub use repair::{repair_program, repair_with_config, RepairConfig, RepairReport, RepairStep};
+pub use rewrite::{apply_logging, apply_redirect, fresh_field_name};

@@ -1,0 +1,164 @@
+//! The random-refactoring baseline of Fig. 16: apply randomly chosen schema
+//! refactorings (ignoring the anomaly oracle) and count the anomalies that
+//! remain. Used to demonstrate that oracle guidance, not refactoring per
+//! se, is what eliminates bugs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use atropos_detect::{detect_anomalies, ConsistencyLevel};
+use atropos_dsl::Program;
+use atropos_semantics::ThetaMap;
+
+use crate::analysis::commands_of;
+use crate::merge::try_merging;
+use crate::rewrite::{apply_logging, apply_redirect};
+
+/// Result of one random-refactoring round.
+#[derive(Debug, Clone)]
+pub struct RandomSearchOutcome {
+    /// The (possibly mangled, always well-typed) refactored program.
+    pub program: Program,
+    /// Number of random refactorings that actually applied.
+    pub applied: usize,
+    /// Anomalous access pairs of the result under EC.
+    pub anomalies: usize,
+}
+
+/// Applies up to `moves` randomly chosen refactorings (merge / redirect with
+/// a random record correspondence / logging of a random integer field) and
+/// reports the anomaly count of the result.
+pub fn random_refactor(program: &Program, seed: u64, moves: usize) -> RandomSearchOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current = program.clone();
+    let mut applied = 0;
+    for _ in 0..moves {
+        let choice = rng.gen_range(0..3);
+        let next = match choice {
+            0 => random_merge(&current, &mut rng),
+            1 => random_redirect(&current, &mut rng),
+            _ => random_logging(&current, &mut rng),
+        };
+        if let Some(p) = next {
+            current = p;
+            applied += 1;
+        }
+    }
+    let anomalies = detect_anomalies(&current, ConsistencyLevel::EventualConsistency).len();
+    RandomSearchOutcome {
+        program: current,
+        applied,
+        anomalies,
+    }
+}
+
+fn random_merge(p: &Program, rng: &mut StdRng) -> Option<Program> {
+    let labels: Vec<_> = p
+        .transactions
+        .iter()
+        .flat_map(|t| {
+            commands_of(t)
+                .into_iter()
+                .filter_map(|s| s.label().cloned())
+        })
+        .collect();
+    if labels.len() < 2 {
+        return None;
+    }
+    let l1 = labels.choose(rng)?.clone();
+    let l2 = labels.choose(rng)?.clone();
+    try_merging(p, &l1, &l2)
+}
+
+fn random_redirect(p: &Program, rng: &mut StdRng) -> Option<Program> {
+    if p.schemas.len() < 2 {
+        return None;
+    }
+    let src = p.schemas.choose(rng)?;
+    let dst = p.schemas.choose(rng)?;
+    if src.name == dst.name {
+        return None;
+    }
+    // Random θ̂: map each source key to a random type-compatible dst field.
+    let mut theta = Vec::new();
+    for k in src.primary_key() {
+        let kd = src.field(k).expect("pk exists");
+        let candidates: Vec<_> = dst
+            .fields
+            .iter()
+            .filter(|f| f.ty == kd.ty)
+            .collect();
+        let target = candidates.choose(rng)?;
+        theta.push((k.to_owned(), target.name.clone()));
+    }
+    let value_fields: Vec<String> = src.value_fields().iter().map(|f| (*f).to_owned()).collect();
+    if value_fields.is_empty() {
+        return None;
+    }
+    let moved: std::collections::BTreeSet<String> = value_fields
+        .iter()
+        .filter(|_| rng.gen_bool(0.7))
+        .cloned()
+        .collect();
+    if moved.is_empty() {
+        return None;
+    }
+    apply_redirect(p, &src.name, &dst.name, &moved, &ThetaMap::new(theta)).map(|(p, _)| p)
+}
+
+fn random_logging(p: &Program, rng: &mut StdRng) -> Option<Program> {
+    let schema = p.schemas.choose(rng)?;
+    let fields: Vec<String> = schema
+        .fields
+        .iter()
+        .filter(|f| !f.primary_key && f.ty == atropos_dsl::Ty::Int)
+        .map(|f| f.name.clone())
+        .collect();
+    let field = fields.choose(rng)?;
+    apply_logging(p, &schema.name, field).map(|(p, _)| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atropos_dsl::{check_program, parse};
+
+    const SRC: &str = "schema A { id: int key, v: int, w: int }
+         schema B { id: int key, a_id: int, z: int }
+         txn t1(k: int) {
+             x := select v from A where id = k;
+             update A set v = x.v + 1 where id = k;
+             return 0;
+         }
+         txn t2(k: int) {
+             y := select a_id, z from B where id = k;
+             u := select w from A where id = y.a_id;
+             return u.w + y.z;
+         }";
+
+    #[test]
+    fn random_rounds_always_produce_well_typed_programs() {
+        let p = parse(SRC).unwrap();
+        for seed in 0..20 {
+            let out = random_refactor(&p, seed, 5);
+            check_program(&out.program).unwrap();
+        }
+    }
+
+    #[test]
+    fn random_refactoring_rarely_eliminates_all_anomalies() {
+        let p = parse(SRC).unwrap();
+        let base = detect_anomalies(&p, ConsistencyLevel::EventualConsistency).len();
+        assert!(base > 0);
+        let mut no_better = 0;
+        for seed in 0..20 {
+            let out = random_refactor(&p, seed, 5);
+            if out.anomalies >= base {
+                no_better += 1;
+            }
+        }
+        // The vast majority of random rounds do not improve the program.
+        assert!(no_better >= 10, "only {no_better}/20 rounds failed to improve");
+    }
+}

@@ -1,0 +1,919 @@
+//! The repair algorithm (Fig. 10): oracle-guided, iterative elimination of
+//! anomalous access pairs by command splitting, merging, redirecting, and
+//! logging.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+use atropos_detect::{detect_anomalies, AccessPair, AnomalyKind, ConsistencyLevel};
+use atropos_dsl::{check_program, CmdLabel, Expr, Program, Stmt, Transaction, UpdateCmd};
+use atropos_semantics::{ThetaMap, ValueCorrespondence};
+
+use crate::analysis::{commands_of, var_bindings, visit_stmts_mut};
+use crate::dce::{post_process, PostProcessReport};
+use crate::merge::try_merging;
+use crate::rewrite::{apply_logging, apply_redirect, find_command};
+
+/// One applied refactoring, for the repair log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairStep {
+    /// A mixed update was split into per-anomaly commands.
+    Split {
+        /// Original label.
+        label: String,
+        /// Labels of the fragments.
+        into: Vec<String>,
+    },
+    /// Two commands were merged.
+    Merge {
+        /// Surviving label.
+        kept: String,
+        /// Removed label.
+        removed: String,
+    },
+    /// Fields were moved between schemas (redirect rule).
+    Redirect {
+        /// Source schema.
+        src: String,
+        /// Target schema.
+        dst: String,
+        /// Moved fields.
+        fields: Vec<String>,
+    },
+    /// A counter field was turned into a logging table (logger rule).
+    Logging {
+        /// Source schema.
+        schema: String,
+        /// Logged field.
+        field: String,
+        /// New logging schema name.
+        log: String,
+    },
+}
+
+impl std::fmt::Display for RepairStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairStep::Split { label, into } => write!(f, "split {label} into {into:?}"),
+            RepairStep::Merge { kept, removed } => write!(f, "merge {removed} into {kept}"),
+            RepairStep::Redirect { src, dst, fields } => {
+                write!(f, "redirect {fields:?} from {src} to {dst}")
+            }
+            RepairStep::Logging { schema, field, log } => {
+                write!(f, "log {schema}.{field} into {log}")
+            }
+        }
+    }
+}
+
+/// Configuration of the repair driver (the ablation switches correspond to
+/// the paper's individual refactoring rules).
+#[derive(Debug, Clone)]
+pub struct RepairConfig {
+    /// Consistency level the oracle assumes (EC in the paper's Table 1).
+    pub level: ConsistencyLevel,
+    /// Enable command splitting in preprocessing.
+    pub enable_split: bool,
+    /// Enable the merge strategy.
+    pub enable_merge: bool,
+    /// Enable the redirect rule.
+    pub enable_redirect: bool,
+    /// Enable the logger rule.
+    pub enable_logging: bool,
+    /// Run the post-processing pipeline (DCE, final merges, table drops).
+    pub enable_postprocess: bool,
+    /// Safety cap on repair iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            level: ConsistencyLevel::EventualConsistency,
+            enable_split: true,
+            enable_merge: true,
+            enable_redirect: true,
+            enable_logging: true,
+            enable_postprocess: true,
+            max_iterations: 64,
+        }
+    }
+}
+
+/// The outcome of repairing a program.
+#[derive(Debug, Clone)]
+pub struct RepairReport {
+    /// The original program.
+    pub original: Program,
+    /// The repaired program.
+    pub repaired: Program,
+    /// Anomalous pairs of the original program.
+    pub initial: Vec<AccessPair>,
+    /// Anomalous pairs remaining after repair.
+    pub remaining: Vec<AccessPair>,
+    /// Value correspondences introduced by the applied refactorings.
+    pub vcs: Vec<ValueCorrespondence>,
+    /// Applied refactorings, in order.
+    pub steps: Vec<RepairStep>,
+    /// Post-processing summary.
+    pub post: PostProcessReport,
+    /// Wall-clock time of analysis plus repair, in seconds.
+    pub seconds: f64,
+}
+
+impl RepairReport {
+    /// Fraction of initial anomalies eliminated (1.0 when all were fixed).
+    pub fn repair_ratio(&self) -> f64 {
+        if self.initial.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.remaining.len() as f64 / self.initial.len() as f64
+    }
+
+    /// Names of transactions still involved in at least one anomaly; running
+    /// exactly these under serializability yields a provably safe program
+    /// (the AT-SC configuration).
+    pub fn unsafe_transactions(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for p in &self.remaining {
+            out.insert(p.txn1.clone());
+            out.insert(p.txn2.clone());
+            out.extend(p.witnesses.iter().cloned());
+        }
+        out
+    }
+}
+
+/// Repairs a program with the default configuration at the given level.
+///
+/// # Examples
+///
+/// ```
+/// use atropos_core::{repair_program};
+/// use atropos_detect::ConsistencyLevel;
+///
+/// let p = atropos_dsl::parse(
+///     "schema C { id: int key, cnt: int }
+///      txn bump(k: int) {
+///          x := select cnt from C where id = k;
+///          update C set cnt = x.cnt + 1 where id = k;
+///          return 0;
+///      }",
+/// ).unwrap();
+/// let report = repair_program(&p, ConsistencyLevel::EventualConsistency);
+/// assert!(report.remaining.is_empty());
+/// ```
+pub fn repair_program(program: &Program, level: ConsistencyLevel) -> RepairReport {
+    repair_with_config(
+        program,
+        &RepairConfig {
+            level,
+            ..RepairConfig::default()
+        },
+    )
+}
+
+/// Repairs a program under an explicit configuration.
+///
+/// # Panics
+///
+/// Panics if the input program fails to type check.
+pub fn repair_with_config(program: &Program, config: &RepairConfig) -> RepairReport {
+    check_program(program).expect("repair requires a well-typed program");
+    let start = Instant::now();
+    let initial = detect_anomalies(program, config.level);
+
+    let mut current = program.clone();
+    let mut steps: Vec<RepairStep> = Vec::new();
+    let mut vcs: Vec<ValueCorrespondence> = Vec::new();
+
+    if config.enable_split {
+        pre_process(&mut current, &initial, &mut steps);
+    }
+
+    let mut failed: BTreeSet<(String, String, AnomalyKind)> = BTreeSet::new();
+    for _ in 0..config.max_iterations {
+        let mut pairs = detect_anomalies(&current, config.level);
+        // Repair lost updates (logging) before dirty/non-repeatable pairs
+        // (merging): merging first would fuse updates into multi-assignment
+        // commands the logger rule cannot translate.
+        pairs.sort_by(|a, b| {
+            (a.kind, &a.cmd1, &a.cmd2).cmp(&(b.kind, &b.cmd1, &b.cmd2))
+        });
+        let mut progress = false;
+        for pair in &pairs {
+            let key = (pair.cmd1.0.clone(), pair.cmd2.0.clone(), pair.kind);
+            if failed.contains(&key) {
+                continue;
+            }
+            match try_repair(&current, pair, config) {
+                Some((next, new_vcs, new_steps)) => {
+                    current = next;
+                    vcs.extend(new_vcs);
+                    steps.extend(new_steps);
+                    progress = true;
+                    break;
+                }
+                None => {
+                    failed.insert(key);
+                }
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+
+    let post = if config.enable_postprocess {
+        post_process(&mut current)
+    } else {
+        PostProcessReport::default()
+    };
+    let remaining = detect_anomalies(&current, config.level);
+    RepairReport {
+        original: program.clone(),
+        repaired: current,
+        initial,
+        remaining,
+        vcs,
+        steps,
+        post,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Preprocessing: splits every update that participates in several anomalies
+/// with disjoint field sets into one update per field group (U4 → U4.1,
+/// U4.2 in the paper), provided no other command accesses fields from two
+/// different groups.
+fn pre_process(program: &mut Program, pairs: &[AccessPair], steps: &mut Vec<RepairStep>) {
+    // Fields demanded per command label.
+    let mut demand: BTreeMap<String, Vec<BTreeSet<String>>> = BTreeMap::new();
+    for p in pairs {
+        demand.entry(p.cmd1.0.clone()).or_default().push(p.fields1.clone());
+        demand.entry(p.cmd2.0.clone()).or_default().push(p.fields2.clone());
+    }
+
+    let snapshot = program.clone();
+    for t in program.transactions.iter_mut() {
+        // Select splitting first: a select projecting fields demanded by
+        // several disjoint anomalies is divided into one select per group,
+        // with fresh variables substituted into all later reads.
+        split_selects_in_txn(t, &demand, &snapshot, steps);
+        visit_stmts_mut(&mut t.body, &mut |s| {
+            let Stmt::Update(c) = s else { return };
+            let Some(groups) = demand.get(&c.label.0) else { return };
+            if c.assigns.len() < 2 {
+                return;
+            }
+            // Partition assigned fields by the anomaly groups that need them.
+            let mut parts: Vec<BTreeSet<String>> = Vec::new();
+            for g in groups {
+                let mine: BTreeSet<String> = c
+                    .assigns
+                    .iter()
+                    .map(|(f, _)| f.clone())
+                    .filter(|f| g.contains(f))
+                    .collect();
+                if mine.is_empty() {
+                    continue;
+                }
+                if !parts.iter().any(|p| p == &mine) {
+                    parts.push(mine);
+                }
+            }
+            // Need at least two disjoint groups for a split to help.
+            if parts.len() < 2 || !pairwise_disjoint(&parts) {
+                return;
+            }
+            // Leftover fields go to the first group.
+            let covered: BTreeSet<String> = parts.iter().flatten().cloned().collect();
+            for (f, _) in &c.assigns {
+                if !covered.contains(f) {
+                    parts[0].insert(f.clone());
+                }
+            }
+            // Safety: no other command may access fields of two groups.
+            if !split_safe(&snapshot, &c.schema, &c.label, &parts) {
+                return;
+            }
+            let mut fragments = Vec::new();
+            for (k, group) in parts.iter().enumerate() {
+                let assigns: Vec<(String, Expr)> = c
+                    .assigns
+                    .iter()
+                    .filter(|(f, _)| group.contains(f))
+                    .cloned()
+                    .collect();
+                fragments.push(UpdateCmd {
+                    label: CmdLabel(format!("{}.{}", c.label.0, k + 1)),
+                    schema: c.schema.clone(),
+                    assigns,
+                    where_: c.where_.clone(),
+                });
+            }
+            let old_label = c.label.0.clone();
+            steps.push(RepairStep::Split {
+                label: old_label.clone(),
+                into: fragments.iter().map(|f| f.label.0.clone()).collect(),
+            });
+            // Replace in place: first fragment here; the rest are spliced in
+            // after the traversal.
+            *s = Stmt::Update(fragments[0].clone());
+            PENDING.with(|p| p.borrow_mut().push((old_label, fragments)));
+        });
+        // Splice remaining fragments after their first part.
+        PENDING.with(|p| {
+            let mut pending = p.borrow_mut();
+            for (_, fragments) in pending.drain(..) {
+                splice_after(&mut t.body, &fragments[0].label, &fragments[1..]);
+            }
+        });
+    }
+}
+
+thread_local! {
+    static PENDING: std::cell::RefCell<Vec<(String, Vec<UpdateCmd>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn splice_after(body: &mut Vec<Stmt>, after: &CmdLabel, rest: &[UpdateCmd]) {
+    if let Some(pos) = body.iter().position(|s| s.label() == Some(after)) {
+        for (k, frag) in rest.iter().enumerate() {
+            body.insert(pos + 1 + k, Stmt::Update(frag.clone()));
+        }
+        return;
+    }
+    for s in body.iter_mut() {
+        if let Stmt::If { body, .. } | Stmt::Iterate { body, .. } = s {
+            splice_after(body, after, rest);
+        }
+    }
+}
+
+/// Splits selects demanded by several disjoint anomaly groups. Each group
+/// becomes its own select (same filter) bound to a fresh variable; accesses
+/// are rewritten to the fragment carrying the field.
+fn split_selects_in_txn(
+    t: &mut Transaction,
+    demand: &BTreeMap<String, Vec<BTreeSet<String>>>,
+    snapshot: &Program,
+    steps: &mut Vec<RepairStep>,
+) {
+    // Collect the splits first (immutable pass), then apply.
+    struct SelSplit {
+        label: String,
+        parts: Vec<BTreeSet<String>>,
+    }
+    let mut splits: Vec<SelSplit> = Vec::new();
+    for s in commands_of(t) {
+        let Stmt::Select(c) = s else { continue };
+        let Some(groups) = demand.get(&c.label.0) else { continue };
+        let Some(fields) = &c.fields else { continue };
+        if fields.len() < 2 {
+            continue;
+        }
+        let mut parts: Vec<BTreeSet<String>> = Vec::new();
+        for g in groups {
+            let mine: BTreeSet<String> = fields
+                .iter()
+                .filter(|f| g.contains(*f))
+                .cloned()
+                .collect();
+            if mine.is_empty() || parts.iter().any(|p| p == &mine) {
+                continue;
+            }
+            parts.push(mine);
+        }
+        if parts.len() < 2 || !pairwise_disjoint(&parts) {
+            continue;
+        }
+        let covered: BTreeSet<String> = parts.iter().flatten().cloned().collect();
+        for f in fields {
+            if !covered.contains(f) {
+                parts[0].insert(f.clone());
+            }
+        }
+        if !split_safe(snapshot, &c.schema, &c.label, &parts) {
+            continue;
+        }
+        splits.push(SelSplit {
+            label: c.label.0.clone(),
+            parts,
+        });
+    }
+    for sp in splits {
+        let mut var_of_field: Vec<(String, String)> = Vec::new(); // field -> fragment var
+        let mut old_var = String::new();
+        // Replace the select in place with its first fragment and remember
+        // the rest.
+        let mut fragments: Vec<Stmt> = Vec::new();
+        visit_stmts_mut(&mut t.body, &mut |s| {
+            let Stmt::Select(c) = s else { return };
+            if c.label.0 != sp.label {
+                return;
+            }
+            old_var = c.var.clone();
+            for (k, group) in sp.parts.iter().enumerate() {
+                let var = format!("{}_{}", c.var, k + 1);
+                for f in group {
+                    var_of_field.push((f.clone(), var.clone()));
+                }
+                fragments.push(Stmt::Select(atropos_dsl::SelectCmd {
+                    label: CmdLabel(format!("{}.{}", sp.label, k + 1)),
+                    var,
+                    fields: Some(group.iter().cloned().collect()),
+                    schema: c.schema.clone(),
+                    where_: c.where_.clone(),
+                }));
+            }
+            if let Some(Stmt::Select(first)) = fragments.first().cloned() {
+                *s = Stmt::Select(first);
+            }
+        });
+        if fragments.is_empty() {
+            continue;
+        }
+        steps.push(RepairStep::Split {
+            label: sp.label.clone(),
+            into: fragments
+                .iter()
+                .filter_map(|f| f.label().map(|l| l.0.clone()))
+                .collect(),
+        });
+        // Splice remaining fragments after the first.
+        if let Some(first_label) = fragments[0].label().cloned() {
+            let rest: Vec<Stmt> = fragments[1..].to_vec();
+            splice_stmts_after(&mut t.body, &first_label, &rest);
+        }
+        // Rewrite accesses through the old variable to the fragment vars.
+        let var_map = var_of_field.clone();
+        let old = old_var.clone();
+        crate::analysis::rewrite_exprs(t, &move |e| match e {
+            Expr::At(i, v, f) if *v == old => var_map
+                .iter()
+                .find(|(mf, _)| mf == f)
+                .map(|(_, nv)| Expr::At(i.clone(), nv.clone(), f.clone())),
+            Expr::Agg(op, v, f) if *v == old => var_map
+                .iter()
+                .find(|(mf, _)| mf == f)
+                .map(|(_, nv)| Expr::Agg(*op, nv.clone(), f.clone())),
+            _ => None,
+        });
+    }
+}
+
+fn splice_stmts_after(body: &mut Vec<Stmt>, after: &CmdLabel, rest: &[Stmt]) {
+    if let Some(pos) = body.iter().position(|s| s.label() == Some(after)) {
+        for (k, frag) in rest.iter().enumerate() {
+            body.insert(pos + 1 + k, frag.clone());
+        }
+        return;
+    }
+    for s in body.iter_mut() {
+        if let Stmt::If { body, .. } | Stmt::Iterate { body, .. } = s {
+            splice_stmts_after(body, after, rest);
+        }
+    }
+}
+
+fn pairwise_disjoint(parts: &[BTreeSet<String>]) -> bool {
+    for i in 0..parts.len() {
+        for j in (i + 1)..parts.len() {
+            if parts[i].intersection(&parts[j]).next().is_some() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// "We only perform this step if the split fields are not accessed together
+/// in other parts of the program."
+fn split_safe(
+    program: &Program,
+    schema: &str,
+    split_label: &CmdLabel,
+    parts: &[BTreeSet<String>],
+) -> bool {
+    for t in &program.transactions {
+        for s in commands_of(t) {
+            if s.label() == Some(split_label) || s.schema() != Some(schema) {
+                continue;
+            }
+            let touched: BTreeSet<String> = match s {
+                Stmt::Select(c) => match &c.fields {
+                    Some(fs) => fs.iter().cloned().collect(),
+                    None => parts.iter().flatten().cloned().collect(),
+                },
+                Stmt::Update(c) => c.assigns.iter().map(|(f, _)| f.clone()).collect(),
+                Stmt::Insert(c) => c.values.iter().map(|(f, _)| f.clone()).collect(),
+                Stmt::Delete(_) => BTreeSet::new(),
+                _ => BTreeSet::new(),
+            };
+            let hit = parts
+                .iter()
+                .filter(|p| p.intersection(&touched).next().is_some())
+                .count();
+            if hit > 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+type RepairOutcome = (Program, Vec<ValueCorrespondence>, Vec<RepairStep>);
+
+/// `try_repair` (Fig. 10): merge, redirect+merge, or logging.
+fn try_repair(program: &Program, pair: &AccessPair, config: &RepairConfig) -> Option<RepairOutcome> {
+    let (t1, c1) = find_command(program, &pair.cmd1)?;
+    let (t2, c2) = find_command(program, &pair.cmd2)?;
+    let same_kind = matches!(
+        (c1, c2),
+        (Stmt::Select(_), Stmt::Select(_))
+            | (Stmt::Update(_), Stmt::Update(_))
+            | (Stmt::Insert(_), Stmt::Insert(_))
+            | (Stmt::Delete(_), Stmt::Delete(_))
+    );
+    let same_txn = t1.name == t2.name;
+
+    if same_kind && same_txn {
+        let (s1, s2) = (c1.schema()?, c2.schema()?);
+        if s1 == s2 {
+            if config.enable_merge {
+                if let Some(next) = try_merging(program, &pair.cmd1, &pair.cmd2) {
+                    return Some((
+                        next,
+                        vec![],
+                        vec![RepairStep::Merge {
+                            kept: pair.cmd1.0.clone(),
+                            removed: pair.cmd2.0.clone(),
+                        }],
+                    ));
+                }
+            }
+        } else if config.enable_redirect {
+            // Try redirecting c2's schema into c1's, then the reverse.
+            for (from, into, from_cmd, into_cmd) in
+                [(s2, s1, c2, c1), (s1, s2, c1, c2)]
+            {
+                if let Some(out) =
+                    redirect_then_merge(program, t1, from, into, from_cmd, into_cmd, config)
+                {
+                    return Some(out);
+                }
+            }
+        }
+    }
+
+    if config.enable_logging && pair.kind == AnomalyKind::LostUpdate {
+        // The pair is (read, write) on a shared field; log the written field.
+        let (write_cmd, read_cmd) = if matches!(c2, Stmt::Update(_)) {
+            (c2, c1)
+        } else {
+            (c1, c2)
+        };
+        if let Stmt::Update(u) = write_cmd {
+            let field = pair
+                .fields1
+                .intersection(&pair.fields2)
+                .next()
+                .cloned()
+                .or_else(|| pair.fields2.iter().next().cloned())?;
+            if let Some((mut next, new_vcs)) = apply_logging(program, &u.schema, &field) {
+                // Fig. 10's success condition: the select involved in the
+                // anomaly must become obsolete (dead code) — otherwise the
+                // residual read still races the functional inserts. Remove
+                // exactly that select; unrelated dead code waits for
+                // post-processing.
+                if let Some(read_label) = read_cmd.label() {
+                    if !remove_if_dead_select(&mut next, read_label) {
+                        return None;
+                    }
+                }
+                let log = format!("{}_{}_LOG", u.schema, field.to_uppercase());
+                return Some((
+                    next,
+                    new_vcs,
+                    vec![RepairStep::Logging {
+                        schema: u.schema.clone(),
+                        field,
+                        log,
+                    }],
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Removes the select labelled `label` if (and only if) its bound variable
+/// is no longer used in its transaction. Returns whether it was removed.
+fn remove_if_dead_select(program: &mut Program, label: &CmdLabel) -> bool {
+    for t in program.transactions.iter_mut() {
+        let Some(var) = commands_of(t).into_iter().find_map(|s| match s {
+            Stmt::Select(c) if &c.label == label => Some(c.var.clone()),
+            _ => None,
+        }) else {
+            continue;
+        };
+        if crate::analysis::used_vars(t).contains(&var) {
+            return false;
+        }
+        crate::analysis::retain_commands(&mut t.body, &|s| s.label() != Some(label));
+        return true;
+    }
+    // The select is already gone (e.g. merged away): vacuously obsolete.
+    true
+}
+
+/// `try_redirect` followed by `try_merging`: discover a record
+/// correspondence from the commands' filters, move the fields `from_cmd`
+/// accesses onto `into`'s schema, and merge the now-co-located commands.
+fn redirect_then_merge(
+    program: &Program,
+    txn: &Transaction,
+    from: &str,
+    into: &str,
+    from_cmd: &Stmt,
+    into_cmd: &Stmt,
+    config: &RepairConfig,
+) -> Option<RepairOutcome> {
+    let theta = discover_theta(program, txn, from, into, from_cmd, into_cmd)?;
+    // Move the non-key fields the command accesses.
+    let src_schema = program.schema(from)?;
+    let moved: BTreeSet<String> = match from_cmd {
+        Stmt::Select(c) => match &c.fields {
+            Some(fs) => fs
+                .iter()
+                .filter(|f| src_schema.field(f).map_or(false, |d| !d.primary_key))
+                .cloned()
+                .collect(),
+            None => src_schema.value_fields().iter().map(|f| (*f).to_owned()).collect(),
+        },
+        Stmt::Update(c) => c.assigns.iter().map(|(f, _)| f.clone()).collect(),
+        _ => return None,
+    };
+    if moved.is_empty() {
+        return None;
+    }
+    let (next, new_vcs) = apply_redirect(program, from, into, &moved, &theta)?;
+    let mut steps = vec![RepairStep::Redirect {
+        src: from.to_owned(),
+        dst: into.to_owned(),
+        fields: moved.iter().cloned().collect(),
+    }];
+    // Merge if possible; a successful redirect is kept even when the merge
+    // itself fails (the pair may already be single-record safe).
+    let (l1, l2) = (into_cmd.label()?, from_cmd.label()?);
+    if config.enable_merge {
+        if let Some(merged) = try_merging(&next, l1, l2) {
+            steps.push(RepairStep::Merge {
+                kept: l1.0.clone(),
+                removed: l2.0.clone(),
+            });
+            return Some((merged, new_vcs, steps));
+        }
+    }
+    Some((next, new_vcs, steps))
+}
+
+/// Derives the lifted record correspondence `θ̂ : pk(from) → fields(into)`
+/// by analysing the filter of the command on `from` (§5): a key expression
+/// `x.g` where `x` is bound to rows of `into` maps to `g`; a key expression
+/// also assigned to a field `g` of `into` in the same transaction maps to
+/// `g`.
+fn discover_theta(
+    program: &Program,
+    txn: &Transaction,
+    from: &str,
+    into: &str,
+    from_cmd: &Stmt,
+    into_cmd: &Stmt,
+) -> Option<ThetaMap> {
+    let src = program.schema(from)?;
+    let where_ = match from_cmd {
+        Stmt::Select(c) => &c.where_,
+        Stmt::Update(c) => &c.where_,
+        Stmt::Delete(c) => &c.where_,
+        _ => return None,
+    };
+    let into_where = match into_cmd {
+        Stmt::Select(c) => Some(&c.where_),
+        Stmt::Update(c) => Some(&c.where_),
+        Stmt::Delete(c) => Some(&c.where_),
+        _ => None,
+    };
+    let bindings = var_bindings(txn);
+    let mut map = Vec::new();
+    for k in src.primary_key() {
+        let e = where_.eq_expr_for(k)?;
+        let target = theta_target(program, txn, into, e, &bindings)
+            .or_else(|| theta_from_pair_constraint(program, into, into_where, e))?;
+        map.push((k.to_owned(), target));
+    }
+    Some(ThetaMap::new(map))
+}
+
+/// §5's "equivalent expressions used in their constraints": if the paired
+/// command on `into` pins one of its own key fields `g` to the very same
+/// expression, the correspondence maps through `g` (the two commands name
+/// the same logical entity).
+fn theta_from_pair_constraint(
+    program: &Program,
+    into: &str,
+    into_where: Option<&atropos_dsl::Where>,
+    key_expr: &Expr,
+) -> Option<String> {
+    let w = into_where?;
+    let dst = program.schema(into)?;
+    let printed = atropos_dsl::print_expr(key_expr);
+    for g in dst.primary_key() {
+        if let Some(e) = w.eq_expr_for(g) {
+            if atropos_dsl::print_expr(e) == printed {
+                return Some(g.to_owned());
+            }
+        }
+    }
+    None
+}
+
+fn theta_target(
+    program: &Program,
+    txn: &Transaction,
+    into: &str,
+    key_expr: &Expr,
+    bindings: &[(String, String)],
+) -> Option<String> {
+    // Case (a): the key expression reads a field of a row of `into`.
+    if let Expr::At(_, v, g) = key_expr {
+        if bindings.iter().any(|(bv, bs)| bv == v && bs == into) {
+            return Some(g.clone());
+        }
+    }
+    // Case (b): some update of `into` in this transaction assigns a field
+    // the very same expression.
+    let printed = atropos_dsl::print_expr(key_expr);
+    for s in commands_of(txn) {
+        if let Stmt::Update(c) = s {
+            if c.schema == into {
+                for (g, e) in &c.assigns {
+                    if atropos_dsl::print_expr(e) == printed {
+                        return Some(g.clone());
+                    }
+                }
+            }
+        }
+    }
+    // Case (c): `into` has a field of the same name as an argument used as
+    // the key (common in benchmarks: WHERE a_id = aid with ACCOUNT.a_id).
+    if let Expr::Arg(a) = key_expr {
+        let dst = program.schema(into)?;
+        for f in &dst.fields {
+            if &f.name == a {
+                return Some(f.name.clone());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atropos_dsl::{parse, print_program};
+
+    /// Fig. 1 course-management program.
+    const COURSEWARE: &str = r#"
+        schema STUDENT { st_id: int key, st_name: string, st_em_id: int, st_co_id: int, st_reg: bool }
+        schema COURSE  { co_id: int key, co_avail: bool, co_st_cnt: int }
+        schema EMAIL   { em_id: int key, em_addr: string }
+
+        txn getSt(id: int) {
+            @S1 x := select * from STUDENT where st_id = id;
+            @S2 y := select em_addr from EMAIL where em_id = x.st_em_id;
+            @S3 z := select co_avail from COURSE where co_id = x.st_co_id;
+            return y.em_addr;
+        }
+        txn setSt(id: int, name: string, email: string) {
+            @S4 x := select st_em_id from STUDENT where st_id = id;
+            @U1 update STUDENT set st_name = name where st_id = id;
+            @U2 update EMAIL set em_addr = email where em_id = x.st_em_id;
+            return 0;
+        }
+        txn regSt(id: int, course: int) {
+            @U3 update STUDENT set st_co_id = course, st_reg = true where st_id = id;
+            @S5 x := select co_st_cnt from COURSE where co_id = course;
+            @U4 update COURSE set co_st_cnt = x.co_st_cnt + 1, co_avail = true where co_id = course;
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn repairs_courseware_to_fig3_shape() {
+        let p = parse(COURSEWARE).unwrap();
+        let report = repair_program(&p, ConsistencyLevel::EventualConsistency);
+        let text = print_program(&report.repaired);
+
+        assert!(!report.initial.is_empty());
+        assert!(
+            report.remaining.is_empty(),
+            "remaining: {:?}\nprogram:\n{text}",
+            report.remaining
+        );
+        // EMAIL and COURSE are gone; a log table exists.
+        assert!(report.repaired.schema("EMAIL").is_none(), "{text}");
+        assert!(report.repaired.schema("COURSE").is_none(), "{text}");
+        assert!(
+            report.repaired.schema("COURSE_CO_ST_CNT_LOG").is_some(),
+            "{text}"
+        );
+        // getSt collapsed to a single select on STUDENT.
+        let get = report.repaired.transaction("getSt").unwrap();
+        assert_eq!(crate::analysis::commands_of(get).len(), 1, "{text}");
+        // setSt collapsed to a single update.
+        let set = report.repaired.transaction("setSt").unwrap();
+        assert_eq!(crate::analysis::commands_of(set).len(), 1, "{text}");
+        // regSt: one student update + one log insert.
+        let reg = report.repaired.transaction("regSt").unwrap();
+        assert_eq!(crate::analysis::commands_of(reg).len(), 2, "{text}");
+        assert!(text.contains("insert into COURSE_CO_ST_CNT_LOG"), "{text}");
+    }
+
+    #[test]
+    fn split_preprocessing_divides_mixed_update() {
+        let p = parse(COURSEWARE).unwrap();
+        let report = repair_program(&p, ConsistencyLevel::EventualConsistency);
+        assert!(
+            report
+                .steps
+                .iter()
+                .any(|s| matches!(s, RepairStep::Split { label, .. } if label == "U4")),
+            "steps: {:?}",
+            report.steps
+        );
+    }
+
+    #[test]
+    fn repair_ratio_reported() {
+        let p = parse(COURSEWARE).unwrap();
+        let report = repair_program(&p, ConsistencyLevel::EventualConsistency);
+        assert!((report.repair_ratio() - 1.0).abs() < 1e-9);
+        assert!(report.unsafe_transactions().is_empty());
+    }
+
+    #[test]
+    fn unfixable_blind_write_pairs_remain() {
+        // Blind write vs read-modify-write on the same field cannot be
+        // merged (different transactions) nor logged (blind write).
+        let p = parse(
+            "schema T { id: int key, v: int }
+             txn setit(k: int, n: int) {
+                 update T set v = n where id = k;
+                 return 0;
+             }
+             txn bump(k: int) {
+                 x := select v from T where id = k;
+                 update T set v = x.v + 1 where id = k;
+                 return 0;
+             }",
+        )
+        .unwrap();
+        let report = repair_program(&p, ConsistencyLevel::EventualConsistency);
+        assert!(!report.remaining.is_empty());
+        assert!(report.unsafe_transactions().contains("bump"));
+    }
+
+    #[test]
+    fn disabling_rules_disables_repairs() {
+        let p = parse(COURSEWARE).unwrap();
+        let config = RepairConfig {
+            enable_merge: false,
+            enable_redirect: false,
+            enable_logging: false,
+            enable_split: false,
+            enable_postprocess: false,
+            ..RepairConfig::default()
+        };
+        let report = repair_with_config(&p, &config);
+        assert_eq!(report.initial.len(), report.remaining.len());
+        assert!(report.steps.is_empty());
+    }
+
+    #[test]
+    fn vcs_describe_moved_data() {
+        let p = parse(COURSEWARE).unwrap();
+        let report = repair_program(&p, ConsistencyLevel::EventualConsistency);
+        // em_addr moved somewhere, co_st_cnt logged.
+        assert!(report
+            .vcs
+            .iter()
+            .any(|v| v.src_schema == "EMAIL" && v.src_field == "em_addr"));
+        assert!(report.vcs.iter().any(|v| {
+            v.src_schema == "COURSE"
+                && v.src_field == "co_st_cnt"
+                && v.alpha == atropos_semantics::Aggregator::Sum
+        }));
+    }
+}

@@ -1,0 +1,599 @@
+//! The anomaly oracle `O(P)`: enumerating candidate access pairs and
+//! discharging them with the SAT backend.
+//!
+//! Three violation templates cover the anomalies of §2 (the general FOL
+//! condition of §3.2 restricted to the events of a command pair):
+//!
+//! * **Lost update** — both instances read-modify-write the same record
+//!   field and neither sees the other's write;
+//! * **Dirty read** — an observer sees one write of a transaction but not a
+//!   sibling write (violating strong atomicity);
+//! * **Non-repeatable read** — a later read of a transaction observes a
+//!   foreign write that an earlier read did not (violating strong
+//!   isolation).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use atropos_dsl::{CmdLabel, Program};
+
+use crate::encode::{pattern_satisfiable, ConsistencyLevel, InstanceModel, VisRequirement};
+use crate::model::{summarize_program, CmdKind, TxnSummary};
+
+/// The anomaly template a pair was confirmed under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AnomalyKind {
+    /// Conflicting read-modify-writes overwrite each other.
+    LostUpdate,
+    /// A transaction's sibling writes are observed non-atomically.
+    DirtyRead,
+    /// A transaction's reads observe foreign commits inconsistently.
+    NonRepeatableRead,
+}
+
+impl std::fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AnomalyKind::LostUpdate => "lost-update",
+            AnomalyKind::DirtyRead => "dirty-read",
+            AnomalyKind::NonRepeatableRead => "non-repeatable-read",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An anomalous access pair χ = (c1, f̄1, c2, f̄2) (§3.2), labelled with the
+/// transactions containing the commands and the violation template.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AccessPair {
+    /// First command label.
+    pub cmd1: CmdLabel,
+    /// Fields of `cmd1` involved in the conflict.
+    pub fields1: BTreeSet<String>,
+    /// Second command label.
+    pub cmd2: CmdLabel,
+    /// Fields of `cmd2` involved in the conflict.
+    pub fields2: BTreeSet<String>,
+    /// Transaction containing `cmd1`.
+    pub txn1: String,
+    /// Transaction containing `cmd2`.
+    pub txn2: String,
+    /// The interfering transactions that witness (or produce) the
+    /// conflicting events beyond `txn1`/`txn2` — e.g. the readers observing
+    /// a dirty write pair. Running the pair under serializability only
+    /// helps if these transactions coordinate too.
+    pub witnesses: BTreeSet<String>,
+    /// Violation template.
+    pub kind: AnomalyKind,
+}
+
+impl std::fmt::Display for AccessPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "({}, {:?}, {}, {:?}) [{}]",
+            self.cmd1, self.fields1, self.cmd2, self.fields2, self.kind
+        )
+    }
+}
+
+/// Detects every anomalous access pair of `program` under `level`.
+///
+/// # Examples
+///
+/// ```
+/// use atropos_detect::{detect_anomalies, ConsistencyLevel};
+///
+/// let p = atropos_dsl::parse(
+///     "schema T { id: int key, v: int }
+///      txn bump(k: int) {
+///          x := select v from T where id = k;
+///          update T set v = x.v + 1 where id = k;
+///          return 0;
+///      }",
+/// ).unwrap();
+/// let ec = detect_anomalies(&p, ConsistencyLevel::EventualConsistency);
+/// assert_eq!(ec.len(), 1); // the lost update
+/// let sc = detect_anomalies(&p, ConsistencyLevel::Serializable);
+/// assert!(sc.is_empty());
+/// ```
+pub fn detect_anomalies(program: &Program, level: ConsistencyLevel) -> Vec<AccessPair> {
+    detect_anomalies_marked(program, level, &BTreeSet::new())
+}
+
+/// Like [`detect_anomalies`], but transactions named in `serializable_txns`
+/// are analysed under [`ConsistencyLevel::Serializable`] when paired with
+/// each other (the AT-SC configuration of §7.2).
+pub fn detect_anomalies_marked(
+    program: &Program,
+    level: ConsistencyLevel,
+    serializable_txns: &BTreeSet<String>,
+) -> Vec<AccessPair> {
+    let summaries = summarize_program(program);
+    let mut found: BTreeMap<(String, String, AnomalyKind), AccessPair> = BTreeMap::new();
+
+    for (i, t1) in summaries.iter().enumerate() {
+        for (j, t2) in summaries.iter().enumerate() {
+            // A pair is only analysed as serializable when *both* instances
+            // of the bounded execution coordinate.
+            let eff = if serializable_txns.contains(&t1.name)
+                && serializable_txns.contains(&t2.name)
+            {
+                ConsistencyLevel::Serializable
+            } else {
+                level
+            };
+            let mut pairs = analyse_pair(t1, t2, eff, i <= j);
+            for p in pairs.drain(..) {
+                let key = pair_key(&p);
+                found
+                    .entry(key)
+                    .and_modify(|e| {
+                        e.fields1.extend(p.fields1.iter().cloned());
+                        e.fields2.extend(p.fields2.iter().cloned());
+                        e.witnesses.extend(p.witnesses.iter().cloned());
+                    })
+                    .or_insert(p);
+            }
+        }
+    }
+    found.into_values().collect()
+}
+
+fn pair_key(p: &AccessPair) -> (String, String, AnomalyKind) {
+    let (a, b) = if p.cmd1.0 <= p.cmd2.0 {
+        (p.cmd1.0.clone(), p.cmd2.0.clone())
+    } else {
+        (p.cmd2.0.clone(), p.cmd1.0.clone())
+    };
+    (a, b, p.kind)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_pair(
+    t1: &TxnSummary,
+    c1: &crate::model::CmdSummary,
+    f1: BTreeSet<String>,
+    t2: &TxnSummary,
+    c2: &crate::model::CmdSummary,
+    f2: BTreeSet<String>,
+    witnesses: BTreeSet<String>,
+    kind: AnomalyKind,
+) -> AccessPair {
+    // Canonical orientation by label for stable dedup.
+    if c1.label.0 <= c2.label.0 {
+        AccessPair {
+            cmd1: c1.label.clone(),
+            fields1: f1,
+            cmd2: c2.label.clone(),
+            fields2: f2,
+            txn1: t1.name.clone(),
+            txn2: t2.name.clone(),
+            witnesses,
+            kind,
+        }
+    } else {
+        AccessPair {
+            cmd1: c2.label.clone(),
+            fields1: f2,
+            cmd2: c1.label.clone(),
+            fields2: f1,
+            txn1: t2.name.clone(),
+            txn2: t1.name.clone(),
+            witnesses,
+            kind,
+        }
+    }
+}
+
+/// Analyses one ordered transaction pair. `run_symmetric` gates the
+/// symmetric lost-update template so it runs once per unordered pair.
+fn analyse_pair(
+    t1: &TxnSummary,
+    t2: &TxnSummary,
+    level: ConsistencyLevel,
+    run_symmetric: bool,
+) -> Vec<AccessPair> {
+    let model = InstanceModel::new(t1, t2);
+    let n1 = model.n1;
+    let mut out = Vec::new();
+    // Memoize SAT calls on their requirement signature.
+    let mut memo: HashMap<Vec<VisRequirement>, bool> = HashMap::new();
+    let mut sat = |reqs: Vec<VisRequirement>| -> bool {
+        if let Some(&r) = memo.get(&reqs) {
+            return r;
+        }
+        let r = pattern_satisfiable(&model, level, &reqs);
+        memo.insert(reqs, r);
+        r
+    };
+
+    // ---- Lost update: RMW in both instances on a shared record field. ----
+    if run_symmetric {
+        for &(r1, w1, ref f) in &t1.rmw_pairs() {
+            for &(r2, w2, ref f2) in &t2.rmw_pairs() {
+                if f != f2 || t1.commands[w1].schema != t2.commands[w2].schema {
+                    continue;
+                }
+                // Commands in model coordinates.
+                let (c1, cw1, c2, cw2) = (r1, w1, n1 + r2, n1 + w2);
+                // A record of instance 1's RMW that may alias a record of
+                // instance 2's RMW.
+                let rec1 = model.cmds[c1]
+                    .records
+                    .iter()
+                    .copied()
+                    .find(|r| model.cmds[cw1].records.contains(r));
+                let rec2 = model.cmds[c2]
+                    .records
+                    .iter()
+                    .copied()
+                    .find(|r| model.cmds[cw2].records.contains(r));
+                let (Some(rec1), Some(rec2)) = (rec1, rec2) else { continue };
+                if !model.may_alias_records(rec1, rec2) {
+                    continue;
+                }
+                let (Some(a_w1), Some(a_w2)) = (model.atom(cw1, rec1), model.atom(cw2, rec2))
+                else {
+                    continue;
+                };
+                let reqs = vec![(a_w2, c1, false), (a_w1, c2, false)];
+                if sat(reqs) {
+                    let fs = BTreeSet::from([f.clone()]);
+                    out.push(make_pair(
+                        t1,
+                        &t1.commands[r1],
+                        fs.clone(),
+                        t2,
+                        &t2.commands[w2],
+                        fs.clone(),
+                        BTreeSet::new(),
+                        AnomalyKind::LostUpdate,
+                    ));
+                    out.push(make_pair(
+                        t2,
+                        &t2.commands[r2],
+                        fs.clone(),
+                        t1,
+                        &t1.commands[w1],
+                        fs,
+                        BTreeSet::new(),
+                        AnomalyKind::LostUpdate,
+                    ));
+                }
+            }
+        }
+    }
+
+    // ---- Dirty read: two writes of instance 1 observed half-way by reads
+    // of instance 2. ----
+    let writes1: Vec<(usize, usize)> = (0..n1)
+        .flat_map(|c| {
+            model.cmds[c]
+                .records
+                .iter()
+                .map(move |&r| (c, r))
+                .collect::<Vec<_>>()
+        })
+        .filter(|&(c, _)| !model.cmds[c].summary.writes.is_empty())
+        .collect();
+    let reads2: Vec<(usize, usize)> = (n1..model.cmds.len())
+        .flat_map(|c| {
+            model.cmds[c]
+                .records
+                .iter()
+                .map(move |&r| (c, r))
+                .collect::<Vec<_>>()
+        })
+        .filter(|&(c, _)| model.cmds[c].summary.kind == CmdKind::Select)
+        .collect();
+
+    for (wi, &(w1, r1)) in writes1.iter().enumerate() {
+        for &(w2, r2) in &writes1[wi + 1..] {
+            for &(d1, dr1) in &reads2 {
+                if !model.may_alias_records(dr1, r1) {
+                    continue;
+                }
+                let f1: BTreeSet<String> = model.cmds[w1]
+                    .summary
+                    .writes
+                    .intersection(&model.cmds[d1].summary.reads)
+                    .cloned()
+                    .collect();
+                if f1.is_empty() {
+                    continue;
+                }
+                for &(d2, dr2) in &reads2 {
+                    if !model.may_alias_records(dr2, r2) {
+                        continue;
+                    }
+                    let f2: BTreeSet<String> = model.cmds[w2]
+                        .summary
+                        .writes
+                        .intersection(&model.cmds[d2].summary.reads)
+                        .cloned()
+                        .collect();
+                    if f2.is_empty() {
+                        continue;
+                    }
+                    let (Some(a1), Some(a2)) = (model.atom(w1, r1), model.atom(w2, r2)) else {
+                        continue;
+                    };
+                    // Either half observed without the other.
+                    let q1 = vec![(a1, d1, true), (a2, d2, false)];
+                    let q2 = vec![(a2, d2, true), (a1, d1, false)];
+                    if sat(q1) || sat(q2) {
+                        out.push(make_pair(
+                            t1,
+                            &model.cmds[w1].summary,
+                            f1.clone(),
+                            t1,
+                            &model.cmds[w2].summary,
+                            f2,
+                            BTreeSet::from([t2.name.clone()]),
+                            AnomalyKind::DirtyRead,
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Non-repeatable read: two reads of instance 1 observing writes of
+    // instance 2 inconsistently. ----
+    let reads1: Vec<(usize, usize)> = (0..n1)
+        .flat_map(|c| {
+            model.cmds[c]
+                .records
+                .iter()
+                .map(move |&r| (c, r))
+                .collect::<Vec<_>>()
+        })
+        .filter(|&(c, _)| model.cmds[c].summary.kind == CmdKind::Select)
+        .collect();
+    let writes2: Vec<(usize, usize)> = (n1..model.cmds.len())
+        .flat_map(|c| {
+            model.cmds[c]
+                .records
+                .iter()
+                .map(move |&r| (c, r))
+                .collect::<Vec<_>>()
+        })
+        .filter(|&(c, _)| !model.cmds[c].summary.writes.is_empty())
+        .collect();
+
+    for (ri, &(c1, r1)) in reads1.iter().enumerate() {
+        for &(c2, r2) in &reads1[ri..] {
+            if c1 == c2 && r1 == r2 {
+                continue;
+            }
+            for &(d1, dr1) in &writes2 {
+                if !model.may_alias_records(dr1, r1) {
+                    continue;
+                }
+                let f1: BTreeSet<String> = model.cmds[d1]
+                    .summary
+                    .writes
+                    .intersection(&model.cmds[c1].summary.reads)
+                    .cloned()
+                    .collect();
+                if f1.is_empty() {
+                    continue;
+                }
+                for &(d2, dr2) in &writes2 {
+                    if !model.may_alias_records(dr2, r2) {
+                        continue;
+                    }
+                    if d1 == d2 && dr1 == dr2 {
+                        continue;
+                    }
+                    let f2: BTreeSet<String> = model.cmds[d2]
+                        .summary
+                        .writes
+                        .intersection(&model.cmds[c2].summary.reads)
+                        .cloned()
+                        .collect();
+                    if f2.is_empty() {
+                        continue;
+                    }
+                    let (Some(a1), Some(a2)) = (model.atom(d1, r1), model.atom(d2, r2)) else {
+                        continue;
+                    };
+                    let q1 = vec![(a2, c2, true), (a1, c1, false)];
+                    let q2 = vec![(a1, c1, true), (a2, c2, false)];
+                    if sat(q1) || sat(q2) {
+                        out.push(make_pair(
+                            t1,
+                            &model.cmds[c1].summary,
+                            f1,
+                            t1,
+                            &model.cmds[c2].summary,
+                            f2,
+                            BTreeSet::from([t2.name.clone()]),
+                            AnomalyKind::NonRepeatableRead,
+                        ));
+                        break;
+                    }
+                }
+                if out.last().map_or(false, |p| {
+                    p.kind == AnomalyKind::NonRepeatableRead
+                        && (p.cmd1 == model.cmds[c1].summary.label
+                            || p.cmd2 == model.cmds[c1].summary.label)
+                        && (p.cmd1 == model.cmds[c2].summary.label
+                            || p.cmd2 == model.cmds[c2].summary.label)
+                }) {
+                    break;
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atropos_dsl::parse;
+
+    /// The course-management program of Fig. 1.
+    pub(crate) const COURSEWARE: &str = r#"
+        schema STUDENT { st_id: int key, st_name: string, st_em_id: int, st_co_id: int, st_reg: bool }
+        schema COURSE  { co_id: int key, co_avail: bool, co_st_cnt: int }
+        schema EMAIL   { em_id: int key, em_addr: string }
+
+        txn getSt(id: int) {
+            @S1 x := select * from STUDENT where st_id = id;
+            @S2 y := select em_addr from EMAIL where em_id = x.st_em_id;
+            @S3 z := select co_avail from COURSE where co_id = x.st_co_id;
+            return 0;
+        }
+        txn setSt(id: int, name: string, email: string) {
+            @S4 x := select st_em_id from STUDENT where st_id = id;
+            @U1 update STUDENT set st_name = name where st_id = id;
+            @U2 update EMAIL set em_addr = email where em_id = x.st_em_id;
+            return 0;
+        }
+        txn regSt(id: int, course: int) {
+            @U3 update STUDENT set st_co_id = course, st_reg = true where st_id = id;
+            @S5 x := select co_st_cnt from COURSE where co_id = course;
+            @U4 update COURSE set co_st_cnt = x.co_st_cnt + 1, co_avail = true where co_id = course;
+            return 0;
+        }
+    "#;
+
+    fn labels(pairs: &[AccessPair]) -> BTreeSet<(String, String)> {
+        pairs
+            .iter()
+            .map(|p| (p.cmd1.0.clone(), p.cmd2.0.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn courseware_anomalies_match_paper_examples() {
+        let p = parse(COURSEWARE).unwrap();
+        let pairs = detect_anomalies(&p, ConsistencyLevel::EventualConsistency);
+        let ls = labels(&pairs);
+        // χ1: (U3, U4) dirty read; χ2: (S5, U4) lost update;
+        // the non-repeatable read pairs (S1, S2) and (U1, U2).
+        assert!(ls.contains(&("U3".into(), "U4".into())), "{ls:?}");
+        assert!(ls.contains(&("S5".into(), "U4".into())), "{ls:?}");
+        assert!(ls.contains(&("S1".into(), "S2".into())), "{ls:?}");
+        assert!(ls.contains(&("U1".into(), "U2".into())), "{ls:?}");
+    }
+
+    #[test]
+    fn serializable_level_has_no_anomalies() {
+        let p = parse(COURSEWARE).unwrap();
+        assert!(detect_anomalies(&p, ConsistencyLevel::Serializable).is_empty());
+    }
+
+    #[test]
+    fn cc_and_rr_remove_few_anomalies() {
+        let p = parse(COURSEWARE).unwrap();
+        let ec = detect_anomalies(&p, ConsistencyLevel::EventualConsistency).len();
+        let cc = detect_anomalies(&p, ConsistencyLevel::CausalConsistency).len();
+        let rr = detect_anomalies(&p, ConsistencyLevel::RepeatableRead).len();
+        assert!(cc <= ec && rr <= ec);
+        assert!(cc * 2 >= ec, "CC should retain most anomalies: {cc} vs {ec}");
+    }
+
+    #[test]
+    fn refactored_courseware_is_anomaly_free() {
+        // The Fig. 3 refactoring: one wide STUDENT row + an insert-only log.
+        let src = r#"
+            schema STUDENT { st_id: int key, st_name: string, st_em_addr: string,
+                             st_co_id: int, st_co_avail: bool, st_reg: bool }
+            schema COURSE_LOG { co_id: int key, log_id: uuid key, cnt: int }
+            txn getSt(id: int) {
+                @RS1 x := select * from STUDENT where st_id = id;
+                return 0;
+            }
+            txn setSt(id: int, name: string, email: string) {
+                @RU1 update STUDENT set st_name = name, st_em_addr = email where st_id = id;
+                return 0;
+            }
+            txn regSt(id: int, course: int) {
+                @RU3 update STUDENT set st_co_id = course, st_co_avail = true, st_reg = true
+                     where st_id = id;
+                @RU4 insert into COURSE_LOG values (co_id = course, log_id = uuid(), cnt = 1);
+                return 0;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let pairs = detect_anomalies(&p, ConsistencyLevel::EventualConsistency);
+        assert!(pairs.is_empty(), "expected no anomalies, got {pairs:?}");
+    }
+
+    #[test]
+    fn marking_transactions_serializable_suppresses_their_pairs() {
+        let p = parse(
+            "schema T { id: int key, v: int }
+             txn bump(k: int) {
+                 x := select v from T where id = k;
+                 update T set v = x.v + 1 where id = k;
+                 return 0;
+             }",
+        )
+        .unwrap();
+        let all: BTreeSet<String> = BTreeSet::from(["bump".to_owned()]);
+        let pairs = detect_anomalies_marked(&p, ConsistencyLevel::EventualConsistency, &all);
+        assert!(pairs.is_empty());
+        let none = detect_anomalies(&p, ConsistencyLevel::EventualConsistency);
+        assert_eq!(none.len(), 1);
+        assert_eq!(none[0].kind, AnomalyKind::LostUpdate);
+    }
+
+    #[test]
+    fn disjoint_constant_keys_do_not_conflict() {
+        let p = parse(
+            "schema T { id: int key, v: int }
+             txn a() {
+                 x := select v from T where id = 1;
+                 update T set v = x.v + 1 where id = 1;
+                 return 0;
+             }
+             txn b() {
+                 y := select v from T where id = 2;
+                 update T set v = y.v + 1 where id = 2;
+                 return 0;
+             }",
+        )
+        .unwrap();
+        let pairs = detect_anomalies(&p, ConsistencyLevel::EventualConsistency);
+        // a×a and b×b lose updates, but a×b never conflicts.
+        for pr in &pairs {
+            assert_eq!(pr.txn1, pr.txn2);
+        }
+    }
+
+    #[test]
+    fn single_atomic_update_observed_by_single_read_is_safe() {
+        let p = parse(
+            "schema T { id: int key, a: int, b: int }
+             txn w(k: int) { update T set a = 1, b = 2 where id = k; return 0; }
+             txn r(k: int) { x := select a, b from T where id = k; return x.a; }",
+        )
+        .unwrap();
+        let pairs = detect_anomalies(&p, ConsistencyLevel::EventualConsistency);
+        assert!(pairs.is_empty(), "row-level atomicity protects {pairs:?}");
+    }
+
+    #[test]
+    fn two_updates_same_record_are_dirty() {
+        let p = parse(
+            "schema T { id: int key, a: int, b: int }
+             txn w(k: int) {
+                 @W1 update T set a = 1 where id = k;
+                 @W2 update T set b = 2 where id = k;
+                 return 0;
+             }
+             txn r(k: int) { @R x := select a, b from T where id = k; return x.a; }",
+        )
+        .unwrap();
+        let pairs = detect_anomalies(&p, ConsistencyLevel::EventualConsistency);
+        assert!(pairs
+            .iter()
+            .any(|p| p.kind == AnomalyKind::DirtyRead && p.cmd1.0 == "W1" && p.cmd2.0 == "W2"));
+    }
+}

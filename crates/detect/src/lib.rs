@@ -1,0 +1,43 @@
+//! # atropos-detect
+//!
+//! Static serializability-anomaly detection for database programs, the
+//! oracle `O(P)` of the repair algorithm (§5–§6 of the paper).
+//!
+//! The paper reduces anomaly detection to the satisfiability of an FOL
+//! formula over transactional dependencies, visibility, and global
+//! timestamps, discharged with Z3. This crate grounds the same queries over
+//! a bounded two-instance execution skeleton and decides them with the
+//! workspace's own CDCL solver (`atropos-sat`):
+//!
+//! * [`model`] — static command summaries (read/write sets, key specs);
+//! * [`encode`] — witness records, atoms, and the CNF encoding of `ord`,
+//!   `vis`, and the per-level axioms (EC / CC / RR / SC);
+//! * [`detect`] — the three violation templates and the public oracle
+//!   [`detect_anomalies`].
+//!
+//! # Examples
+//!
+//! ```
+//! use atropos_detect::{detect_anomalies, ConsistencyLevel};
+//!
+//! let program = atropos_dsl::parse(
+//!     "schema ACC { id: int key, bal: int }
+//!      txn deposit(a: int, amt: int) {
+//!          x := select bal from ACC where id = a;
+//!          update ACC set bal = x.bal + amt where id = a;
+//!          return 0;
+//!      }",
+//! ).unwrap();
+//! let anomalies = detect_anomalies(&program, ConsistencyLevel::EventualConsistency);
+//! assert_eq!(anomalies.len(), 1); // concurrent deposits can lose updates
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod encode;
+pub mod model;
+
+pub use detect::{detect_anomalies, detect_anomalies_marked, AccessPair, AnomalyKind};
+pub use encode::{pattern_satisfiable, ConsistencyLevel, InstanceModel};
+pub use model::{summarize_program, summarize_txn, CmdKind, CmdSummary, KeySpec, TxnSummary};

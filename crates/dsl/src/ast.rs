@@ -1,0 +1,827 @@
+//! Abstract syntax for database programs (Fig. 5 of the paper).
+//!
+//! A [`Program`] is a set of [`Schema`] declarations plus a set of
+//! [`Transaction`]s. Transaction bodies are sequences of database commands
+//! (`SELECT`, `UPDATE`, `INSERT`, `DELETE`) and control commands
+//! (`if`, `iterate`). `INSERT`/`DELETE` are first-class here but are modelled
+//! semantically as writes to the implicit `alive` field, exactly as in §3 of
+//! the paper.
+
+use std::fmt;
+
+/// A scalar value stored in a record field or produced by an expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An immutable string.
+    Str(String),
+    /// A unique identifier produced by `uuid()`.
+    Uuid(u128),
+}
+
+impl Value {
+    /// The [`Ty`] this value inhabits.
+    pub fn ty(&self) -> Ty {
+        match self {
+            Value::Int(_) => Ty::Int,
+            Value::Bool(_) => Ty::Bool,
+            Value::Str(_) => Ty::Str,
+            Value::Uuid(_) => Ty::Uuid,
+        }
+    }
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Uuid(u) => write!(f, "uuid:{u:x}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+/// The scalar types of the DSL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ty {
+    /// 64-bit signed integers.
+    Int,
+    /// Booleans.
+    Bool,
+    /// Strings.
+    Str,
+    /// Opaque unique identifiers.
+    Uuid,
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::Int => "int",
+            Ty::Bool => "bool",
+            Ty::Str => "string",
+            Ty::Uuid => "uuid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arithmetic operators `⊕`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Integer division.
+    Div,
+}
+
+impl BinOp {
+    /// Concrete syntax for this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+/// Comparison operators `⊙`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Concrete syntax for this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Evaluates the comparison on two values (ordering comparisons are only
+    /// meaningful on integers; other types support equality).
+    pub fn eval(self, l: &Value, r: &Value) -> bool {
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        }
+    }
+}
+
+/// Boolean connectives `◦`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoolOp {
+    /// Conjunction.
+    And,
+    /// Disjunction.
+    Or,
+}
+
+impl BoolOp {
+    /// Concrete syntax for this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BoolOp::And => "&&",
+            BoolOp::Or => "||",
+        }
+    }
+}
+
+/// Program-level aggregation functions `agg ∈ {sum, min, max}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggOp {
+    /// Sum of all values.
+    Sum,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Number of records (an extension used by some benchmarks).
+    Count,
+}
+
+impl AggOp {
+    /// Concrete syntax for this aggregator.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggOp::Sum => "sum",
+            AggOp::Min => "min",
+            AggOp::Max => "max",
+            AggOp::Count => "count",
+        }
+    }
+}
+
+/// Expressions `e` (Fig. 5).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal constant `n`.
+    Const(Value),
+    /// A transaction argument `a`.
+    Arg(String),
+    /// Arithmetic `e ⊕ e`.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Comparison `e ⊙ e`.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Boolean connective `e ◦ e`.
+    Bool(BoolOp, Box<Expr>, Box<Expr>),
+    /// Boolean negation (a convenience extension).
+    Not(Box<Expr>),
+    /// The current iteration counter `iter`.
+    Iter,
+    /// `agg(x.f)` — aggregate field `f` over all records bound to `x`.
+    Agg(AggOp, String, String),
+    /// `at_e(x.f)` — field `f` of the `e`-th record bound to `x`
+    /// (written `x.f` for index 0, `x.f[e]` otherwise).
+    At(Box<Expr>, String, String),
+    /// `uuid()` — a fresh unique identifier on every evaluation.
+    Uuid,
+}
+
+impl Expr {
+    /// Builds an integer literal.
+    pub fn int(n: i64) -> Expr {
+        Expr::Const(Value::Int(n))
+    }
+
+    /// Builds a boolean literal.
+    pub fn boolean(b: bool) -> Expr {
+        Expr::Const(Value::Bool(b))
+    }
+
+    /// Builds a reference to transaction argument `name`.
+    pub fn arg(name: impl Into<String>) -> Expr {
+        Expr::Arg(name.into())
+    }
+
+    /// Builds `x.f` (the field of the first record bound to `x`).
+    pub fn field(var: impl Into<String>, field: impl Into<String>) -> Expr {
+        Expr::At(Box::new(Expr::int(0)), var.into(), field.into())
+    }
+
+    /// Builds `sum(x.f)`.
+    pub fn sum(var: impl Into<String>, field: impl Into<String>) -> Expr {
+        Expr::Agg(AggOp::Sum, var.into(), field.into())
+    }
+
+    /// Builds `self + other`.
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(self), Box::new(other))
+    }
+
+    /// Builds `self - other`.
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(self), Box::new(other))
+    }
+
+    /// Builds `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(other))
+    }
+
+    /// Builds `self && other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::Bool(BoolOp::And, Box::new(self), Box::new(other))
+    }
+
+    /// Builds `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(other))
+    }
+
+    /// Iterates over all sub-expressions (including `self`), pre-order.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Bin(_, l, r) | Expr::Cmp(_, l, r) | Expr::Bool(_, l, r) => {
+                l.walk(f);
+                r.walk(f);
+            }
+            Expr::Not(e) => e.walk(f),
+            Expr::At(idx, _, _) => idx.walk(f),
+            Expr::Const(_) | Expr::Arg(_) | Expr::Iter | Expr::Agg(..) | Expr::Uuid => {}
+        }
+    }
+
+    /// Collects every `(var, field)` access made by this expression.
+    pub fn accesses(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| match e {
+            Expr::Agg(_, v, f) | Expr::At(_, v, f) => out.push((v.clone(), f.clone())),
+            _ => {}
+        });
+        out
+    }
+
+    /// True if the expression mentions variable `var`.
+    pub fn uses_var(&self, var: &str) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| match e {
+            Expr::Agg(_, v, _) | Expr::At(_, v, _) if v == var => found = true,
+            _ => {}
+        });
+        found
+    }
+}
+
+/// An atomic `WHERE`-clause constraint `this.f ⊙ e` or a connective.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Where {
+    /// The always-true filter (selects every live record).
+    True,
+    /// `this.field ⊙ expr`.
+    Cmp {
+        /// Field of the target schema being constrained.
+        field: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand expression (may not mention `this`).
+        expr: Expr,
+    },
+    /// Conjunction of two filters.
+    And(Box<Where>, Box<Where>),
+    /// Disjunction of two filters.
+    Or(Box<Where>, Box<Where>),
+}
+
+impl Where {
+    /// Builds `this.field = expr`, the most common filter.
+    pub fn eq(field: impl Into<String>, expr: Expr) -> Where {
+        Where::Cmp {
+            field: field.into(),
+            op: CmpOp::Eq,
+            expr,
+        }
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Where) -> Where {
+        Where::And(Box::new(self), Box::new(other))
+    }
+
+    /// All fields of the target schema mentioned by the filter (`φ_fld`).
+    pub fn fields(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_fields(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_fields(&self, out: &mut Vec<String>) {
+        match self {
+            Where::True => {}
+            Where::Cmp { field, .. } => out.push(field.clone()),
+            Where::And(l, r) | Where::Or(l, r) => {
+                l.collect_fields(out);
+                r.collect_fields(out);
+            }
+        }
+    }
+
+    /// The conjuncts of this filter if it is a pure conjunction of
+    /// comparisons, or `None` if it contains `Or`.
+    pub fn conjuncts(&self) -> Option<Vec<(&str, CmpOp, &Expr)>> {
+        let mut out = Vec::new();
+        if self.collect_conjuncts(&mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    fn collect_conjuncts<'a>(&'a self, out: &mut Vec<(&'a str, CmpOp, &'a Expr)>) -> bool {
+        match self {
+            Where::True => true,
+            Where::Cmp { field, op, expr } => {
+                out.push((field.as_str(), *op, expr));
+                true
+            }
+            Where::And(l, r) => l.collect_conjuncts(out) && r.collect_conjuncts(out),
+            Where::Or(..) => false,
+        }
+    }
+
+    /// Returns the expression equated with `field`, when this filter is
+    /// *well-formed* in the sense of §4.2.1: a conjunction that contains an
+    /// equality constraint on `field` (`φ[f]_exp`).
+    pub fn eq_expr_for(&self, field: &str) -> Option<&Expr> {
+        let conj = self.conjuncts()?;
+        conj.iter()
+            .find(|(f, op, _)| *f == field && *op == CmpOp::Eq)
+            .map(|(_, _, e)| *e)
+    }
+
+    /// Iterates over all right-hand expressions in the filter.
+    pub fn walk_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        match self {
+            Where::True => {}
+            Where::Cmp { expr, .. } => expr.walk(f),
+            Where::And(l, r) | Where::Or(l, r) => {
+                l.walk_exprs(f);
+                r.walk_exprs(f);
+            }
+        }
+    }
+
+    /// True if the filter mentions variable `var` in any right-hand side.
+    pub fn uses_var(&self, var: &str) -> bool {
+        let mut found = false;
+        self.walk_exprs(&mut |e| {
+            if let Expr::Agg(_, v, _) | Expr::At(_, v, _) = e {
+                if v == var {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+}
+
+/// Stable label of a database command (e.g. `S1`, `U4.2`). Labels are unique
+/// within a [`Program`] and survive refactoring so anomalies can be tracked
+/// across rewrites.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CmdLabel(pub String);
+
+impl fmt::Display for CmdLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for CmdLabel {
+    fn from(s: &str) -> Self {
+        CmdLabel(s.to_owned())
+    }
+}
+
+/// `x := SELECT f̄ FROM R WHERE φ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectCmd {
+    /// Unique label.
+    pub label: CmdLabel,
+    /// Variable the result set is bound to.
+    pub var: String,
+    /// Selected fields; `None` means `*` (all fields).
+    pub fields: Option<Vec<String>>,
+    /// Target schema name.
+    pub schema: String,
+    /// Row filter.
+    pub where_: Where,
+}
+
+/// `UPDATE R SET f̄ = ē WHERE φ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateCmd {
+    /// Unique label.
+    pub label: CmdLabel,
+    /// Target schema name.
+    pub schema: String,
+    /// Parallel assignments to fields.
+    pub assigns: Vec<(String, Expr)>,
+    /// Row filter.
+    pub where_: Where,
+}
+
+/// `INSERT INTO R VALUES (f̄ = ē)` — modelled as an atomic write that also
+/// sets the implicit `alive` field to `true`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertCmd {
+    /// Unique label.
+    pub label: CmdLabel,
+    /// Target schema name.
+    pub schema: String,
+    /// Field values; must cover every primary-key field.
+    pub values: Vec<(String, Expr)>,
+}
+
+/// `DELETE FROM R WHERE φ` — modelled as a write of `alive = false`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteCmd {
+    /// Unique label.
+    pub label: CmdLabel,
+    /// Target schema name.
+    pub schema: String,
+    /// Row filter.
+    pub where_: Where,
+}
+
+/// A statement: database command or control command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A `SELECT` binding.
+    Select(SelectCmd),
+    /// An `UPDATE`.
+    Update(UpdateCmd),
+    /// An `INSERT`.
+    Insert(InsertCmd),
+    /// A `DELETE`.
+    Delete(DeleteCmd),
+    /// `if (e) { c }`.
+    If {
+        /// Guard expression.
+        cond: Expr,
+        /// Guarded statements.
+        body: Vec<Stmt>,
+    },
+    /// `iterate (e) { c }` — run the body `e` times.
+    Iterate {
+        /// Repetition count expression.
+        count: Expr,
+        /// Repeated statements.
+        body: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// The label of this statement's database command, if it is one.
+    pub fn label(&self) -> Option<&CmdLabel> {
+        match self {
+            Stmt::Select(c) => Some(&c.label),
+            Stmt::Update(c) => Some(&c.label),
+            Stmt::Insert(c) => Some(&c.label),
+            Stmt::Delete(c) => Some(&c.label),
+            Stmt::If { .. } | Stmt::Iterate { .. } => None,
+        }
+    }
+
+    /// The schema accessed by this statement's database command, if any.
+    pub fn schema(&self) -> Option<&str> {
+        match self {
+            Stmt::Select(c) => Some(&c.schema),
+            Stmt::Update(c) => Some(&c.schema),
+            Stmt::Insert(c) => Some(&c.schema),
+            Stmt::Delete(c) => Some(&c.schema),
+            Stmt::If { .. } | Stmt::Iterate { .. } => None,
+        }
+    }
+}
+
+/// A named transaction `t(ā) { c; return e }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transaction {
+    /// Transaction name (unique within a program).
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Return expression.
+    pub ret: Expr,
+}
+
+/// A formal transaction parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Ty,
+}
+
+/// A field declaration inside a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    /// Field name (unique within the schema).
+    pub name: String,
+    /// Field type.
+    pub ty: Ty,
+    /// True if this field is part of the primary key.
+    pub primary_key: bool,
+}
+
+impl FieldDecl {
+    /// Builds a non-key field.
+    pub fn new(name: impl Into<String>, ty: Ty) -> FieldDecl {
+        FieldDecl {
+            name: name.into(),
+            ty,
+            primary_key: false,
+        }
+    }
+
+    /// Builds a primary-key field.
+    pub fn key(name: impl Into<String>, ty: Ty) -> FieldDecl {
+        FieldDecl {
+            name: name.into(),
+            ty,
+            primary_key: true,
+        }
+    }
+}
+
+/// A database schema `ρ : f̄` with a designated primary key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    /// Schema (table) name.
+    pub name: String,
+    /// Declared fields. The implicit `alive` field is *not* listed.
+    pub fields: Vec<FieldDecl>,
+}
+
+impl Schema {
+    /// Builds a schema from field declarations.
+    pub fn new(name: impl Into<String>, fields: Vec<FieldDecl>) -> Schema {
+        Schema {
+            name: name.into(),
+            fields,
+        }
+    }
+
+    /// Names of the primary-key fields, in declaration order.
+    pub fn primary_key(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.primary_key)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// Names of the non-key fields, in declaration order.
+    pub fn value_fields(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| !f.primary_key)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// Looks up a field declaration by name.
+    pub fn field(&self, name: &str) -> Option<&FieldDecl> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// True if `name` is a declared field of this schema.
+    pub fn has_field(&self, name: &str) -> bool {
+        self.field(name).is_some()
+    }
+}
+
+/// A database program `P = (R̄, T̄)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Schema declarations.
+    pub schemas: Vec<Schema>,
+    /// Transaction declarations.
+    pub transactions: Vec<Transaction>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Looks up a schema by name.
+    pub fn schema(&self, name: &str) -> Option<&Schema> {
+        self.schemas.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a transaction by name.
+    pub fn transaction(&self, name: &str) -> Option<&Transaction> {
+        self.transactions.iter().find(|t| t.name == name)
+    }
+
+    /// Iterates over every database command in the program along with the
+    /// name of the transaction containing it.
+    pub fn commands(&self) -> Vec<(&str, &Stmt)> {
+        let mut out = Vec::new();
+        for t in &self.transactions {
+            collect_commands(&t.body, &t.name, &mut out);
+        }
+        out
+    }
+
+    /// Finds the database command with the given label, returning the
+    /// containing transaction name and the statement.
+    pub fn command(&self, label: &CmdLabel) -> Option<(&str, &Stmt)> {
+        self.commands()
+            .into_iter()
+            .find(|(_, s)| s.label() == Some(label))
+    }
+
+    /// Total number of database commands (not control statements).
+    pub fn command_count(&self) -> usize {
+        self.commands().len()
+    }
+}
+
+fn collect_commands<'a>(body: &'a [Stmt], txn: &'a str, out: &mut Vec<(&'a str, &'a Stmt)>) {
+    for s in body {
+        match s {
+            Stmt::If { body, .. } | Stmt::Iterate { body, .. } => {
+                collect_commands(body, txn, out)
+            }
+            _ => out.push((txn, s)),
+        }
+    }
+}
+
+/// Name of the implicit liveness field carried by every schema (§3).
+pub const ALIVE_FIELD: &str = "alive";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_ordering_and_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert_eq!(Value::Int(4).ty(), Ty::Int);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Bool(true).as_int(), None);
+    }
+
+    #[test]
+    fn cmp_op_eval() {
+        assert!(CmpOp::Lt.eval(&Value::Int(1), &Value::Int(2)));
+        assert!(CmpOp::Eq.eval(&Value::Str("a".into()), &Value::Str("a".into())));
+        assert!(CmpOp::Ne.eval(&Value::Bool(true), &Value::Bool(false)));
+        assert!(!CmpOp::Ge.eval(&Value::Int(1), &Value::Int(2)));
+    }
+
+    #[test]
+    fn expr_accesses_collects_field_reads() {
+        let e = Expr::field("x", "a").add(Expr::sum("y", "b"));
+        let acc = e.accesses();
+        assert_eq!(
+            acc,
+            vec![("x".to_owned(), "a".to_owned()), ("y".to_owned(), "b".to_owned())]
+        );
+        assert!(e.uses_var("x"));
+        assert!(e.uses_var("y"));
+        assert!(!e.uses_var("z"));
+    }
+
+    #[test]
+    fn where_fields_and_conjuncts() {
+        let w = Where::eq("a", Expr::int(1)).and(Where::Cmp {
+            field: "b".into(),
+            op: CmpOp::Gt,
+            expr: Expr::int(0),
+        });
+        assert_eq!(w.fields(), vec!["a".to_owned(), "b".to_owned()]);
+        let conj = w.conjuncts().unwrap();
+        assert_eq!(conj.len(), 2);
+        assert!(w.eq_expr_for("a").is_some());
+        assert!(w.eq_expr_for("b").is_none()); // Gt, not Eq
+    }
+
+    #[test]
+    fn where_or_is_not_conjunctive() {
+        let w = Where::Or(
+            Box::new(Where::eq("a", Expr::int(1))),
+            Box::new(Where::eq("a", Expr::int(2))),
+        );
+        assert!(w.conjuncts().is_none());
+        assert!(w.eq_expr_for("a").is_none());
+    }
+
+    #[test]
+    fn schema_key_partition() {
+        let s = Schema::new(
+            "T",
+            vec![
+                FieldDecl::key("id", Ty::Int),
+                FieldDecl::new("v", Ty::Str),
+            ],
+        );
+        assert_eq!(s.primary_key(), vec!["id"]);
+        assert_eq!(s.value_fields(), vec!["v"]);
+        assert!(s.has_field("v"));
+        assert!(!s.has_field("w"));
+    }
+
+    #[test]
+    fn program_command_lookup() {
+        let p = Program {
+            schemas: vec![Schema::new("T", vec![FieldDecl::key("id", Ty::Int)])],
+            transactions: vec![Transaction {
+                name: "t".into(),
+                params: vec![],
+                body: vec![Stmt::If {
+                    cond: Expr::boolean(true),
+                    body: vec![Stmt::Select(SelectCmd {
+                        label: "S1".into(),
+                        var: "x".into(),
+                        fields: None,
+                        schema: "T".into(),
+                        where_: Where::True,
+                    })],
+                }],
+                ret: Expr::int(0),
+            }],
+        };
+        assert_eq!(p.command_count(), 1);
+        let (txn, stmt) = p.command(&"S1".into()).unwrap();
+        assert_eq!(txn, "t");
+        assert_eq!(stmt.schema(), Some("T"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Error types for parsing, resolution, and type checking.
+
+use std::error::Error;
+use std::fmt;
+
+/// A byte range in the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First byte (inclusive).
+    pub start: usize,
+    /// Last byte (exclusive).
+    pub end: usize,
+}
+
+impl Span {
+    /// Computes the 1-based line and column of the span start inside `src`.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, c) in src.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+/// Errors produced by the DSL front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DslError {
+    /// Lexical error.
+    Lex {
+        /// Human-readable description.
+        message: String,
+        /// Offending location.
+        span: Span,
+    },
+    /// Syntax error.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// Offending location.
+        span: Span,
+    },
+    /// Semantic (resolution / typing) error.
+    Semantic {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl DslError {
+    /// Builds a semantic error from a message.
+    pub fn semantic(message: impl Into<String>) -> DslError {
+        DslError::Semantic {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslError::Lex { message, span } => {
+                write!(f, "lex error at byte {}: {message}", span.start)
+            }
+            DslError::Parse { message, span } => {
+                write!(f, "parse error at byte {}: {message}", span.start)
+            }
+            DslError::Semantic { message } => write!(f, "semantic error: {message}"),
+        }
+    }
+}
+
+impl Error for DslError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "ab\ncde\nf";
+        let sp = Span { start: 5, end: 6 }; // the 'e'
+        assert_eq!(sp.line_col(src), (2, 3));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = DslError::semantic("unknown schema `X`");
+        assert_eq!(e.to_string(), "semantic error: unknown schema `X`");
+        let e = DslError::Parse {
+            message: "expected `;`".into(),
+            span: Span { start: 4, end: 5 },
+        };
+        assert!(e.to_string().contains("byte 4"));
+    }
+}

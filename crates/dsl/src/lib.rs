@@ -1,0 +1,54 @@
+//! # atropos-dsl
+//!
+//! Front-end for the database-program DSL of *Repairing Serializability Bugs
+//! in Distributed Database Programs via Automated Schema Refactoring*
+//! (PLDI 2021), Fig. 5.
+//!
+//! A program is a set of relational [`Schema`]s plus a set of
+//! [`Transaction`]s whose bodies mix database commands (`SELECT`, `UPDATE`,
+//! `INSERT`, `DELETE`) with bounded control flow (`if`, `iterate`). The crate
+//! provides:
+//!
+//! * the [`ast`] module — the abstract syntax tree;
+//! * [`parse`] — a recursive-descent parser for the textual surface syntax;
+//! * [`print_program`] — a canonical pretty-printer (round-trips with
+//!   [`parse`]);
+//! * [`check_program`] — name resolution and type checking.
+//!
+//! # Examples
+//!
+//! ```
+//! use atropos_dsl::{parse, check_program, print_program};
+//!
+//! let src = r#"
+//!     schema ACCOUNT { acc_id: int key, balance: int }
+//!     txn deposit(id: int, amount: int) {
+//!         x := select balance from ACCOUNT where acc_id = id;
+//!         update ACCOUNT set balance = x.balance + amount where acc_id = id;
+//!         return x.balance;
+//!     }
+//! "#;
+//! let program = parse(src)?;
+//! check_program(&program)?;
+//! let printed = print_program(&program);
+//! assert_eq!(parse(&printed)?, program);
+//! # Ok::<(), atropos_dsl::DslError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod resolve;
+
+pub use ast::{
+    AggOp, BinOp, BoolOp, CmdLabel, CmpOp, DeleteCmd, Expr, FieldDecl, InsertCmd, Param, Program,
+    Schema, SelectCmd, Stmt, Transaction, Ty, UpdateCmd, Value, Where, ALIVE_FIELD,
+};
+pub use error::{DslError, Span};
+pub use parser::parse;
+pub use printer::{print_expr, print_program, print_where};
+pub use resolve::{check_program, ProgramInfo};

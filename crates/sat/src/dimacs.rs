@@ -1,0 +1,104 @@
+//! DIMACS CNF serialization, for debugging encodings against external solvers.
+
+use std::fmt::Write as _;
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+
+/// Renders a clause list in DIMACS CNF format.
+pub fn to_dimacs(num_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", num_vars, clauses.len());
+    for c in clauses {
+        for &l in c {
+            let n = l.var().0 as i64 + 1;
+            let _ = write!(out, "{} ", if l.is_positive() { n } else { -n });
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// Parses DIMACS CNF text into a ready-to-solve [`Solver`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_dimacs(text: &str) -> Result<Solver, String> {
+    let mut solver = Solver::new();
+    let mut declared_vars: Option<usize> = None;
+    let mut clause: Vec<Lit> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p cnf") {
+            let mut it = rest.split_whitespace();
+            let nv: usize = it
+                .next()
+                .ok_or("missing var count")?
+                .parse()
+                .map_err(|e| format!("bad var count: {e}"))?;
+            declared_vars = Some(nv);
+            for _ in 0..nv {
+                solver.new_var();
+            }
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let n: i64 = tok.parse().map_err(|e| format!("bad literal `{tok}`: {e}"))?;
+            if n == 0 {
+                solver.add_clause(clause.drain(..));
+            } else {
+                let v = (n.unsigned_abs() - 1) as u32;
+                if declared_vars.map_or(true, |nv| v as usize >= nv) {
+                    return Err(format!("literal {n} out of declared range"));
+                }
+                clause.push(Lit::new(Var(v), n > 0));
+            }
+        }
+    }
+    if !clause.is_empty() {
+        solver.add_clause(clause);
+    }
+    Ok(solver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn round_trip_simple_formula() {
+        let clauses = vec![
+            vec![Lit::new(Var(0), true), Lit::new(Var(1), false)],
+            vec![Lit::new(Var(1), true)],
+        ];
+        let text = to_dimacs(2, &clauses);
+        assert!(text.starts_with("p cnf 2 2"));
+        let mut s = parse_dimacs(&text).unwrap();
+        let m = s.solve().model().unwrap().to_vec();
+        assert!(m[0] && m[1]);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "c a comment\n\np cnf 1 1\n1 0\n";
+        let mut s = parse_dimacs(text).unwrap();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn detects_unsat_from_text() {
+        let text = "p cnf 1 2\n1 0\n-1 0\n";
+        let mut s = parse_dimacs(text).unwrap();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn rejects_out_of_range_literal() {
+        assert!(parse_dimacs("p cnf 1 1\n2 0\n").is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! # atropos-sat
+//!
+//! A from-scratch CDCL SAT solver plus CNF construction utilities.
+//!
+//! The paper discharges its serializability-anomaly queries with Z3; this
+//! workspace grounds the same bounded first-order formulas to propositional
+//! logic and decides them with this solver (see `atropos-detect`). The crate
+//! is self-contained and usable independently:
+//!
+//! * [`Solver`] — two-watched-literal CDCL with first-UIP learning, VSIDS,
+//!   phase saving, Luby restarts, and learnt-clause deletion;
+//! * [`CnfBuilder`] — fresh variables, raw clauses, Tseitin gates
+//!   (`and`/`or`/`iff`/`implies`) and cardinality constraints;
+//! * [`dimacs`] — DIMACS CNF import/export.
+//!
+//! # Examples
+//!
+//! ```
+//! use atropos_sat::{CnfBuilder};
+//!
+//! // (a ∨ b) ∧ (¬a ∨ b) is satisfied only with b = true.
+//! let mut f = CnfBuilder::new();
+//! let a = f.fresh();
+//! let b = f.fresh();
+//! f.clause([a, b]);
+//! f.clause([!a, b]);
+//! let model = f.solve().model().unwrap().to_vec();
+//! assert!(model[b.var().index()]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod dimacs;
+pub mod lit;
+pub mod solver;
+
+pub use cnf::CnfBuilder;
+pub use lit::{LBool, Lit, Var};
+pub use solver::{SolveResult, Solver, SolverStats};

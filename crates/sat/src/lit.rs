@@ -1,0 +1,145 @@
+//! Variables, literals, and ternary assignment values.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The variable's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation. Encoded as `var * 2 + sign`
+/// where `sign == 1` means positive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Builds a literal from a variable and a polarity.
+    pub fn new(var: Var, positive: bool) -> Lit {
+        Lit(var.0 << 1 | u32::from(positive))
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True if this is the positive literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Dense index usable for watch lists (`0..2*num_vars`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds a literal from [`Lit::index`].
+    pub fn from_index(idx: usize) -> Lit {
+        Lit(idx as u32)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "!{}", self.var())
+        }
+    }
+}
+
+/// Ternary truth value of a variable under a partial assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Unassigned.
+    Undef,
+}
+
+impl LBool {
+    /// Converts a concrete boolean.
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Truth value of a literal whose variable has this value.
+    pub fn under(self, positive: bool) -> LBool {
+        match (self, positive) {
+            (LBool::Undef, _) => LBool::Undef,
+            (LBool::True, true) | (LBool::False, false) => LBool::True,
+            _ => LBool::False,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        let v = Var(7);
+        let p = v.positive();
+        let n = v.negative();
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(!p, n);
+        assert_eq!(!!p, p);
+        assert_eq!(Lit::from_index(p.index()), p);
+    }
+
+    #[test]
+    fn lbool_under_polarity() {
+        assert_eq!(LBool::True.under(true), LBool::True);
+        assert_eq!(LBool::True.under(false), LBool::False);
+        assert_eq!(LBool::False.under(false), LBool::True);
+        assert_eq!(LBool::Undef.under(true), LBool::Undef);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Var(3).positive().to_string(), "x3");
+        assert_eq!(Var(3).negative().to_string(), "!x3");
+    }
+}

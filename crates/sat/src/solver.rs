@@ -1,0 +1,696 @@
+//! A CDCL SAT solver in the MiniSat lineage.
+//!
+//! Features: two-watched-literal propagation, first-UIP conflict analysis
+//! with clause learning, VSIDS branching with phase saving, Luby restarts,
+//! and activity-based deletion of learnt clauses. The solver is deliberately
+//! deterministic: identical inputs yield identical models.
+
+use crate::lit::{LBool, Lit, Var};
+
+/// Outcome of [`Solver::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (one value per variable).
+    Sat(Vec<bool>),
+    /// The formula is unsatisfiable.
+    Unsat,
+}
+
+impl SolveResult {
+    /// True if satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            SolveResult::Unsat => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+}
+
+type ClauseRef = usize;
+
+/// Statistics accumulated during solving.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts analysed.
+    pub conflicts: u64,
+    /// Number of restarts executed.
+    pub restarts: u64,
+    /// Number of learnt clauses deleted.
+    pub deleted: u64,
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use atropos_sat::{Solver, Var};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause([a.positive(), b.positive()]);
+/// s.add_clause([a.negative()]);
+/// let model = s.solve().model().unwrap().to_vec();
+/// assert!(!model[a.index()] && model[b.index()]);
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<ClauseRef>>, // indexed by Lit::index
+    assign: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    phase: Vec<bool>,
+    order: Vec<Var>, // lazily filtered max-activity candidates
+    unsat: bool,
+    stats: SolverStats,
+    seen: Vec<bool>,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLA_DECAY: f64 = 0.999;
+const RESCALE: f64 = 1e100;
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            prop_head: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            phase: Vec::new(),
+            order: Vec::new(),
+            unsat: false,
+            stats: SolverStats::default(),
+            seen: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.push(v);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Solver statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    fn value(&self, l: Lit) -> LBool {
+        self.assign[l.var().index()].under(l.is_positive())
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Duplicated literals are removed; tautologies are silently dropped; an
+    /// empty clause makes the formula trivially unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references an unallocated variable, or if called
+    /// after solving has begun (the solver is single-shot).
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        assert!(
+            self.trail_lim.is_empty(),
+            "clauses must be added before solving"
+        );
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        for l in &lits {
+            assert!(l.var().index() < self.num_vars(), "unallocated variable");
+        }
+        lits.sort();
+        lits.dedup();
+        // Tautology?
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                return;
+            }
+        }
+        // Remove root-level falsified literals; detect satisfied clauses.
+        lits.retain(|&l| self.value(l) != LBool::False);
+        if lits.iter().any(|&l| self.value(l) == LBool::True) {
+            return;
+        }
+        match lits.len() {
+            0 => self.unsat = true,
+            1 => {
+                if !self.enqueue(lits[0], None) {
+                    self.unsat = true;
+                } else if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                self.attach(lits, false);
+            }
+        }
+    }
+
+    fn attach(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        let cref = self.clauses.len();
+        self.watches[(!lits[0]).index()].push(cref);
+        self.watches[(!lits[1]).index()].push(cref);
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+        });
+        cref
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) -> bool {
+        match self.value(l) {
+            LBool::True => true,
+            LBool::False => false,
+            LBool::Undef => {
+                let v = l.var().index();
+                self.assign[v] = LBool::from_bool(l.is_positive());
+                self.level[v] = self.decision_level();
+                self.reason[v] = reason;
+                self.phase[v] = l.is_positive();
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Propagates all enqueued facts; returns a conflicting clause on conflict.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.prop_head < self.trail.len() {
+            let p = self.trail[self.prop_head];
+            self.prop_head += 1;
+            self.stats.propagations += 1;
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let cref = ws[i];
+                // The false literal must be at position 1.
+                let (l0, l1) = {
+                    let c = &mut self.clauses[cref];
+                    if c.lits[0] == !p {
+                        c.lits.swap(0, 1);
+                    }
+                    (c.lits[0], c.lits[1])
+                };
+                debug_assert_eq!(l1, !p);
+                if self.value(l0) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                // Find a new literal to watch.
+                let mut moved = false;
+                let n = self.clauses[cref].lits.len();
+                for k in 2..n {
+                    let lk = self.clauses[cref].lits[k];
+                    if self.value(lk) != LBool::False {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[(!lk).index()].push(cref);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if !self.enqueue(l0, Some(cref)) {
+                    self.watches[p.index()] = ws;
+                    self.prop_head = self.trail.len();
+                    return Some(cref);
+                }
+                i += 1;
+            }
+            self.watches[p.index()] = ws;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE {
+            for a in &mut self.activity {
+                *a /= RESCALE;
+            }
+            self.var_inc /= RESCALE;
+        }
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        self.clauses[cref].activity += self.cla_inc;
+        if self.clauses[cref].activity > RESCALE {
+            for c in &mut self.clauses {
+                c.activity /= RESCALE;
+            }
+            self.cla_inc /= RESCALE;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::new(Var(0), true)]; // placeholder for UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut cref = conflict;
+        let mut idx = self.trail.len();
+        let current = self.decision_level();
+
+        loop {
+            self.bump_clause(cref);
+            let lits: Vec<Lit> = self.clauses[cref].lits.clone();
+            let skip_first = p.is_some();
+            for (k, &q) in lits.iter().enumerate() {
+                if skip_first && k == 0 {
+                    continue;
+                }
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] == current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find next literal on the trail to resolve on.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[idx];
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(lit);
+                break;
+            }
+            cref = self.reason[lit.var().index()].expect("non-decision must have a reason");
+            p = Some(lit);
+        }
+        learnt[0] = !p.expect("UIP exists");
+
+        // Compute backtrack level (second-highest level in the clause).
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        (learnt, bt)
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().expect("level > 0");
+            for &l in &self.trail[lim..] {
+                let v = l.var().index();
+                self.assign[v] = LBool::Undef;
+                self.reason[v] = None;
+            }
+            self.trail.truncate(lim);
+        }
+        self.prop_head = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        let mut best: Option<Var> = None;
+        let mut best_act = -1.0;
+        for &v in &self.order {
+            if self.assign[v.index()] == LBool::Undef && self.activity[v.index()] > best_act {
+                best = Some(v);
+                best_act = self.activity[v.index()];
+            }
+        }
+        best.map(|v| Lit::new(v, self.phase[v.index()]))
+    }
+
+    fn reduce_db(&mut self) {
+        // Delete the lower-activity half of removable learnt clauses by
+        // rebuilding the clause store (keeps refs dense and watches exact).
+        let mut acts: Vec<f64> = self
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && c.lits.len() > 2)
+            .map(|c| c.activity)
+            .collect();
+        if acts.len() < 2 {
+            return;
+        }
+        acts.sort_by(|a, b| a.partial_cmp(b).expect("activities are finite"));
+        let median = acts[acts.len() / 2];
+
+        let locked: Vec<Option<ClauseRef>> = self.reason.clone();
+        let is_locked = |cref: ClauseRef, c: &Clause, solver_assign: &[LBool]| -> bool {
+            let l0 = c.lits[0];
+            solver_assign[l0.var().index()] != LBool::Undef
+                && locked[l0.var().index()] == Some(cref)
+        };
+
+        let old = std::mem::take(&mut self.clauses);
+        let mut remap: Vec<Option<ClauseRef>> = vec![None; old.len()];
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (old_ref, c) in old.into_iter().enumerate() {
+            let keep = !c.learnt
+                || c.lits.len() <= 2
+                || c.activity >= median
+                || is_locked(old_ref, &c, &self.assign);
+            if keep {
+                let new_ref = self.clauses.len();
+                remap[old_ref] = Some(new_ref);
+                self.watches[(!c.lits[0]).index()].push(new_ref);
+                self.watches[(!c.lits[1]).index()].push(new_ref);
+                self.clauses.push(c);
+            } else {
+                self.stats.deleted += 1;
+            }
+        }
+        for r in &mut self.reason {
+            *r = r.and_then(|old_ref| remap[old_ref]);
+        }
+    }
+
+    /// Runs the CDCL loop to completion.
+    ///
+    /// The solver is single-shot: call [`Solver::solve`] once per instance.
+    pub fn solve(&mut self) -> SolveResult {
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            return SolveResult::Unsat;
+        }
+        let mut conflicts_until_restart = luby(self.stats.restarts) * 100;
+        let mut learnt_limit = (self.clauses.len() / 3).max(2000);
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    return SolveResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(conflict);
+                self.backtrack(bt);
+                if learnt.len() == 1 {
+                    let ok = self.enqueue(learnt[0], None);
+                    debug_assert!(ok, "asserting literal must be enqueueable");
+                } else {
+                    let cref = self.attach(learnt.clone(), true);
+                    self.bump_clause(cref);
+                    let ok = self.enqueue(learnt[0], Some(cref));
+                    debug_assert!(ok, "asserting literal must be enqueueable");
+                }
+                self.var_inc /= VAR_DECAY;
+                self.cla_inc /= CLA_DECAY;
+                if conflicts_until_restart > 0 {
+                    conflicts_until_restart -= 1;
+                }
+            } else {
+                if conflicts_until_restart == 0 {
+                    self.stats.restarts += 1;
+                    conflicts_until_restart = luby(self.stats.restarts) * 100;
+                    self.backtrack(0);
+                }
+                let learnt_count = self.clauses.iter().filter(|c| c.learnt).count();
+                if learnt_count > learnt_limit {
+                    self.reduce_db();
+                    learnt_limit += learnt_limit / 10;
+                }
+                match self.pick_branch() {
+                    None => {
+                        let model = self
+                            .assign
+                            .iter()
+                            .map(|&a| a == LBool::True)
+                            .collect();
+                        return SolveResult::Sat(model);
+                    }
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(l, None);
+                        debug_assert!(ok, "decision variable was unassigned");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …).
+fn luby(i: u64) -> u64 {
+    let i = i + 1;
+    let mut k = 1u32;
+    while (1u64 << k) < i + 1 {
+        k += 1;
+    }
+    if (1u64 << k) == i + 1 {
+        return 1 << (k - 1);
+    }
+    luby(i - (1 << (k - 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(solver: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| solver.new_var()).collect()
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        assert!(Solver::new().solve().is_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        s.add_clause([]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0].positive()]);
+        s.add_clause([v[0].negative(), v[1].positive()]);
+        s.add_clause([v[1].negative(), v[2].negative()]);
+        let m = s.solve().model().unwrap().to_vec();
+        assert!(m[0] && m[1] && !m[2]);
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([v.positive()]);
+        s.add_clause([v.negative()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_are_dropped() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([v.positive(), v.negative()]);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn simple_3sat_instance() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause([v[0].positive(), v[1].positive(), v[2].negative()]);
+        s.add_clause([v[0].negative(), v[2].positive(), v[3].positive()]);
+        s.add_clause([v[1].negative(), v[2].positive()]);
+        s.add_clause([v[3].negative(), v[0].positive()]);
+        let m = s.solve().model().unwrap().to_vec();
+        // Verify the model satisfies every clause.
+        let val = |l: Lit| m[l.var().index()] == l.is_positive();
+        assert!(val(v[0].positive()) || val(v[1].positive()) || val(v[2].negative()));
+        assert!(val(v[0].negative()) || val(v[2].positive()) || val(v[3].positive()));
+        assert!(val(v[1].negative()) || val(v[2].positive()));
+        assert!(val(v[3].negative()) || val(v[0].positive()));
+    }
+
+    /// Pigeonhole principle: n+1 pigeons cannot fit n holes.
+    fn pigeonhole(pigeons: usize, holes: usize) -> SolveResult {
+        let mut s = Solver::new();
+        let mut at = vec![vec![Var(0); holes]; pigeons];
+        for p in at.iter_mut() {
+            for h in p.iter_mut() {
+                *h = s.new_var();
+            }
+        }
+        for p in 0..pigeons {
+            s.add_clause((0..holes).map(|h| at[p][h].positive()));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause([at[p1][h].negative(), at[p2][h].negative()]);
+                }
+            }
+        }
+        s.solve()
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        assert_eq!(pigeonhole(5, 4), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_sat_when_enough_holes() {
+        assert!(pigeonhole(4, 4).is_sat());
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<u64> = (0..9).map(luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1]);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let s = &mut Solver::new();
+        let v = lits(s, 6);
+        for i in 0..5 {
+            s.add_clause([v[i].positive(), v[i + 1].negative()]);
+        }
+        s.add_clause([v[0].negative(), v[5].positive()]);
+        assert!(s.solve().is_sat());
+        assert!(s.stats().propagations > 0 || s.stats().decisions > 0);
+    }
+
+    /// Exhaustive check against brute force on all 3-CNF formulas over a
+    /// small fixed set of clause shapes.
+    #[test]
+    fn agrees_with_brute_force_on_small_formulas() {
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..300 {
+            let nv = 4 + (next() % 5) as usize; // 4..8 vars
+            let nc = 5 + (next() % 25) as usize;
+            let mut clauses = Vec::new();
+            for _ in 0..nc {
+                let len = 1 + (next() % 3) as usize;
+                let mut cl = Vec::new();
+                for _ in 0..len {
+                    let v = (next() % nv as u64) as u32;
+                    cl.push(Lit::new(Var(v), next() % 2 == 0));
+                }
+                clauses.push(cl);
+            }
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for m in 0..(1u32 << nv) {
+                for cl in &clauses {
+                    if !cl
+                        .iter()
+                        .any(|l| ((m >> l.var().0) & 1 == 1) == l.is_positive())
+                    {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // CDCL.
+            let mut s = Solver::new();
+            for _ in 0..nv {
+                s.new_var();
+            }
+            for cl in &clauses {
+                s.add_clause(cl.iter().copied());
+            }
+            let res = s.solve();
+            assert_eq!(res.is_sat(), brute_sat, "disagreement on {clauses:?}");
+            if let SolveResult::Sat(m) = res {
+                for cl in &clauses {
+                    assert!(
+                        cl.iter().any(|l| m[l.var().index()] == l.is_positive()),
+                        "model does not satisfy {cl:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! A compact growable bitset used for local views over atoms.
+
+/// A dynamically sized bitset.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates a bitset of `len` zero bits.
+    pub fn new(len: usize) -> BitSet {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a bitset of `len` one bits.
+    pub fn all(len: usize) -> BitSet {
+        let mut s = BitSet {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        s.clear_tail();
+        s
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bits are addressable.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i` (bits beyond the current length read as 0 until grown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn unset(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Tests bit `i`; indices past the end read as `false`.
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over set bit indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_contains() {
+        let mut s = BitSet::new(130);
+        s.set(0);
+        s.set(64);
+        s.set(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(63));
+        assert!(!s.contains(1000)); // out of range reads false
+        assert_eq!(s.count(), 3);
+        s.unset(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn all_has_every_bit() {
+        let s = BitSet::all(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+    }
+
+    #[test]
+    fn iter_yields_sorted_indices() {
+        let mut s = BitSet::new(200);
+        for i in [3usize, 64, 65, 199] {
+            s.set(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64, 65, 199]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        BitSet::new(4).set(4);
+    }
+}

@@ -1,0 +1,433 @@
+//! Database containment via value correspondences (§4.1).
+//!
+//! A [`ValueCorrespondence`] `(R, R', f, f', θ, α)` explains how to recover
+//! field `f` of any record of table `R` from field `f'` of the set of
+//! records `θ(r)` of table `R'`, folding multiple values with the aggregator
+//! `α`. A table `X` is contained in a set of tables `X̄` under a set of
+//! correspondences `V` if every field of `X` is explained by some member of
+//! `V`. Program refinement (soundness of refactoring) requires the original
+//! program's final state to be contained in the refactored program's final
+//! state after any serial execution.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use atropos_dsl::{Schema, Value};
+
+use crate::event::RecordId;
+
+/// Fold functions `α` on multisets of values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregator {
+    /// A nondeterministically chosen element (the refactoring keeps all
+    /// copies equal, so containment checks membership).
+    Any,
+    /// Integer sum.
+    Sum,
+    /// Integer minimum.
+    Min,
+    /// Integer maximum.
+    Max,
+}
+
+impl Aggregator {
+    /// Folds a set of values; `None` when the set is empty and the
+    /// aggregator has no identity (`Any`, `Min`, `Max`).
+    pub fn fold(self, values: &[Value]) -> Option<Value> {
+        match self {
+            Aggregator::Any => values.first().cloned(),
+            Aggregator::Sum => Some(Value::Int(
+                values.iter().filter_map(Value::as_int).sum::<i64>(),
+            )),
+            Aggregator::Min => values
+                .iter()
+                .filter_map(Value::as_int)
+                .min()
+                .map(Value::Int),
+            Aggregator::Max => values
+                .iter()
+                .filter_map(Value::as_int)
+                .max()
+                .map(Value::Int),
+        }
+    }
+
+    /// Whether the folded value matches `expected`, honouring `Any`'s
+    /// nondeterminism (membership instead of equality).
+    pub fn matches(self, values: &[Value], expected: &Value) -> bool {
+        match self {
+            Aggregator::Any => values.contains(expected),
+            _ => self.fold(values).as_ref() == Some(expected),
+        }
+    }
+}
+
+/// The lifted record correspondence `⌈θ̂⌉` of §4.2.1: maps each primary-key
+/// field of the source schema to the field of the target schema holding the
+/// same value, so `θ(r) = { r' | ∀k. r'.θ̂(k) = r.k }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThetaMap {
+    /// Pairs `(source key field, target field)` in source-key order.
+    pub key_map: Vec<(String, String)>,
+}
+
+impl ThetaMap {
+    /// Builds a map from `(src key field, dst field)` pairs.
+    pub fn new(pairs: Vec<(String, String)>) -> ThetaMap {
+        ThetaMap { key_map: pairs }
+    }
+
+    /// The identity correspondence on a schema's primary key.
+    pub fn identity(schema: &Schema) -> ThetaMap {
+        ThetaMap {
+            key_map: schema
+                .primary_key()
+                .iter()
+                .map(|k| ((*k).to_owned(), (*k).to_owned()))
+                .collect(),
+        }
+    }
+
+    /// The target field corresponding to a source key field.
+    pub fn target_of(&self, src_key_field: &str) -> Option<&str> {
+        self.key_map
+            .iter()
+            .find(|(s, _)| s == src_key_field)
+            .map(|(_, d)| d.as_str())
+    }
+}
+
+/// A value correspondence `(R, R', f, f', θ, α)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueCorrespondence {
+    /// Source (original) schema name `R`.
+    pub src_schema: String,
+    /// Target (refactored) schema name `R'`.
+    pub dst_schema: String,
+    /// Source field `f`.
+    pub src_field: String,
+    /// Target field `f'`.
+    pub dst_field: String,
+    /// Record correspondence `⌈θ̂⌉`.
+    pub theta: ThetaMap,
+    /// Fold function `α`.
+    pub alpha: Aggregator,
+}
+
+impl fmt::Display for ValueCorrespondence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {}, {}, {}, θ̂{:?}, {:?})",
+            self.src_schema, self.dst_schema, self.src_field, self.dst_field,
+            self.theta.key_map, self.alpha
+        )
+    }
+}
+
+/// A materialized table: record id → field → value.
+pub type TableInstance = BTreeMap<RecordId, BTreeMap<String, Value>>;
+
+/// A containment-check failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContainmentError {
+    /// No correspondence explains a source field.
+    UnexplainedField {
+        /// Schema name.
+        schema: String,
+        /// Field name.
+        field: String,
+    },
+    /// A source record has an empty image `θ(r)` in the target.
+    MissingImage {
+        /// The source record.
+        record: RecordId,
+        /// Target schema searched.
+        dst_schema: String,
+    },
+    /// The folded target values do not reproduce the source value.
+    ValueMismatch {
+        /// The source record.
+        record: RecordId,
+        /// Source field.
+        field: String,
+        /// Expected (source) value.
+        expected: Value,
+        /// Values found at the image records.
+        found: Vec<Value>,
+    },
+}
+
+impl fmt::Display for ContainmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContainmentError::UnexplainedField { schema, field } => {
+                write!(f, "no value correspondence explains {schema}.{field}")
+            }
+            ContainmentError::MissingImage { record, dst_schema } => {
+                write!(f, "record {record} has no image in {dst_schema}")
+            }
+            ContainmentError::ValueMismatch {
+                record,
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{record}.{field}: expected {expected}, image values {found:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ContainmentError {}
+
+/// Computes `θ(r)`: the target records whose `θ̂`-mapped fields equal the
+/// source record's key values.
+pub fn theta_image<'t>(
+    vc: &ValueCorrespondence,
+    src_schema: &Schema,
+    src_record: &RecordId,
+    dst_table: &'t TableInstance,
+) -> Vec<&'t RecordId> {
+    let keys = src_schema.primary_key();
+    dst_table
+        .iter()
+        .filter(|(_, row)| {
+            keys.iter().zip(&src_record.key).all(|(k, kv)| {
+                vc.theta
+                    .target_of(k)
+                    .and_then(|dst_f| row.get(dst_f))
+                    .map_or(false, |v| v == kv)
+            })
+        })
+        .map(|(r, _)| r)
+        .collect()
+}
+
+/// Checks `X ⊑_V X̄` for one source table: every field of every record must
+/// be recoverable through some correspondence in `vcs`.
+///
+/// # Errors
+///
+/// Returns the first [`ContainmentError`] found.
+pub fn check_table_containment(
+    src_schema: &Schema,
+    src_table: &TableInstance,
+    vcs: &[ValueCorrespondence],
+    dst_tables: &BTreeMap<String, TableInstance>,
+) -> Result<(), ContainmentError> {
+    for field in src_schema.value_fields() {
+        let vc = vcs
+            .iter()
+            .find(|v| v.src_schema == src_schema.name && v.src_field == field)
+            .ok_or_else(|| ContainmentError::UnexplainedField {
+                schema: src_schema.name.clone(),
+                field: field.to_owned(),
+            })?;
+        let empty = TableInstance::new();
+        let dst_table = dst_tables.get(&vc.dst_schema).unwrap_or(&empty);
+        for (r, row) in src_table {
+            let image = theta_image(vc, src_schema, r, dst_table);
+            if image.is_empty() {
+                return Err(ContainmentError::MissingImage {
+                    record: r.clone(),
+                    dst_schema: vc.dst_schema.clone(),
+                });
+            }
+            let found: Vec<Value> = image
+                .iter()
+                .filter_map(|ri| dst_table[*ri].get(&vc.dst_field).cloned())
+                .collect();
+            let expected = row
+                .get(field)
+                .cloned()
+                .expect("materialized rows carry every field");
+            if !vc.alpha.matches(&found, &expected) {
+                return Err(ContainmentError::ValueMismatch {
+                    record: r.clone(),
+                    field: field.to_owned(),
+                    expected,
+                    found,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atropos_dsl::{FieldDecl, Ty};
+
+    fn rid(schema: &str, k: i64) -> RecordId {
+        RecordId::new(schema, vec![Value::Int(k)])
+    }
+
+    /// Reconstructs the COURSE table of Fig. 7 from STUDENT and the log.
+    #[test]
+    fn figure7_value_correspondences_hold() {
+        let course = Schema::new(
+            "COURSE",
+            vec![
+                FieldDecl::key("co_id", Ty::Int),
+                FieldDecl::new("co_avail", Ty::Bool),
+                FieldDecl::new("co_st_cnt", Ty::Int),
+            ],
+        );
+        // Original COURSE table.
+        let mut course_tab = TableInstance::new();
+        course_tab.insert(
+            rid("COURSE", 1),
+            BTreeMap::from([
+                ("co_id".into(), Value::Int(1)),
+                ("co_avail".into(), Value::Bool(true)),
+                ("co_st_cnt".into(), Value::Int(2)),
+            ]),
+        );
+        course_tab.insert(
+            rid("COURSE", 2),
+            BTreeMap::from([
+                ("co_id".into(), Value::Int(2)),
+                ("co_avail".into(), Value::Bool(true)),
+                ("co_st_cnt".into(), Value::Int(1)),
+            ]),
+        );
+        // Refactored STUDENT table.
+        let mut student_tab = TableInstance::new();
+        for (sid, co) in [(100, 1), (200, 1), (300, 2)] {
+            student_tab.insert(
+                rid("STUDENT", sid),
+                BTreeMap::from([
+                    ("st_co_id".into(), Value::Int(co)),
+                    ("st_co_avail".into(), Value::Bool(true)),
+                ]),
+            );
+        }
+        // Log table.
+        let mut log_tab = TableInstance::new();
+        for (i, (co, n)) in [(1, 1), (1, 1), (2, 1)].iter().enumerate() {
+            log_tab.insert(
+                RecordId::new("LOG", vec![Value::Int(*co), Value::Int(i as i64)]),
+                BTreeMap::from([
+                    ("co_id".into(), Value::Int(*co)),
+                    ("co_cnt_log".into(), Value::Int(*n)),
+                ]),
+            );
+        }
+        let vcs = vec![
+            ValueCorrespondence {
+                src_schema: "COURSE".into(),
+                dst_schema: "STUDENT".into(),
+                src_field: "co_avail".into(),
+                dst_field: "st_co_avail".into(),
+                theta: ThetaMap::new(vec![("co_id".into(), "st_co_id".into())]),
+                alpha: Aggregator::Any,
+            },
+            ValueCorrespondence {
+                src_schema: "COURSE".into(),
+                dst_schema: "LOG".into(),
+                src_field: "co_st_cnt".into(),
+                dst_field: "co_cnt_log".into(),
+                theta: ThetaMap::new(vec![("co_id".into(), "co_id".into())]),
+                alpha: Aggregator::Sum,
+            },
+        ];
+        let dst = BTreeMap::from([
+            ("STUDENT".to_owned(), student_tab),
+            ("LOG".to_owned(), log_tab),
+        ]);
+        check_table_containment(&course, &course_tab, &vcs, &dst).unwrap();
+    }
+
+    #[test]
+    fn missing_image_is_detected() {
+        let src = Schema::new(
+            "A",
+            vec![FieldDecl::key("id", Ty::Int), FieldDecl::new("v", Ty::Int)],
+        );
+        let mut src_tab = TableInstance::new();
+        src_tab.insert(
+            rid("A", 1),
+            BTreeMap::from([("id".into(), Value::Int(1)), ("v".into(), Value::Int(5))]),
+        );
+        let vcs = vec![ValueCorrespondence {
+            src_schema: "A".into(),
+            dst_schema: "B".into(),
+            src_field: "v".into(),
+            dst_field: "w".into(),
+            theta: ThetaMap::new(vec![("id".into(), "b_id".into())]),
+            alpha: Aggregator::Any,
+        }];
+        let err =
+            check_table_containment(&src, &src_tab, &vcs, &BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, ContainmentError::MissingImage { .. }));
+    }
+
+    #[test]
+    fn value_mismatch_is_detected() {
+        let src = Schema::new(
+            "A",
+            vec![FieldDecl::key("id", Ty::Int), FieldDecl::new("v", Ty::Int)],
+        );
+        let mut src_tab = TableInstance::new();
+        src_tab.insert(
+            rid("A", 1),
+            BTreeMap::from([("id".into(), Value::Int(1)), ("v".into(), Value::Int(5))]),
+        );
+        let mut dst_tab = TableInstance::new();
+        dst_tab.insert(
+            rid("B", 9),
+            BTreeMap::from([("b_id".into(), Value::Int(1)), ("w".into(), Value::Int(6))]),
+        );
+        let vcs = vec![ValueCorrespondence {
+            src_schema: "A".into(),
+            dst_schema: "B".into(),
+            src_field: "v".into(),
+            dst_field: "w".into(),
+            theta: ThetaMap::new(vec![("id".into(), "b_id".into())]),
+            alpha: Aggregator::Any,
+        }];
+        let dst = BTreeMap::from([("B".to_owned(), dst_tab)]);
+        let err = check_table_containment(&src, &src_tab, &vcs, &dst).unwrap_err();
+        assert!(matches!(err, ContainmentError::ValueMismatch { .. }));
+    }
+
+    #[test]
+    fn unexplained_field_is_detected() {
+        let src = Schema::new(
+            "A",
+            vec![FieldDecl::key("id", Ty::Int), FieldDecl::new("v", Ty::Int)],
+        );
+        let mut src_tab = TableInstance::new();
+        src_tab.insert(rid("A", 1), BTreeMap::from([("v".into(), Value::Int(5))]));
+        let err =
+            check_table_containment(&src, &src_tab, &[], &BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, ContainmentError::UnexplainedField { .. }));
+    }
+
+    #[test]
+    fn aggregator_folds() {
+        let vals = vec![Value::Int(3), Value::Int(4)];
+        assert_eq!(Aggregator::Sum.fold(&vals), Some(Value::Int(7)));
+        assert_eq!(Aggregator::Min.fold(&vals), Some(Value::Int(3)));
+        assert_eq!(Aggregator::Max.fold(&vals), Some(Value::Int(4)));
+        assert_eq!(Aggregator::Sum.fold(&[]), Some(Value::Int(0)));
+        assert_eq!(Aggregator::Any.fold(&[]), None);
+        assert!(Aggregator::Any.matches(&vals, &Value::Int(4)));
+        assert!(!Aggregator::Any.matches(&vals, &Value::Int(5)));
+    }
+
+    #[test]
+    fn identity_theta_maps_keys_to_themselves() {
+        let s = Schema::new(
+            "T",
+            vec![FieldDecl::key("a", Ty::Int), FieldDecl::key("b", Ty::Int)],
+        );
+        let t = ThetaMap::identity(&s);
+        assert_eq!(t.target_of("a"), Some("a"));
+        assert_eq!(t.target_of("b"), Some("b"));
+        assert_eq!(t.target_of("c"), None);
+    }
+}

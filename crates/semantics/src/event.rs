@@ -1,0 +1,157 @@
+//! Database events: the atoms of the store semantics (§3.1).
+//!
+//! Retrieving a record generates *read* events `rd(τ, r, f)`; an update
+//! generates *write* events `wr(τ, r, f, n)`. Every event also carries the
+//! transaction instance and the command label that produced it, which the
+//! history checker uses to reconstruct the `st` (same-transaction) relation
+//! and to attribute anomalies to command pairs.
+
+use std::fmt;
+
+use atropos_dsl::{CmdLabel, Value};
+
+/// Global timestamp (the execution counter `cnt`).
+pub type Timestamp = u64;
+
+/// Index of an event in a [`Store`](crate::store::Store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub u32);
+
+impl EventId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a running (or finished) transaction instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnInstanceId(pub u32);
+
+/// A record is identified by its schema and primary-key values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    /// Owning schema (table) name.
+    pub schema: String,
+    /// Primary-key values in key-field declaration order.
+    pub key: Vec<Value>,
+}
+
+impl RecordId {
+    /// Builds a record id.
+    pub fn new(schema: impl Into<String>, key: Vec<Value>) -> RecordId {
+        RecordId {
+            schema: schema.into(),
+            key,
+        }
+    }
+}
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.schema)?;
+        for (i, v) in self.key.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Read or write payload of an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A read `rd(τ, r, f)`.
+    Read,
+    /// A write `wr(τ, r, f, n)` of the given value.
+    Write(Value),
+}
+
+impl EventKind {
+    /// True for write events.
+    pub fn is_write(&self) -> bool {
+        matches!(self, EventKind::Write(_))
+    }
+
+    /// The written value, if a write.
+    pub fn written(&self) -> Option<&Value> {
+        match self {
+            EventKind::Write(v) => Some(v),
+            EventKind::Read => None,
+        }
+    }
+}
+
+/// A database event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Timestamp (`cnt` at creation); all events of one command share it.
+    pub ts: Timestamp,
+    /// Transaction instance that produced the event.
+    pub txn: TxnInstanceId,
+    /// Label of the producing database command.
+    pub cmd: CmdLabel,
+    /// Accessed record.
+    pub record: RecordId,
+    /// Accessed field (may be the implicit `alive`).
+    pub field: String,
+    /// Read or write.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// True if this event and `other` were produced by the same transaction
+    /// instance (the `st` relation of §3.2).
+    pub fn same_txn(&self, other: &Event) -> bool {
+        self.txn == other.txn
+    }
+
+    /// True if both events access the same record and field.
+    pub fn same_location(&self, other: &Event) -> bool {
+        self.record == other.record && self.field == other.field
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: Timestamp, txn: u32) -> Event {
+        Event {
+            ts,
+            txn: TxnInstanceId(txn),
+            cmd: "S1".into(),
+            record: RecordId::new("T", vec![Value::Int(1)]),
+            field: "v".into(),
+            kind: EventKind::Read,
+        }
+    }
+
+    #[test]
+    fn record_display() {
+        let r = RecordId::new("T", vec![Value::Int(1), Value::Bool(true)]);
+        assert_eq!(r.to_string(), "T[1,true]");
+    }
+
+    #[test]
+    fn same_txn_and_location() {
+        let a = ev(0, 1);
+        let b = ev(1, 1);
+        let c = ev(2, 2);
+        assert!(a.same_txn(&b));
+        assert!(!a.same_txn(&c));
+        assert!(a.same_location(&b));
+    }
+
+    #[test]
+    fn event_kind_written() {
+        assert!(EventKind::Write(Value::Int(1)).is_write());
+        assert_eq!(
+            EventKind::Write(Value::Int(1)).written(),
+            Some(&Value::Int(1))
+        );
+        assert_eq!(EventKind::Read.written(), None);
+    }
+}

@@ -1,0 +1,925 @@
+//! Small-step interpreter for database programs under weak isolation
+//! (the operational semantics of Fig. 6).
+//!
+//! Each database command constructs a *local view* of the store according to
+//! a [`ViewStrategy`], reads record state through that view, and appends its
+//! read/write events. Control commands are free steps: they never touch the
+//! store, so executing them eagerly preserves the set of observable
+//! histories.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use atropos_dsl::{
+    AggOp, BinOp, BoolOp, Expr, Program, SelectCmd, Stmt, Transaction, Ty, Value, Where,
+    ALIVE_FIELD,
+};
+
+use crate::event::{RecordId, Timestamp, TxnInstanceId};
+use crate::store::{Store, View};
+
+/// How a command's local view of the store is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ViewStrategy {
+    /// Every command sees the entire store — serial behaviour.
+    Serial,
+    /// Eventually-consistent chaos: each atom of another transaction is
+    /// visible with probability `p`; a transaction always sees its own
+    /// previous effects (session guarantee).
+    RandomAtoms {
+        /// Probability that a foreign atom is included in a view.
+        p: f64,
+    },
+    /// Each transaction takes a snapshot at invocation time and additionally
+    /// sees its own effects (repeatable-read flavour).
+    Snapshot,
+}
+
+/// The default value a field of type `ty` reads as before any write.
+pub fn default_value(ty: Ty) -> Value {
+    match ty {
+        Ty::Int => Value::Int(0),
+        Ty::Bool => Value::Bool(false),
+        Ty::Str => Value::Str(String::new()),
+        Ty::Uuid => Value::Uuid(0),
+    }
+}
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Invoked transaction does not exist.
+    UnknownTransaction(String),
+    /// Wrong number of arguments in an invocation.
+    ArityMismatch {
+        /// Transaction name.
+        txn: String,
+        /// Expected parameter count.
+        expected: usize,
+        /// Provided argument count.
+        got: usize,
+    },
+    /// Runtime evaluation failure (division by zero, bad index, …).
+    Eval(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnknownTransaction(t) => write!(f, "unknown transaction `{t}`"),
+            ExecError::ArityMismatch { txn, expected, got } => {
+                write!(f, "transaction `{txn}` expects {expected} arguments, got {got}")
+            }
+            ExecError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A transaction invocation: name plus actual arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// Transaction name.
+    pub txn: String,
+    /// Argument values, in parameter order.
+    pub args: Vec<Value>,
+}
+
+impl Invocation {
+    /// Builds an invocation.
+    pub fn new(txn: impl Into<String>, args: Vec<Value>) -> Invocation {
+        Invocation {
+            txn: txn.into(),
+            args,
+        }
+    }
+}
+
+/// One row of a query result: the record plus its projected field values.
+pub type ResultRow = (RecordId, BTreeMap<String, Value>);
+
+#[derive(Debug)]
+struct Frame {
+    stmts: Vec<Stmt>,
+    idx: usize,
+    /// `Some((current, total))` when this frame is an `iterate` body.
+    loop_state: Option<(i64, i64)>,
+}
+
+#[derive(Debug)]
+struct TxnState {
+    id: TxnInstanceId,
+    args: HashMap<String, Value>,
+    stack: Vec<Frame>,
+    locals: HashMap<String, Vec<ResultRow>>,
+    ret_expr: Expr,
+    start_cnt: Timestamp,
+    finished: Option<Value>,
+}
+
+/// The interpreter: owns the store and the set of running instances.
+///
+/// # Examples
+///
+/// ```
+/// use atropos_dsl::{parse, Value};
+/// use atropos_semantics::{Interpreter, Invocation, ViewStrategy};
+///
+/// let p = parse(
+///     "schema T { id: int key, v: int }
+///      txn bump(k: int) {
+///          x := select v from T where id = k;
+///          update T set v = x.v + 1 where id = k;
+///          return x.v;
+///      }",
+/// ).unwrap();
+/// let mut interp = Interpreter::new(&p, ViewStrategy::Serial, 0);
+/// interp.populate("T", vec![Value::Int(1)], [("v", Value::Int(10))]);
+/// let id = interp.invoke(&Invocation::new("bump", vec![Value::Int(1)])).unwrap();
+/// interp.run_to_completion(id).unwrap();
+/// assert_eq!(interp.return_value(id), Some(&Value::Int(10)));
+/// ```
+#[derive(Debug)]
+pub struct Interpreter<'a> {
+    program: &'a Program,
+    /// The evolving database state.
+    pub store: Store,
+    instances: Vec<TxnState>,
+    rng: StdRng,
+    strategy: ViewStrategy,
+    uuid_next: u128,
+}
+
+impl<'a> Interpreter<'a> {
+    /// Creates an interpreter over a checked program.
+    pub fn new(program: &'a Program, strategy: ViewStrategy, seed: u64) -> Interpreter<'a> {
+        Interpreter {
+            program,
+            store: Store::new(),
+            instances: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            strategy,
+            uuid_next: 1,
+        }
+    }
+
+    /// Switches the view strategy mid-run (e.g. serial population, then
+    /// eventually consistent chaos, then serial settlement reads).
+    pub fn set_strategy(&mut self, strategy: ViewStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// Pre-populates one record (fields default where unspecified).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schema is unknown.
+    pub fn populate<S: Into<String>>(
+        &mut self,
+        schema: &str,
+        key: Vec<Value>,
+        fields: impl IntoIterator<Item = (S, Value)>,
+    ) {
+        let decl = self
+            .program
+            .schema(schema)
+            .unwrap_or_else(|| panic!("unknown schema `{schema}`"));
+        let mut map: HashMap<String, Value> = decl
+            .fields
+            .iter()
+            .map(|f| (f.name.clone(), default_value(f.ty)))
+            .collect();
+        for (f, v) in fields {
+            map.insert(f.into(), v);
+        }
+        // Key fields mirror the record id so where-clauses on keys work.
+        for (kf, kv) in decl.primary_key().iter().zip(&key) {
+            map.insert((*kf).to_owned(), kv.clone());
+        }
+        self.store
+            .insert_initial(RecordId::new(schema, key), map);
+    }
+
+    /// Starts a transaction instance ((txn-invoke)).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the transaction is unknown or the arity is wrong.
+    pub fn invoke(&mut self, inv: &Invocation) -> Result<TxnInstanceId, ExecError> {
+        let t: &Transaction = self
+            .program
+            .transaction(&inv.txn)
+            .ok_or_else(|| ExecError::UnknownTransaction(inv.txn.clone()))?;
+        if t.params.len() != inv.args.len() {
+            return Err(ExecError::ArityMismatch {
+                txn: inv.txn.clone(),
+                expected: t.params.len(),
+                got: inv.args.len(),
+            });
+        }
+        let id = TxnInstanceId(self.instances.len() as u32);
+        self.instances.push(TxnState {
+            id,
+            args: t
+                .params
+                .iter()
+                .map(|p| p.name.clone())
+                .zip(inv.args.iter().cloned())
+                .collect(),
+            stack: vec![Frame {
+                stmts: t.body.clone(),
+                idx: 0,
+                loop_state: None,
+            }],
+            locals: HashMap::new(),
+            ret_expr: t.ret.clone(),
+            start_cnt: self.store.cnt(),
+            finished: None,
+        });
+        Ok(id)
+    }
+
+    /// True once the instance has evaluated its return expression.
+    pub fn is_finished(&self, id: TxnInstanceId) -> bool {
+        self.instances[id.0 as usize].finished.is_some()
+    }
+
+    /// The instance's return value, once finished.
+    pub fn return_value(&self, id: TxnInstanceId) -> Option<&Value> {
+        self.instances[id.0 as usize].finished.as_ref()
+    }
+
+    /// Return values of all finished instances, in instance order.
+    pub fn returns(&self) -> Vec<(TxnInstanceId, Value)> {
+        self.instances
+            .iter()
+            .filter_map(|t| t.finished.clone().map(|v| (t.id, v)))
+            .collect()
+    }
+
+    /// Executes instance `id` up to and including its next database command
+    /// ((txn-step)); finishing the body evaluates the return expression
+    /// ((txn-ret)). Returns `true` while the instance is still running.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime evaluation failures.
+    pub fn step(&mut self, id: TxnInstanceId) -> Result<bool, ExecError> {
+        loop {
+            let idx = id.0 as usize;
+            if self.instances[idx].finished.is_some() {
+                return Ok(false);
+            }
+            // Find next statement, unwinding completed frames.
+            let stmt = loop {
+                let st = &mut self.instances[idx];
+                let Some(frame) = st.stack.last_mut() else {
+                    // Body done: evaluate return expression.
+                    let ret = st.ret_expr.clone();
+                    let v = self.eval(idx, &ret)?;
+                    self.instances[idx].finished = Some(v);
+                    return Ok(false);
+                };
+                if frame.idx >= frame.stmts.len() {
+                    if let Some((cur, total)) = &mut frame.loop_state {
+                        *cur += 1;
+                        if *cur < *total {
+                            frame.idx = 0;
+                            continue;
+                        }
+                    }
+                    st.stack.pop();
+                    continue;
+                }
+                let s = frame.stmts[frame.idx].clone();
+                frame.idx += 1;
+                break s;
+            };
+            match stmt {
+                Stmt::If { cond, body } => {
+                    let c = self.eval(idx, &cond)?;
+                    if c == Value::Bool(true) {
+                        self.instances[idx].stack.push(Frame {
+                            stmts: body,
+                            idx: 0,
+                            loop_state: None,
+                        });
+                    }
+                }
+                Stmt::Iterate { count, body } => {
+                    let n = self
+                        .eval(idx, &count)?
+                        .as_int()
+                        .ok_or_else(|| ExecError::Eval("iterate count not an int".into()))?;
+                    if n > 0 {
+                        self.instances[idx].stack.push(Frame {
+                            stmts: body,
+                            idx: 0,
+                            loop_state: Some((0, n)),
+                        });
+                    }
+                }
+                Stmt::Select(c) => {
+                    self.exec_select(idx, &c)?;
+                    return Ok(true);
+                }
+                Stmt::Update(c) => {
+                    let view = self.make_view(idx);
+                    let matches = self.matching_records(&view, &c.schema, &c.where_, idx)?;
+                    let values: Vec<(String, Value)> = c
+                        .assigns
+                        .iter()
+                        .map(|(f, e)| Ok((f.clone(), self.eval(idx, e)?)))
+                        .collect::<Result<_, ExecError>>()?;
+                    let ts = self.store.start_command(view);
+                    let txn = self.instances[idx].id;
+                    for r in matches {
+                        for (f, v) in &values {
+                            self.store.add_write(ts, txn, &c.label, r.clone(), f, v.clone());
+                        }
+                    }
+                    return Ok(true);
+                }
+                Stmt::Insert(c) => {
+                    let schema = self
+                        .program
+                        .schema(&c.schema)
+                        .expect("checked program: schema exists");
+                    let mut evald: Vec<(String, Value)> = Vec::new();
+                    for (f, e) in &c.values {
+                        evald.push((f.clone(), self.eval(idx, e)?));
+                    }
+                    let key: Vec<Value> = schema
+                        .primary_key()
+                        .iter()
+                        .map(|kf| {
+                            evald
+                                .iter()
+                                .find(|(f, _)| f == kf)
+                                .map(|(_, v)| v.clone())
+                                .expect("checked program: insert covers keys")
+                        })
+                        .collect();
+                    let record = RecordId::new(c.schema.clone(), key);
+                    let view = self.make_view(idx);
+                    let ts = self.store.start_command(view);
+                    let txn = self.instances[idx].id;
+                    for (f, v) in evald {
+                        self.store.add_write(ts, txn, &c.label, record.clone(), f, v);
+                    }
+                    self.store.add_write(
+                        ts,
+                        txn,
+                        &c.label,
+                        record,
+                        ALIVE_FIELD,
+                        Value::Bool(true),
+                    );
+                    return Ok(true);
+                }
+                Stmt::Delete(c) => {
+                    let view = self.make_view(idx);
+                    let matches = self.matching_records(&view, &c.schema, &c.where_, idx)?;
+                    let ts = self.store.start_command(view);
+                    let txn = self.instances[idx].id;
+                    for r in matches {
+                        self.store
+                            .add_write(ts, txn, &c.label, r, ALIVE_FIELD, Value::Bool(false));
+                    }
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    /// Runs an instance until it finishes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime evaluation failures.
+    pub fn run_to_completion(&mut self, id: TxnInstanceId) -> Result<(), ExecError> {
+        while self.step(id)? {}
+        Ok(())
+    }
+
+    fn make_view(&mut self, idx: usize) -> View {
+        let me = self.instances[idx].id;
+        let start = self.instances[idx].start_cnt;
+        let store = &self.store;
+        let rng = &mut self.rng;
+        match self.strategy {
+            ViewStrategy::Serial => View::full(store),
+            ViewStrategy::RandomAtoms { p } => {
+                View::filtered(store, |a| a.txn == me || rng.gen_bool(p))
+            }
+            ViewStrategy::Snapshot => View::filtered(store, |a| a.txn == me || a.ts < start),
+        }
+    }
+
+    /// Live records of `schema` matching `where_` under `view`.
+    fn matching_records(
+        &mut self,
+        view: &View,
+        schema: &str,
+        where_: &Where,
+        idx: usize,
+    ) -> Result<Vec<RecordId>, ExecError> {
+        let decl = self
+            .program
+            .schema(schema)
+            .expect("checked program: schema exists");
+        let mut out = Vec::new();
+        let records: Vec<RecordId> = self.store.known_records(schema).cloned().collect();
+        for r in records {
+            if !self.store.alive_in_view(view, &r) {
+                continue;
+            }
+            if self.eval_where(view, &r, decl, where_, idx)? {
+                out.push(r);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn field_value(&self, view: &View, r: &RecordId, decl: &atropos_dsl::Schema, f: &str) -> Value {
+        self.store.value_in_view(view, r, f).unwrap_or_else(|| {
+            default_value(decl.field(f).map(|d| d.ty).unwrap_or(Ty::Int))
+        })
+    }
+
+    fn eval_where(
+        &mut self,
+        view: &View,
+        r: &RecordId,
+        decl: &atropos_dsl::Schema,
+        w: &Where,
+        idx: usize,
+    ) -> Result<bool, ExecError> {
+        match w {
+            Where::True => Ok(true),
+            Where::Cmp { field, op, expr } => {
+                let lhs = self.field_value(view, r, decl, field);
+                let rhs = self.eval(idx, expr)?;
+                Ok(op.eval(&lhs, &rhs))
+            }
+            Where::And(l, rr) => {
+                Ok(self.eval_where(view, r, decl, l, idx)? && self.eval_where(view, r, decl, rr, idx)?)
+            }
+            Where::Or(l, rr) => {
+                Ok(self.eval_where(view, r, decl, l, idx)? || self.eval_where(view, r, decl, rr, idx)?)
+            }
+        }
+    }
+
+    fn exec_select(&mut self, idx: usize, c: &SelectCmd) -> Result<(), ExecError> {
+        let view = self.make_view(idx);
+        let decl = self
+            .program
+            .schema(&c.schema)
+            .expect("checked program: schema exists");
+        let selected: Vec<String> = match &c.fields {
+            Some(fs) => fs.clone(),
+            None => decl.fields.iter().map(|f| f.name.clone()).collect(),
+        };
+        let matches = self.matching_records(&view, &c.schema, &c.where_, idx)?;
+        let mut rows: Vec<ResultRow> = Vec::new();
+        for r in &matches {
+            let mut row = BTreeMap::new();
+            for f in &selected {
+                row.insert(f.clone(), self.field_value(&view, r, decl, f));
+            }
+            rows.push((r.clone(), row));
+        }
+
+        // Emit events: ε1 scan reads over φ_fld (plus alive), ε2 projection
+        // reads of selected fields of matching records.
+        let scan_fields = c.where_.fields();
+        let domain: Vec<RecordId> = self.store.known_records(&c.schema).cloned().collect();
+        let ts = self.store.start_command(view);
+        let txn = self.instances[idx].id;
+        for r in &domain {
+            self.store.add_read(ts, txn, &c.label, r.clone(), ALIVE_FIELD);
+            for f in &scan_fields {
+                self.store.add_read(ts, txn, &c.label, r.clone(), f);
+            }
+        }
+        for (r, _) in &rows {
+            for f in &selected {
+                self.store.add_read(ts, txn, &c.label, r.clone(), f);
+            }
+        }
+        self.instances[idx].locals.insert(c.var.clone(), rows);
+        Ok(())
+    }
+
+    fn iter_value(&self, idx: usize) -> Option<i64> {
+        self.instances[idx]
+            .stack
+            .iter()
+            .rev()
+            .find_map(|f| f.loop_state.map(|(cur, _)| cur))
+    }
+
+    fn eval(&mut self, idx: usize, e: &Expr) -> Result<Value, ExecError> {
+        match e {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Arg(a) => self.instances[idx]
+                .args
+                .get(a)
+                .cloned()
+                .ok_or_else(|| ExecError::Eval(format!("unknown argument `{a}`"))),
+            Expr::Bin(op, l, r) => {
+                let l = self
+                    .eval(idx, l)?
+                    .as_int()
+                    .ok_or_else(|| ExecError::Eval("arith on non-int".into()))?;
+                let r = self
+                    .eval(idx, r)?
+                    .as_int()
+                    .ok_or_else(|| ExecError::Eval("arith on non-int".into()))?;
+                let v = match op {
+                    BinOp::Add => l.wrapping_add(r),
+                    BinOp::Sub => l.wrapping_sub(r),
+                    BinOp::Mul => l.wrapping_mul(r),
+                    BinOp::Div => {
+                        if r == 0 {
+                            return Err(ExecError::Eval("division by zero".into()));
+                        }
+                        l / r
+                    }
+                };
+                Ok(Value::Int(v))
+            }
+            Expr::Cmp(op, l, r) => {
+                let l = self.eval(idx, l)?;
+                let r = self.eval(idx, r)?;
+                Ok(Value::Bool(op.eval(&l, &r)))
+            }
+            Expr::Bool(op, l, r) => {
+                let l = self.eval(idx, l)? == Value::Bool(true);
+                let r = self.eval(idx, r)? == Value::Bool(true);
+                Ok(Value::Bool(match op {
+                    BoolOp::And => l && r,
+                    BoolOp::Or => l || r,
+                }))
+            }
+            Expr::Not(x) => {
+                let v = self.eval(idx, x)? == Value::Bool(true);
+                Ok(Value::Bool(!v))
+            }
+            Expr::Iter => self
+                .iter_value(idx)
+                .map(Value::Int)
+                .ok_or_else(|| ExecError::Eval("`iter` outside a loop".into())),
+            Expr::Agg(op, var, field) => {
+                let rows = self.instances[idx].locals.get(var).cloned().unwrap_or_default();
+                let vals: Vec<i64> = rows
+                    .iter()
+                    .filter_map(|(_, row)| row.get(field).and_then(Value::as_int))
+                    .collect();
+                let v = match op {
+                    AggOp::Count => rows.len() as i64,
+                    AggOp::Sum => vals.iter().sum(),
+                    AggOp::Min => vals.iter().copied().min().unwrap_or(0),
+                    AggOp::Max => vals.iter().copied().max().unwrap_or(0),
+                };
+                Ok(Value::Int(v))
+            }
+            Expr::At(i, var, field) => {
+                let i = self
+                    .eval(idx, i)?
+                    .as_int()
+                    .ok_or_else(|| ExecError::Eval("record index not an int".into()))?;
+                let rows = self.instances[idx].locals.get(var).cloned().unwrap_or_default();
+                match rows.get(i.max(0) as usize) {
+                    Some((_, row)) => row.get(field).cloned().ok_or_else(|| {
+                        ExecError::Eval(format!("row lacks field `{field}`"))
+                    }),
+                    None => {
+                        // Empty or short result set: fields read as defaults.
+                        let ty = self
+                            .program
+                            .schemas
+                            .iter()
+                            .find_map(|s| s.field(field).map(|f| f.ty))
+                            .unwrap_or(Ty::Int);
+                        Ok(default_value(ty))
+                    }
+                }
+            }
+            Expr::Uuid => {
+                let v = Value::Uuid(self.uuid_next);
+                self.uuid_next += 1;
+                Ok(v)
+            }
+        }
+    }
+}
+
+/// Runs `invocations` one after another (each to completion) under the
+/// [`ViewStrategy::Serial`] strategy. Returns the final store and the return
+/// values in invocation order.
+///
+/// # Errors
+///
+/// Propagates the first [`ExecError`].
+pub fn run_serial(
+    program: &Program,
+    setup: impl FnOnce(&mut Interpreter<'_>),
+    invocations: &[Invocation],
+) -> Result<(Store, Vec<Value>), ExecError> {
+    let mut interp = Interpreter::new(program, ViewStrategy::Serial, 0);
+    setup(&mut interp);
+    let mut rets = Vec::new();
+    for inv in invocations {
+        let id = interp.invoke(inv)?;
+        interp.run_to_completion(id)?;
+        rets.push(
+            interp
+                .return_value(id)
+                .expect("completed instance has a return value")
+                .clone(),
+        );
+    }
+    Ok((interp.store, rets))
+}
+
+/// Runs `invocations` concurrently with a random interleaving and the given
+/// view strategy; `seed` fixes both the interleaving and the views.
+///
+/// # Errors
+///
+/// Propagates the first [`ExecError`].
+pub fn run_interleaved(
+    program: &Program,
+    setup: impl FnOnce(&mut Interpreter<'_>),
+    invocations: &[Invocation],
+    strategy: ViewStrategy,
+    seed: u64,
+) -> Result<(Store, Vec<Value>), ExecError> {
+    let mut interp = Interpreter::new(program, strategy, seed);
+    setup(&mut interp);
+    let mut sched_rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let ids: Vec<TxnInstanceId> = invocations
+        .iter()
+        .map(|inv| interp.invoke(inv))
+        .collect::<Result<_, _>>()?;
+    let mut live: Vec<TxnInstanceId> = ids.clone();
+    while !live.is_empty() {
+        let k = sched_rng.gen_range(0..live.len());
+        if !interp.step(live[k])? {
+            live.swap_remove(k);
+        }
+    }
+    let rets = ids
+        .iter()
+        .map(|&id| interp.return_value(id).expect("finished").clone())
+        .collect();
+    Ok((interp.store, rets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atropos_dsl::parse;
+
+    fn counter_program() -> Program {
+        parse(
+            "schema T { id: int key, v: int }
+             txn bump(k: int) {
+                 x := select v from T where id = k;
+                 update T set v = x.v + 1 where id = k;
+                 return x.v;
+             }
+             txn read(k: int) {
+                 x := select v from T where id = k;
+                 return x.v;
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serial_increments_accumulate() {
+        let p = counter_program();
+        let invs: Vec<Invocation> = (0..5)
+            .map(|_| Invocation::new("bump", vec![Value::Int(1)]))
+            .chain(std::iter::once(Invocation::new("read", vec![Value::Int(1)])))
+            .collect();
+        let (_, rets) = run_serial(
+            &p,
+            |i| i.populate("T", vec![Value::Int(1)], [("v", Value::Int(0))]),
+            &invs,
+        )
+        .unwrap();
+        assert_eq!(rets.last(), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn lost_update_possible_under_random_views() {
+        let p = counter_program();
+        let invs: Vec<Invocation> = (0..4)
+            .map(|_| Invocation::new("bump", vec![Value::Int(1)]))
+            .chain(std::iter::once(Invocation::new("read", vec![Value::Int(1)])))
+            .collect();
+        let mut lost = false;
+        for seed in 0..30 {
+            let (_, rets) = run_interleaved(
+                &p,
+                |i| i.populate("T", vec![Value::Int(1)], [("v", Value::Int(0))]),
+                &invs,
+                ViewStrategy::RandomAtoms { p: 0.4 },
+                seed,
+            )
+            .unwrap();
+            if rets.last() != Some(&Value::Int(4)) {
+                lost = true;
+                break;
+            }
+        }
+        assert!(lost, "expected at least one lost update across seeds");
+    }
+
+    #[test]
+    fn insert_then_select_round_trip() {
+        let p = parse(
+            "schema L { id: int key, n: int }
+             txn add(k: int, v: int) {
+                 insert into L values (id = k, n = v);
+                 return 0;
+             }
+             txn total() {
+                 x := select n from L;
+                 return sum(x.n);
+             }",
+        )
+        .unwrap();
+        let invs = vec![
+            Invocation::new("add", vec![Value::Int(1), Value::Int(10)]),
+            Invocation::new("add", vec![Value::Int(2), Value::Int(32)]),
+            Invocation::new("total", vec![]),
+        ];
+        let (_, rets) = run_serial(&p, |_| {}, &invs).unwrap();
+        assert_eq!(rets[2], Value::Int(42));
+    }
+
+    #[test]
+    fn delete_hides_records() {
+        let p = parse(
+            "schema L { id: int key, n: int }
+             txn del(k: int) { delete from L where id = k; return 0; }
+             txn cnt() { x := select n from L; return count(x.n); }",
+        )
+        .unwrap();
+        let (_, rets) = run_serial(
+            &p,
+            |i| {
+                i.populate("L", vec![Value::Int(1)], [("n", Value::Int(1))]);
+                i.populate("L", vec![Value::Int(2)], [("n", Value::Int(2))]);
+            },
+            &[
+                Invocation::new("del", vec![Value::Int(1)]),
+                Invocation::new("cnt", vec![]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(rets[1], Value::Int(1));
+    }
+
+    #[test]
+    fn iterate_executes_body_n_times_with_counter() {
+        let p = parse(
+            "schema T { id: int key, v: int }
+             txn fill(n: int) {
+                 iterate (n) {
+                     insert into T values (id = iter, v = iter * 2);
+                 }
+                 return 0;
+             }
+             txn total() { x := select v from T; return sum(x.v); }",
+        )
+        .unwrap();
+        let (_, rets) = run_serial(
+            &p,
+            |_| {},
+            &[
+                Invocation::new("fill", vec![Value::Int(4)]),
+                Invocation::new("total", vec![]),
+            ],
+        )
+        .unwrap();
+        // 0 + 2 + 4 + 6
+        assert_eq!(rets[1], Value::Int(12));
+    }
+
+    #[test]
+    fn if_guard_controls_execution() {
+        let p = parse(
+            "schema T { id: int key, v: int }
+             txn cond(k: int, doit: bool) {
+                 if (doit) { update T set v = 99 where id = k; }
+                 x := select v from T where id = k;
+                 return x.v;
+             }",
+        )
+        .unwrap();
+        let setup = |i: &mut Interpreter<'_>| {
+            i.populate("T", vec![Value::Int(1)], [("v", Value::Int(1))]);
+        };
+        let (_, r1) = run_serial(
+            &p,
+            setup,
+            &[Invocation::new("cond", vec![Value::Int(1), Value::Bool(true)])],
+        )
+        .unwrap();
+        assert_eq!(r1[0], Value::Int(99));
+        let (_, r2) = run_serial(
+            &p,
+            |i| i.populate("T", vec![Value::Int(1)], [("v", Value::Int(1))]),
+            &[Invocation::new("cond", vec![Value::Int(1), Value::Bool(false)])],
+        )
+        .unwrap();
+        assert_eq!(r2[0], Value::Int(1));
+    }
+
+    #[test]
+    fn uuid_values_are_unique() {
+        let p = parse(
+            "schema L { id: int key, u: uuid key, n: int }
+             txn log(k: int) {
+                 insert into L values (id = k, u = uuid(), n = 1);
+                 return 0;
+             }
+             txn cnt() { x := select n from L; return count(x.n); }",
+        )
+        .unwrap();
+        let invs = vec![
+            Invocation::new("log", vec![Value::Int(1)]),
+            Invocation::new("log", vec![Value::Int(1)]),
+            Invocation::new("log", vec![Value::Int(1)]),
+            Invocation::new("cnt", vec![]),
+        ];
+        let (_, rets) = run_serial(&p, |_| {}, &invs).unwrap();
+        assert_eq!(rets[3], Value::Int(3));
+    }
+
+    #[test]
+    fn empty_select_reads_defaults() {
+        let p = parse(
+            "schema T { id: int key, v: int }
+             txn get(k: int) {
+                 x := select v from T where id = k;
+                 return x.v;
+             }",
+        )
+        .unwrap();
+        let (_, rets) = run_serial(&p, |_| {}, &[Invocation::new("get", vec![Value::Int(7)])])
+            .unwrap();
+        assert_eq!(rets[0], Value::Int(0));
+    }
+
+    #[test]
+    fn snapshot_strategy_ignores_later_commits() {
+        // Two bumps interleaved under Snapshot both read the initial value.
+        let p = counter_program();
+        let mut interp = Interpreter::new(&p, ViewStrategy::Snapshot, 1);
+        interp.populate("T", vec![Value::Int(1)], [("v", Value::Int(0))]);
+        let a = interp
+            .invoke(&Invocation::new("bump", vec![Value::Int(1)]))
+            .unwrap();
+        let b = interp
+            .invoke(&Invocation::new("bump", vec![Value::Int(1)]))
+            .unwrap();
+        // Interleave: a reads, b reads, a writes, b writes.
+        interp.step(a).unwrap();
+        interp.step(b).unwrap();
+        interp.run_to_completion(a).unwrap();
+        interp.run_to_completion(b).unwrap();
+        assert_eq!(interp.return_value(a), Some(&Value::Int(0)));
+        assert_eq!(interp.return_value(b), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let p = counter_program();
+        let mut interp = Interpreter::new(&p, ViewStrategy::Serial, 0);
+        let err = interp.invoke(&Invocation::new("bump", vec![])).unwrap_err();
+        assert!(matches!(err, ExecError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let p = parse(
+            "schema T { id: int key }
+             txn t(a: int) { return 1 / a; }",
+        )
+        .unwrap();
+        let err = run_serial(&p, |_| {}, &[Invocation::new("t", vec![Value::Int(0)])])
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Eval(_)));
+    }
+}

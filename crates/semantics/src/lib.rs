@@ -1,0 +1,53 @@
+//! # atropos-semantics
+//!
+//! The weakly-isolated operational semantics of database programs (§3 of the
+//! paper) and the machinery built on top of it:
+//!
+//! * [`store`] — database states Σ = (str, vis, cnt): events, atoms,
+//!   local views, and the visibility relation;
+//! * [`interp`] — a small-step interpreter parameterized by a
+//!   [`ViewStrategy`] (serial, eventually-consistent random views, or
+//!   snapshot);
+//! * [`history`] — checking strong atomicity / strong isolation on complete
+//!   histories and extracting dynamic anomaly witnesses;
+//! * [`containment`] — value correspondences, the `⊑_V` containment
+//!   relation, and table-instance checking used to validate refinement of
+//!   refactored programs.
+//!
+//! # Examples
+//!
+//! ```
+//! use atropos_dsl::{parse, Value};
+//! use atropos_semantics::{run_serial, Invocation, is_serializable};
+//!
+//! let p = parse(
+//!     "schema T { id: int key, v: int }
+//!      txn set(k: int, n: int) { update T set v = n where id = k; return 0; }",
+//! ).unwrap();
+//! let (store, _) = run_serial(
+//!     &p,
+//!     |i| i.populate("T", vec![Value::Int(1)], [("v", Value::Int(0))]),
+//!     &[Invocation::new("set", vec![Value::Int(1), Value::Int(5)])],
+//! ).unwrap();
+//! assert!(is_serializable(&store));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod containment;
+pub mod event;
+pub mod history;
+pub mod interp;
+pub mod store;
+
+pub use containment::{
+    check_table_containment, theta_image, Aggregator, ContainmentError, TableInstance, ThetaMap,
+    ValueCorrespondence,
+};
+pub use event::{Event, EventId, EventKind, RecordId, Timestamp, TxnInstanceId};
+pub use history::{check_history, is_serializable, DynamicAnomaly, ViolationKind};
+pub use interp::{
+    default_value, run_interleaved, run_serial, ExecError, Interpreter, Invocation, ViewStrategy,
+};
+pub use store::{Atom, AtomId, Store, View};

@@ -1,0 +1,409 @@
+//! The database state Σ = (str, vis, cnt) of §3.1.
+//!
+//! Events are grouped into *atoms*: the set of events sharing a record and a
+//! timestamp. The `ConstructView` rule forces local views to be closed under
+//! atoms, and the only visibility edges the semantics ever creates are
+//! "every event of the command's local view → every event the command
+//! generates". The store therefore represents `vis` compactly as one
+//! atom-bitset per command timestamp; `vis(η, η′)` holds iff the atom of `η`
+//! is in the view registered for `η′.ts`.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use atropos_dsl::{CmdLabel, Value, ALIVE_FIELD};
+
+use crate::bitset::BitSet;
+use crate::event::{Event, EventId, EventKind, RecordId, Timestamp, TxnInstanceId};
+
+/// Index of an atom (a record × timestamp event group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AtomId(pub u32);
+
+impl AtomId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// All events of one command on one record (they share a timestamp, so any
+/// consistent view contains either all or none of them).
+#[derive(Debug, Clone)]
+pub struct Atom {
+    /// Shared timestamp.
+    pub ts: Timestamp,
+    /// Shared record.
+    pub record: RecordId,
+    /// Member events.
+    pub events: Vec<EventId>,
+    /// Transaction instance that produced the atom.
+    pub txn: TxnInstanceId,
+}
+
+/// A local view: the subset of atoms a command observes (`Σ′ ⪯ Σ`).
+#[derive(Debug, Clone)]
+pub struct View {
+    atoms: BitSet,
+}
+
+impl View {
+    /// A view containing every atom currently in `store`.
+    pub fn full(store: &Store) -> View {
+        View {
+            atoms: BitSet::all(store.atoms.len()),
+        }
+    }
+
+    /// A view containing exactly the atoms for which `keep` returns true.
+    pub fn filtered(store: &Store, mut keep: impl FnMut(&Atom) -> bool) -> View {
+        let mut atoms = BitSet::new(store.atoms.len());
+        for (i, a) in store.atoms.iter().enumerate() {
+            if keep(a) {
+                atoms.set(i);
+            }
+        }
+        View { atoms }
+    }
+
+    /// True if the view contains the atom.
+    pub fn contains(&self, a: AtomId) -> bool {
+        self.atoms.contains(a.index())
+    }
+
+    /// Number of atoms in the view.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.count()
+    }
+}
+
+/// The global database state.
+#[derive(Debug, Clone, Default)]
+pub struct Store {
+    events: Vec<Event>,
+    atoms: Vec<Atom>,
+    record_atoms: HashMap<RecordId, Vec<AtomId>>,
+    /// Local view used by the command executed at each timestamp.
+    views: HashMap<Timestamp, View>,
+    cnt: Timestamp,
+    initial: HashMap<RecordId, HashMap<String, Value>>,
+    known: HashMap<String, BTreeSet<RecordId>>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Store {
+        Store::default()
+    }
+
+    /// Current execution counter.
+    pub fn cnt(&self) -> Timestamp {
+        self.cnt
+    }
+
+    /// All events, indexable by [`EventId`].
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// All atoms, indexable by [`AtomId`].
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The event with the given id.
+    pub fn event(&self, id: EventId) -> &Event {
+        &self.events[id.index()]
+    }
+
+    /// The atom containing the given event.
+    pub fn atom_of(&self, id: EventId) -> AtomId {
+        let e = self.event(id);
+        *self.record_atoms[&e.record]
+            .iter()
+            .find(|a| self.atoms[a.index()].ts == e.ts)
+            .expect("every event belongs to an atom")
+    }
+
+    /// The view registered for the command executed at timestamp `ts`.
+    pub fn view_at(&self, ts: Timestamp) -> Option<&View> {
+        self.views.get(&ts)
+    }
+
+    /// The visibility relation: `vis(η, η′)` iff the atom of `η` was in the
+    /// local view of the command that created `η′`.
+    pub fn vis(&self, from: EventId, to: EventId) -> bool {
+        let to_ts = self.event(to).ts;
+        match self.views.get(&to_ts) {
+            Some(view) => view.contains(self.atom_of(from)),
+            None => false,
+        }
+    }
+
+    /// Pre-populates a record with initial field values (and `alive = true`).
+    pub fn insert_initial(&mut self, record: RecordId, fields: HashMap<String, Value>) {
+        self.known
+            .entry(record.schema.clone())
+            .or_default()
+            .insert(record.clone());
+        self.initial.insert(record, fields);
+    }
+
+    /// Every record of `schema` the store knows about: initially populated
+    /// records plus any record a write has touched.
+    pub fn known_records(&self, schema: &str) -> impl Iterator<Item = &RecordId> {
+        self.known.get(schema).into_iter().flatten()
+    }
+
+    /// Starts a new command: registers its local view and returns the
+    /// timestamp its events must carry. Increments `cnt`.
+    pub fn start_command(&mut self, view: View) -> Timestamp {
+        let ts = self.cnt;
+        self.cnt += 1;
+        self.views.insert(ts, view);
+        ts
+    }
+
+    fn push_event(&mut self, e: Event) -> EventId {
+        let id = EventId(self.events.len() as u32);
+        let record = e.record.clone();
+        let ts = e.ts;
+        let txn = e.txn;
+        self.known
+            .entry(record.schema.clone())
+            .or_default()
+            .insert(record.clone());
+        let atoms = self.record_atoms.entry(record.clone()).or_default();
+        match atoms
+            .iter()
+            .find(|a| self.atoms[a.index()].ts == ts)
+            .copied()
+        {
+            Some(aid) => self.atoms[aid.index()].events.push(id),
+            None => {
+                let aid = AtomId(self.atoms.len() as u32);
+                self.atoms.push(Atom {
+                    ts,
+                    record,
+                    events: vec![id],
+                    txn,
+                });
+                atoms.push(aid);
+            }
+        }
+        self.events.push(e);
+        id
+    }
+
+    /// Records a read event.
+    pub fn add_read(
+        &mut self,
+        ts: Timestamp,
+        txn: TxnInstanceId,
+        cmd: &CmdLabel,
+        record: RecordId,
+        field: impl Into<String>,
+    ) -> EventId {
+        self.push_event(Event {
+            ts,
+            txn,
+            cmd: cmd.clone(),
+            record,
+            field: field.into(),
+            kind: EventKind::Read,
+        })
+    }
+
+    /// Records a write event.
+    pub fn add_write(
+        &mut self,
+        ts: Timestamp,
+        txn: TxnInstanceId,
+        cmd: &CmdLabel,
+        record: RecordId,
+        field: impl Into<String>,
+        value: Value,
+    ) -> EventId {
+        self.push_event(Event {
+            ts,
+            txn,
+            cmd: cmd.clone(),
+            record,
+            field: field.into(),
+            kind: EventKind::Write(value),
+        })
+    }
+
+    /// The value of `record.field` as seen through `view`: the
+    /// highest-timestamp visible write, falling back to the initial value.
+    pub fn value_in_view(&self, view: &View, record: &RecordId, field: &str) -> Option<Value> {
+        let mut best: Option<(Timestamp, &Value)> = None;
+        if let Some(atoms) = self.record_atoms.get(record) {
+            for &aid in atoms {
+                if !view.contains(aid) {
+                    continue;
+                }
+                let atom = &self.atoms[aid.index()];
+                for &eid in &atom.events {
+                    let e = &self.events[eid.index()];
+                    if e.field == field {
+                        if let EventKind::Write(v) = &e.kind {
+                            if best.map_or(true, |(bts, _)| atom.ts >= bts) {
+                                best = Some((atom.ts, v));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, v)) => Some(v.clone()),
+            None => self.initial.get(record).and_then(|fs| fs.get(field).cloned()),
+        }
+    }
+
+    /// Whether the record reads as live through `view` (§3's `alive` field).
+    pub fn alive_in_view(&self, view: &View, record: &RecordId) -> bool {
+        let mut best: Option<(Timestamp, bool)> = None;
+        if let Some(atoms) = self.record_atoms.get(record) {
+            for &aid in atoms {
+                if !view.contains(aid) {
+                    continue;
+                }
+                let atom = &self.atoms[aid.index()];
+                for &eid in &atom.events {
+                    let e = &self.events[eid.index()];
+                    if e.field == ALIVE_FIELD {
+                        if let EventKind::Write(Value::Bool(b)) = &e.kind {
+                            if best.map_or(true, |(bts, _)| atom.ts >= bts) {
+                                best = Some((atom.ts, *b));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, b)) => b,
+            None => self.initial.contains_key(record),
+        }
+    }
+
+    /// Materializes the final contents of one table (records live under the
+    /// full view), as `record → field → value`, using `defaults` for fields
+    /// never written nor initialized.
+    pub fn materialize(
+        &self,
+        schema: &str,
+        fields: &[(String, Value)],
+    ) -> BTreeMap<RecordId, BTreeMap<String, Value>> {
+        let view = View::full(self);
+        let mut out = BTreeMap::new();
+        for r in self.known_records(schema) {
+            if !self.alive_in_view(&view, r) {
+                continue;
+            }
+            let mut row = BTreeMap::new();
+            for (f, default) in fields {
+                let v = self
+                    .value_in_view(&view, r, f)
+                    .unwrap_or_else(|| default.clone());
+                row.insert(f.clone(), v);
+            }
+            out.insert(r.clone(), row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(k: i64) -> RecordId {
+        RecordId::new("T", vec![Value::Int(k)])
+    }
+
+    #[test]
+    fn initial_values_read_through_any_view() {
+        let mut s = Store::new();
+        s.insert_initial(rid(1), HashMap::from([("v".into(), Value::Int(10))]));
+        let view = View::full(&s);
+        assert_eq!(s.value_in_view(&view, &rid(1), "v"), Some(Value::Int(10)));
+        assert!(s.alive_in_view(&view, &rid(1)));
+        assert!(!s.alive_in_view(&view, &rid(2)));
+    }
+
+    #[test]
+    fn later_writes_shadow_earlier_ones() {
+        let mut s = Store::new();
+        let t = TxnInstanceId(0);
+        let c: CmdLabel = "U1".into();
+        let ts1 = s.start_command(View::full(&s));
+        s.add_write(ts1, t, &c, rid(1), "v", Value::Int(1));
+        let ts2 = s.start_command(View::full(&s));
+        s.add_write(ts2, t, &c, rid(1), "v", Value::Int(2));
+        let view = View::full(&s);
+        assert_eq!(s.value_in_view(&view, &rid(1), "v"), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn partial_views_hide_writes() {
+        let mut s = Store::new();
+        let t = TxnInstanceId(0);
+        let c: CmdLabel = "U1".into();
+        let ts = s.start_command(View::full(&s));
+        s.add_write(ts, t, &c, rid(1), "v", Value::Int(5));
+        let empty = View::filtered(&s, |_| false);
+        assert_eq!(s.value_in_view(&empty, &rid(1), "v"), None);
+        let full = View::full(&s);
+        assert_eq!(s.value_in_view(&full, &rid(1), "v"), Some(Value::Int(5)));
+    }
+
+    #[test]
+    fn vis_tracks_command_views() {
+        let mut s = Store::new();
+        let t = TxnInstanceId(0);
+        let c: CmdLabel = "U1".into();
+        // First command writes under an empty view.
+        let ts1 = s.start_command(View::full(&s)); // store empty: view empty anyway
+        let e1 = s.add_write(ts1, t, &c, rid(1), "v", Value::Int(1));
+        // Second command sees everything.
+        let ts2 = s.start_command(View::full(&s));
+        let e2 = s.add_write(ts2, t, &c, rid(1), "v", Value::Int(2));
+        // Third command sees nothing.
+        let ts3 = s.start_command(View::filtered(&s, |_| false));
+        let e3 = s.add_read(ts3, t, &c, rid(1), "v");
+        assert!(s.vis(e1, e2));
+        assert!(!s.vis(e1, e3));
+        assert!(!s.vis(e2, e3));
+        assert!(!s.vis(e2, e1)); // e1's view predates e2's atom
+    }
+
+    #[test]
+    fn atoms_group_same_command_events_on_a_record() {
+        let mut s = Store::new();
+        let t = TxnInstanceId(0);
+        let c: CmdLabel = "U1".into();
+        let ts = s.start_command(View::full(&s));
+        let a = s.add_write(ts, t, &c, rid(1), "v", Value::Int(1));
+        let b = s.add_write(ts, t, &c, rid(1), "w", Value::Int(2));
+        let other = s.add_write(ts, t, &c, rid(2), "v", Value::Int(3));
+        assert_eq!(s.atom_of(a), s.atom_of(b));
+        assert_ne!(s.atom_of(a), s.atom_of(other));
+        assert_eq!(s.atoms().len(), 2);
+    }
+
+    #[test]
+    fn materialize_skips_deleted_records() {
+        let mut s = Store::new();
+        s.insert_initial(rid(1), HashMap::from([("v".into(), Value::Int(1))]));
+        s.insert_initial(rid(2), HashMap::from([("v".into(), Value::Int(2))]));
+        let t = TxnInstanceId(0);
+        let c: CmdLabel = "D1".into();
+        let ts = s.start_command(View::full(&s));
+        s.add_write(ts, t, &c, rid(2), ALIVE_FIELD, Value::Bool(false));
+        let m = s.materialize("T", &[("v".into(), Value::Int(0))]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[&rid(1)]["v"], Value::Int(1));
+    }
+}

@@ -1,0 +1,122 @@
+//! Cluster topologies: replica counts and pairwise round-trip times.
+//!
+//! The three presets mirror the paper's §7.2/App. A.1 deployments: three
+//! MongoDB M10 nodes in one data centre (VA), spread across the US
+//! (N. Virginia / Ohio / Oregon), and spread globally (N. Virginia /
+//! London / Tokyo).
+
+/// A replicated cluster: `rtt_ms[i][j]` is the round-trip time between
+/// replicas `i` and `j` in milliseconds.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Human-readable name used in reports.
+    pub name: String,
+    /// Pairwise RTTs; the diagonal is 0.
+    pub rtt_ms: Vec<Vec<f64>>,
+}
+
+impl ClusterConfig {
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.rtt_ms.len()
+    }
+
+    /// One-way delay from `i` to `j`.
+    pub fn one_way_ms(&self, i: usize, j: usize) -> f64 {
+        self.rtt_ms[i][j] / 2.0
+    }
+
+    /// Round-trip time needed for replica `i` to reach a majority quorum:
+    /// with 2f+1 replicas, the f-th fastest peer acknowledgment.
+    pub fn quorum_rtt_ms(&self, i: usize) -> f64 {
+        let mut peers: Vec<f64> = (0..self.replicas())
+            .filter(|&j| j != i)
+            .map(|j| self.rtt_ms[i][j])
+            .collect();
+        peers.sort_by(|a, b| a.partial_cmp(b).expect("finite RTTs"));
+        let needed = self.replicas() / 2; // additional acks beyond self
+        if needed == 0 {
+            0.0
+        } else {
+            peers[needed - 1]
+        }
+    }
+
+    /// Builds a symmetric config from the upper triangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rtts` is not an upper-triangle of size n·(n−1)/2.
+    pub fn symmetric(name: &str, n: usize, rtts: &[f64]) -> ClusterConfig {
+        assert_eq!(rtts.len(), n * (n - 1) / 2, "upper triangle size");
+        let mut m = vec![vec![0.0; n]; n];
+        let mut k = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m[i][j] = rtts[k];
+                m[j][i] = rtts[k];
+                k += 1;
+            }
+        }
+        ClusterConfig {
+            name: name.to_owned(),
+            rtt_ms: m,
+        }
+    }
+
+    /// Three nodes in one data centre (N. Virginia): sub-millisecond RTTs.
+    pub fn virginia() -> ClusterConfig {
+        ClusterConfig::symmetric("VA", 3, &[0.8, 0.8, 0.8])
+    }
+
+    /// Three nodes across the US (N. Virginia, Ohio, Oregon).
+    pub fn us() -> ClusterConfig {
+        ClusterConfig::symmetric("US", 3, &[12.0, 62.0, 52.0])
+    }
+
+    /// Three nodes across the world (N. Virginia, London, Tokyo).
+    pub fn global() -> ClusterConfig {
+        ClusterConfig::symmetric("Global", 3, &[76.0, 160.0, 230.0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_three_node_symmetric() {
+        for c in [ClusterConfig::virginia(), ClusterConfig::us(), ClusterConfig::global()] {
+            assert_eq!(c.replicas(), 3);
+            for i in 0..3 {
+                assert_eq!(c.rtt_ms[i][i], 0.0);
+                for j in 0..3 {
+                    assert_eq!(c.rtt_ms[i][j], c.rtt_ms[j][i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quorum_rtt_is_fastest_peer_for_three_nodes() {
+        let c = ClusterConfig::us();
+        // From node 0 (Virginia): peers at 12 (Ohio) and 62 (Oregon);
+        // majority needs one ack → 12ms.
+        assert_eq!(c.quorum_rtt_ms(0), 12.0);
+        assert_eq!(c.quorum_rtt_ms(2), 52.0);
+    }
+
+    #[test]
+    fn one_way_is_half_rtt() {
+        let c = ClusterConfig::us();
+        assert_eq!(c.one_way_ms(0, 1), 6.0);
+    }
+
+    #[test]
+    fn ordering_of_cluster_severity() {
+        let va = ClusterConfig::virginia().quorum_rtt_ms(0);
+        let us = ClusterConfig::us().quorum_rtt_ms(0);
+        let gl = ClusterConfig::global().quorum_rtt_ms(0);
+        assert!(va < us && us < gl);
+    }
+}

@@ -1,0 +1,48 @@
+//! # atropos-sim
+//!
+//! A discrete-event simulator of a geo-replicated document store, standing
+//! in for the paper's three-node MongoDB clusters (§7.2). It reproduces the
+//! *relative* performance behaviour the evaluation depends on:
+//!
+//! * weak (eventually consistent) transactions execute locally and
+//!   replicate asynchronously — they scale with client count until replica
+//!   CPUs saturate;
+//! * serializable transactions acquire record locks and pay majority-quorum
+//!   round trips — their latency is dominated by the cluster's RTTs and
+//!   their throughput by lock queueing on hot records.
+//!
+//! See `DESIGN.md` for the substitution argument (simulator vs. the paper's
+//! AWS testbed).
+//!
+//! # Examples
+//!
+//! ```
+//! use atropos_sim::*;
+//!
+//! let workload = Workload::new(vec![TxnProfile {
+//!     name: "ping".into(),
+//!     weight: 1.0,
+//!     serializable: true,
+//!     ops: vec![OpProfile {
+//!         table: "T".into(), kind: OpKind::Write,
+//!         key: KeyDist::Uniform(64), fields: 1, scan_factor: 1.0,
+//!     }],
+//! }]);
+//! let mut config = SimConfig::new(ClusterConfig::global(), 4);
+//! config.duration_ms = 1_000.0;
+//! let stats = run_simulation(&workload, &config);
+//! // Global-cluster coordination costs well over 100 ms per transaction.
+//! assert!(stats.avg_latency_ms > 100.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod sim;
+pub mod stats;
+pub mod workload;
+
+pub use cluster::ClusterConfig;
+pub use sim::{run_simulation, CostModel, SimConfig};
+pub use stats::RunStats;
+pub use workload::{ConcreteTxn, KeyDist, OpKind, OpProfile, TxnProfile, Workload};

@@ -1,0 +1,66 @@
+//! Aggregate run statistics: throughput and latency distributions.
+
+/// Statistics of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Transactions committed after warm-up.
+    pub committed: u64,
+    /// Committed transactions per second.
+    pub throughput_tps: f64,
+    /// Mean latency in milliseconds.
+    pub avg_latency_ms: f64,
+    /// Median latency in milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_latency_ms: f64,
+}
+
+impl RunStats {
+    /// Builds stats from raw latencies over a measurement window.
+    pub fn from_latencies(committed: u64, latencies: &[f64], window_ms: f64) -> RunStats {
+        let mut sorted: Vec<f64> = latencies.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let avg = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<f64>() / sorted.len() as f64
+        };
+        let pct = |p: f64| -> f64 {
+            if sorted.is_empty() {
+                0.0
+            } else {
+                let idx = ((sorted.len() as f64 - 1.0) * p).floor() as usize;
+                sorted[idx]
+            }
+        };
+        RunStats {
+            committed,
+            throughput_tps: committed as f64 / (window_ms / 1000.0).max(1e-9),
+            avg_latency_ms: avg,
+            p50_latency_ms: pct(0.5),
+            p99_latency_ms: pct(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_throughput() {
+        let lats: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = RunStats::from_latencies(100, &lats, 10_000.0);
+        assert_eq!(s.throughput_tps, 10.0);
+        assert!((s.avg_latency_ms - 50.5).abs() < 1e-9);
+        assert_eq!(s.p50_latency_ms, 50.0);
+        assert_eq!(s.p99_latency_ms, 99.0);
+    }
+
+    #[test]
+    fn empty_run_is_zeroes() {
+        let s = RunStats::from_latencies(0, &[], 1000.0);
+        assert_eq!(s.throughput_tps, 0.0);
+        assert_eq!(s.avg_latency_ms, 0.0);
+    }
+}

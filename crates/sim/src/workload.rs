@@ -1,0 +1,265 @@
+//! Abstract transaction workloads: what the simulator executes.
+//!
+//! A workload is a weighted mix of [`TxnProfile`]s; each profile is a
+//! sequence of [`OpProfile`]s describing which table and record an operation
+//! touches, how many fields it moves, and whether it reads, writes, or
+//! inserts a fresh record. The `atropos-workloads` crate derives these
+//! profiles mechanically from DSL programs (original and refactored), so the
+//! simulator never needs to interpret SQL.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// What an operation does to its record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Read one record (or a keyed range of a log table).
+    Read,
+    /// Update fields of one existing record.
+    Write,
+    /// Insert a fresh record (uuid-keyed log append).
+    InsertFresh,
+}
+
+/// How the record key of an operation is drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over `0..n`.
+    Uniform(u64),
+    /// Hot-spot: with probability `hot_prob` pick uniformly from the first
+    /// `hot_fraction` of the key space, otherwise from the rest.
+    HotSpot {
+        /// Key-space size.
+        n: u64,
+        /// Fraction of keys that are hot (e.g. 0.2).
+        hot_fraction: f64,
+        /// Probability an access goes to the hot set (e.g. 0.8).
+        hot_prob: f64,
+    },
+    /// Always the same key (a global row — the classic contention point).
+    Fixed(u64),
+    /// Reuse the key drawn for a previous op of the same transaction.
+    SameAs(usize),
+}
+
+impl KeyDist {
+    fn sample(&self, rng: &mut StdRng, prior: &[u64]) -> u64 {
+        match *self {
+            KeyDist::Uniform(n) => rng.gen_range(0..n.max(1)),
+            KeyDist::HotSpot {
+                n,
+                hot_fraction,
+                hot_prob,
+            } => {
+                let n = n.max(1);
+                let hot = ((n as f64 * hot_fraction).ceil() as u64).clamp(1, n);
+                if rng.gen_bool(hot_prob.clamp(0.0, 1.0)) {
+                    rng.gen_range(0..hot)
+                } else if hot < n {
+                    rng.gen_range(hot..n)
+                } else {
+                    rng.gen_range(0..n)
+                }
+            }
+            KeyDist::Fixed(k) => k,
+            KeyDist::SameAs(i) => prior.get(i).copied().unwrap_or(0),
+        }
+    }
+}
+
+/// One abstract database operation.
+#[derive(Debug, Clone)]
+pub struct OpProfile {
+    /// Table identifier (interned by the workload builder).
+    pub table: String,
+    /// Read / write / fresh insert.
+    pub kind: OpKind,
+    /// Key distribution.
+    pub key: KeyDist,
+    /// Number of fields moved (scales CPU cost).
+    pub fields: u32,
+    /// Extra read amplification (log-table aggregation scans read more than
+    /// one physical record; 1.0 for plain row reads).
+    pub scan_factor: f64,
+}
+
+/// One transaction type in the mix.
+#[derive(Debug, Clone)]
+pub struct TxnProfile {
+    /// Transaction name (for reports).
+    pub name: String,
+    /// Relative weight in the mix.
+    pub weight: f64,
+    /// Run under serializable coordination (the SC / AT-SC configurations).
+    pub serializable: bool,
+    /// The operations, in program order.
+    pub ops: Vec<OpProfile>,
+}
+
+/// A weighted mix of transaction profiles.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The profiles.
+    pub txns: Vec<TxnProfile>,
+}
+
+/// A concrete transaction instance: ops with sampled keys.
+#[derive(Debug, Clone)]
+pub struct ConcreteTxn {
+    /// Index of the profile in the workload.
+    pub profile: usize,
+    /// Sampled keys, parallel to the profile's ops.
+    pub keys: Vec<u64>,
+}
+
+impl Workload {
+    /// Builds a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txns` is empty or all weights are non-positive.
+    pub fn new(txns: Vec<TxnProfile>) -> Workload {
+        assert!(!txns.is_empty(), "workload needs at least one profile");
+        assert!(
+            txns.iter().map(|t| t.weight).sum::<f64>() > 0.0,
+            "total weight must be positive"
+        );
+        Workload { txns }
+    }
+
+    /// Marks the named transactions serializable (AT-SC mode); all others
+    /// stay weak.
+    pub fn with_serializable<S: AsRef<str>>(mut self, names: &[S]) -> Workload {
+        for t in self.txns.iter_mut() {
+            t.serializable = names.iter().any(|n| n.as_ref() == t.name);
+        }
+        self
+    }
+
+    /// Marks every transaction serializable (the SC baseline).
+    pub fn all_serializable(mut self) -> Workload {
+        for t in self.txns.iter_mut() {
+            t.serializable = true;
+        }
+        self
+    }
+
+    /// Samples the next transaction instance.
+    pub fn sample(&self, rng: &mut StdRng) -> ConcreteTxn {
+        let total: f64 = self.txns.iter().map(|t| t.weight).sum();
+        let mut pick = rng.gen_range(0.0..total);
+        let mut profile = 0;
+        for (i, t) in self.txns.iter().enumerate() {
+            if pick < t.weight {
+                profile = i;
+                break;
+            }
+            pick -= t.weight;
+        }
+        let t = &self.txns[profile];
+        let mut keys: Vec<u64> = Vec::with_capacity(t.ops.len());
+        for op in &t.ops {
+            let k = op.key.sample(rng, &keys);
+            keys.push(k);
+        }
+        ConcreteTxn { profile, keys }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn op(kind: OpKind, key: KeyDist) -> OpProfile {
+        OpProfile {
+            table: "T".into(),
+            kind,
+            key,
+            fields: 1,
+            scan_factor: 1.0,
+        }
+    }
+
+    #[test]
+    fn same_as_reuses_prior_key() {
+        let w = Workload::new(vec![TxnProfile {
+            name: "t".into(),
+            weight: 1.0,
+            serializable: false,
+            ops: vec![
+                op(OpKind::Read, KeyDist::Uniform(1000)),
+                op(OpKind::Write, KeyDist::SameAs(0)),
+            ],
+        }]);
+        let mut r = rng();
+        for _ in 0..50 {
+            let c = w.sample(&mut r);
+            assert_eq!(c.keys[0], c.keys[1]);
+        }
+    }
+
+    #[test]
+    fn hotspot_prefers_hot_keys() {
+        let d = KeyDist::HotSpot {
+            n: 1000,
+            hot_fraction: 0.1,
+            hot_prob: 0.9,
+        };
+        let mut r = rng();
+        let hits = (0..2000)
+            .filter(|_| d.sample(&mut r, &[]) < 100)
+            .count();
+        assert!(hits > 1500, "only {hits}/2000 hot hits");
+    }
+
+    #[test]
+    fn mix_respects_weights() {
+        let w = Workload::new(vec![
+            TxnProfile {
+                name: "a".into(),
+                weight: 9.0,
+                serializable: false,
+                ops: vec![op(OpKind::Read, KeyDist::Fixed(0))],
+            },
+            TxnProfile {
+                name: "b".into(),
+                weight: 1.0,
+                serializable: false,
+                ops: vec![op(OpKind::Read, KeyDist::Fixed(0))],
+            },
+        ]);
+        let mut r = rng();
+        let a_count = (0..5000).filter(|_| w.sample(&mut r).profile == 0).count();
+        assert!(
+            (4000..=4900).contains(&a_count),
+            "a drawn {a_count}/5000 times"
+        );
+    }
+
+    #[test]
+    fn serializable_marking() {
+        let w = Workload::new(vec![
+            TxnProfile {
+                name: "a".into(),
+                weight: 1.0,
+                serializable: false,
+                ops: vec![],
+            },
+            TxnProfile {
+                name: "b".into(),
+                weight: 1.0,
+                serializable: false,
+                ops: vec![],
+            },
+        ]);
+        let w = w.with_serializable(&["b"]);
+        assert!(!w.txns[0].serializable && w.txns[1].serializable);
+        let w = w.all_serializable();
+        assert!(w.txns[0].serializable && w.txns[1].serializable);
+    }
+}

@@ -1,0 +1,183 @@
+//! Deriving simulator workloads from DSL programs.
+//!
+//! Each database command of a transaction becomes one abstract
+//! [`OpProfile`]: its kind from the command kind, its CPU weight from the
+//! number of fields it touches, and its key distribution from the command's
+//! canonical key expression — commands sharing a key expression within one
+//! transaction access the *same* record (`KeyDist::SameAs`), which is what
+//! creates lock contention under serializable execution. This derivation is
+//! applied uniformly to original and refactored programs, so performance
+//! comparisons reflect exactly the schema changes Atropos made.
+
+use std::collections::BTreeMap;
+
+use atropos_detect::{summarize_txn, CmdKind, KeySpec};
+use atropos_dsl::Program;
+use atropos_sim::{KeyDist, OpKind, OpProfile, TxnProfile, Workload};
+
+/// Sizing/skew information for the key spaces of a benchmark.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Rows per table; tables not listed (e.g. repair-introduced logs) use
+    /// [`TableSpec::default_rows`].
+    pub rows: BTreeMap<String, u64>,
+    /// Default row count for unlisted tables.
+    pub default_rows: u64,
+    /// Probability that a keyed access goes to the hot set.
+    pub hot_prob: f64,
+    /// Fraction of each key space that is hot.
+    pub hot_fraction: f64,
+    /// Read amplification of aggregation scans over log tables.
+    pub log_scan_factor: f64,
+}
+
+impl Default for TableSpec {
+    fn default() -> Self {
+        TableSpec {
+            rows: BTreeMap::new(),
+            default_rows: 1_000,
+            hot_prob: 0.5,
+            hot_fraction: 0.1,
+            log_scan_factor: 1.15,
+        }
+    }
+}
+
+impl TableSpec {
+    /// Sets the row count of one table.
+    pub fn with_rows(mut self, table: &str, rows: u64) -> TableSpec {
+        self.rows.insert(table.to_owned(), rows);
+        self
+    }
+
+    fn rows_of(&self, table: &str) -> u64 {
+        self.rows.get(table).copied().unwrap_or(self.default_rows)
+    }
+
+    /// Is this a repair-introduced logging table?
+    fn is_log(&self, table: &str) -> bool {
+        table.ends_with("_LOG")
+    }
+}
+
+/// Derives a simulator workload from a program, a transaction mix, and a
+/// table spec. Transactions absent from the mix are skipped; mix entries
+/// without a matching transaction are ignored (they may have been renamed
+/// away by a refactoring — the caller should keep names stable).
+pub fn derive_workload(
+    program: &Program,
+    mix: &[(&str, f64)],
+    spec: &TableSpec,
+) -> Workload {
+    let mut txns = Vec::new();
+    for (name, weight) in mix {
+        let Some(txn) = program.transaction(name) else {
+            continue;
+        };
+        let summary = summarize_txn(program, txn);
+        let mut ops: Vec<OpProfile> = Vec::new();
+        let mut key_of_expr: BTreeMap<String, usize> = BTreeMap::new();
+        for cmd in &summary.commands {
+            let kind = match cmd.kind {
+                CmdKind::Select => OpKind::Read,
+                CmdKind::Update | CmdKind::Delete => OpKind::Write,
+                CmdKind::Insert => {
+                    if cmd.key == KeySpec::Fresh {
+                        OpKind::InsertFresh
+                    } else {
+                        OpKind::Write
+                    }
+                }
+            };
+            let fields = match cmd.kind {
+                CmdKind::Select => cmd.reads.len().max(1) as u32,
+                _ => cmd.writes.len().max(1) as u32,
+            };
+            let scan_factor = if cmd.kind == CmdKind::Select && spec.is_log(&cmd.schema) {
+                spec.log_scan_factor
+            } else {
+                1.0
+            };
+            let key = match &cmd.key {
+                KeySpec::Fresh => KeyDist::Uniform(1 << 30),
+                KeySpec::Scan => {
+                    // Partial-key scans (e.g. log aggregations) still target
+                    // one logical entity; approximate with a uniform key.
+                    KeyDist::Uniform(spec.rows_of(&cmd.schema))
+                }
+                KeySpec::Keyed { key, .. } => match key_of_expr.get(key) {
+                    Some(&idx) => KeyDist::SameAs(idx),
+                    None => {
+                        key_of_expr.insert(key.clone(), ops.len());
+                        KeyDist::HotSpot {
+                            n: spec.rows_of(&cmd.schema),
+                            hot_fraction: spec.hot_fraction,
+                            hot_prob: spec.hot_prob,
+                        }
+                    }
+                },
+            };
+            ops.push(OpProfile {
+                table: cmd.schema.clone(),
+                kind,
+                key,
+                fields,
+                scan_factor,
+            });
+        }
+        txns.push(TxnProfile {
+            name: (*name).to_owned(),
+            weight: *weight,
+            serializable: false,
+            ops,
+        });
+    }
+    Workload::new(txns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smallbank_profiles_share_keys_within_txn() {
+        let p = crate::smallbank::program();
+        let w = derive_workload(&p, &crate::smallbank::mix(), &TableSpec::default());
+        let dep = w
+            .txns
+            .iter()
+            .find(|t| t.name == "depositChecking")
+            .unwrap();
+        assert_eq!(dep.ops.len(), 2);
+        assert_eq!(dep.ops[1].key, KeyDist::SameAs(0));
+        assert_eq!(dep.ops[0].kind, OpKind::Read);
+        assert_eq!(dep.ops[1].kind, OpKind::Write);
+    }
+
+    #[test]
+    fn refactored_program_profiles_use_log_scans() {
+        let p = crate::sibench::program();
+        let report = atropos_core::repair_program(
+            &p,
+            atropos_detect::ConsistencyLevel::EventualConsistency,
+        );
+        let w = derive_workload(
+            &report.repaired,
+            &crate::sibench::mix(),
+            &TableSpec::default(),
+        );
+        let reader = w.txns.iter().find(|t| t.name == "readItem").unwrap();
+        assert!(
+            reader.ops.iter().any(|o| o.scan_factor > 1.0),
+            "expected a log-scan read: {reader:?}"
+        );
+    }
+
+    #[test]
+    fn fresh_inserts_map_to_insert_fresh() {
+        let p = crate::twitter::program();
+        let w = derive_workload(&p, &crate::twitter::mix(), &TableSpec::default());
+        let post = w.txns.iter().find(|t| t.name == "postTweet").unwrap();
+        assert_eq!(post.ops[0].kind, OpKind::InsertFresh);
+    }
+}

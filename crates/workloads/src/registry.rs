@@ -1,0 +1,116 @@
+//! The benchmark registry: every program of Table 1 by name.
+
+use atropos_dsl::Program;
+
+/// One registered benchmark: its name, program, and transaction mix.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Display name (matches Table 1).
+    pub name: &'static str,
+    /// The DSL program.
+    pub program: Program,
+    /// Transaction mix for dynamic experiments.
+    pub mix: Vec<(&'static str, f64)>,
+}
+
+/// All nine benchmarks of the paper's Table 1, in its row order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "TPC-C",
+            program: crate::tpcc::program(),
+            mix: crate::tpcc::mix(),
+        },
+        Benchmark {
+            name: "SEATS",
+            program: crate::seats::program(),
+            mix: crate::seats::mix(),
+        },
+        Benchmark {
+            name: "Courseware",
+            program: crate::courseware::program(),
+            mix: crate::courseware::mix(),
+        },
+        Benchmark {
+            name: "SmallBank",
+            program: crate::smallbank::program(),
+            mix: crate::smallbank::mix(),
+        },
+        Benchmark {
+            name: "Twitter",
+            program: crate::twitter::program(),
+            mix: crate::twitter::mix(),
+        },
+        Benchmark {
+            name: "FMKe",
+            program: crate::fmke::program(),
+            mix: crate::fmke::mix(),
+        },
+        Benchmark {
+            name: "SIBench",
+            program: crate::sibench::program(),
+            mix: crate::sibench::mix(),
+        },
+        Benchmark {
+            name: "Wikipedia",
+            program: crate::wikipedia::program(),
+            mix: crate::wikipedia::mix(),
+        },
+        Benchmark {
+            name: "Killrchat",
+            program: crate::killrchat::program(),
+            mix: crate::killrchat::mix(),
+        },
+    ]
+}
+
+/// Looks up one benchmark by (case-insensitive) name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atropos_dsl::check_program;
+
+    #[test]
+    fn all_nine_parse_and_check() {
+        let bs = all_benchmarks();
+        assert_eq!(bs.len(), 9);
+        for b in &bs {
+            check_program(&b.program).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            for (t, _) in &b.mix {
+                assert!(b.program.transaction(t).is_some(), "{}: {t}", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn table_counts_match_table1() {
+        let expect = [
+            ("TPC-C", 5, 9),
+            ("SEATS", 6, 8),
+            ("Courseware", 5, 3),
+            ("SmallBank", 6, 3),
+            ("Twitter", 5, 4),
+            ("FMKe", 7, 7),
+            ("SIBench", 2, 1),
+            ("Wikipedia", 5, 12),
+            ("Killrchat", 5, 3),
+        ];
+        for (name, txns, tables) in expect {
+            let b = benchmark(name).unwrap();
+            assert_eq!(b.program.transactions.len(), txns, "{name} txns");
+            assert_eq!(b.program.schemas.len(), tables, "{name} tables");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(benchmark("smallbank").is_some());
+        assert!(benchmark("Nope").is_none());
+    }
+}

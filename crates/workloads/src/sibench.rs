@@ -1,0 +1,48 @@
+//! SIBench: the snapshot-isolation micro-benchmark — one table, a reader
+//! and a read-modify-write updater (2 transactions, 1 anomaly in Table 1).
+
+use atropos_dsl::{parse, Program};
+
+/// DSL source of the benchmark.
+pub const SOURCE: &str = r#"
+schema SITEM { si_id: int key, si_name: string, si_value: int }
+
+// Read one item.
+txn readItem(k: int) {
+    @R1 n := select si_name from SITEM where si_id = k;
+    @R2 v := select si_value from SITEM where si_id = k;
+    return v.si_value + (count(n.si_name) * 0);
+}
+
+// Increment one item.
+txn updateItem(k: int) {
+    @U1 x := select si_value from SITEM where si_id = k;
+    @U2 update SITEM set si_value = x.si_value + 1 where si_id = k;
+    return 0;
+}
+"#;
+
+/// Parses the benchmark program.
+///
+/// # Panics
+///
+/// Panics only if the embedded source is malformed (a bug).
+pub fn program() -> Program {
+    parse(SOURCE).expect("embedded SIBench source parses")
+}
+
+/// Transaction mix.
+pub fn mix() -> Vec<(&'static str, f64)> {
+    vec![("readItem", 50.0), ("updateItem", 50.0)]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn parses_and_checks() {
+        let p = super::program();
+        atropos_dsl::check_program(&p).unwrap();
+        assert_eq!(p.transactions.len(), 2);
+        assert_eq!(p.schemas.len(), 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Repairing SmallBank and observing the safety difference dynamically:
+//! concurrent deposits lose updates in the original program but never in
+//! the repaired one.
+//!
+//! Run with `cargo run --example smallbank_repair`.
+
+use atropos::dsl::Value;
+use atropos::prelude::*;
+use atropos::semantics::{Interpreter, Invocation, ViewStrategy};
+
+fn lost_deposit_runs(program: &atropos::dsl::Program, is_repaired: bool, runs: u64) -> u64 {
+    let mut lost = 0;
+    for run in 0..runs {
+        let mut interp = Interpreter::new(program, ViewStrategy::Serial, run);
+        // Seed customer 0 with 100 in checking (repaired programs keep the
+        // balance in an append-only log, so seed one log entry instead).
+        for schema in &program.schemas {
+            if schema.name == "CHECKING" {
+                interp.populate("CHECKING", vec![Value::Int(0)], [("c_bal", Value::Int(100))]);
+            } else if is_repaired && schema.name.starts_with("CHECKING") && schema.name.ends_with("_LOG") {
+                let field = schema.value_fields()[0].to_owned();
+                interp.populate(
+                    &schema.name,
+                    vec![Value::Int(0), Value::Uuid(0xFFFF_0000 + run as u128)],
+                    [(field, Value::Int(100))],
+                );
+            }
+        }
+        // Two concurrent deposits of 10 under eventually consistent views.
+        interp.set_strategy(ViewStrategy::RandomAtoms { p: 0.5 });
+        let a = interp
+            .invoke(&Invocation::new(
+                "depositChecking",
+                vec![Value::Int(0), Value::Int(10)],
+            ))
+            .unwrap();
+        let b = interp
+            .invoke(&Invocation::new(
+                "depositChecking",
+                vec![Value::Int(0), Value::Int(10)],
+            ))
+            .unwrap();
+        // Interleave: both read, then both write.
+        interp.step(a).unwrap();
+        interp.step(b).unwrap();
+        interp.run_to_completion(a).unwrap();
+        interp.run_to_completion(b).unwrap();
+        // Settle and audit.
+        interp.set_strategy(ViewStrategy::Serial);
+        let id = interp
+            .invoke(&Invocation::new("balance", vec![Value::Int(0)]))
+            .unwrap();
+        interp.run_to_completion(id).unwrap();
+        let total = interp.return_value(id).and_then(Value::as_int).unwrap();
+        if total != 120 {
+            lost += 1;
+        }
+    }
+    lost
+}
+
+fn main() {
+    let program = atropos::workloads::smallbank::program();
+    let report = repair_program(&program, ConsistencyLevel::EventualConsistency);
+
+    println!(
+        "SmallBank: {} anomalies before, {} after repair",
+        report.initial.len(),
+        report.remaining.len()
+    );
+    println!("Refactorings:");
+    for s in &report.steps {
+        println!("  {s}");
+    }
+    println!(
+        "\nTransactions still unsafe (would run under SC in AT-SC mode): {:?}",
+        report.unsafe_transactions()
+    );
+
+    let runs = 200;
+    let before = lost_deposit_runs(&program, false, runs);
+    let after = lost_deposit_runs(&report.repaired, true, runs);
+    println!("\nConcurrent-deposit audit over {runs} adversarial runs:");
+    println!("  original program lost a deposit in {before} runs");
+    println!("  repaired program lost a deposit in {after} runs");
+    assert_eq!(after, 0, "the functional log must never lose deposits");
+}

@@ -1,0 +1,93 @@
+//! End-to-end integration tests: parse → detect → repair → re-detect over
+//! the real benchmarks, mirroring the paper's headline claims.
+
+use atropos::prelude::*;
+use atropos::workloads::all_benchmarks;
+
+#[test]
+fn every_benchmark_repairs_without_regressions() {
+    for b in all_benchmarks() {
+        let report = repair_program(&b.program, ConsistencyLevel::EventualConsistency);
+        assert!(
+            report.remaining.len() <= report.initial.len(),
+            "{}: repair must never add anomalies ({} -> {})",
+            b.name,
+            report.initial.len(),
+            report.remaining.len()
+        );
+        // The repaired program is still a well-formed program.
+        check_program(&report.repaired)
+            .unwrap_or_else(|e| panic!("{}: repaired program ill-typed: {e}", b.name));
+        // Transaction names survive refactoring (clients keep their API).
+        for t in &b.program.transactions {
+            assert!(
+                report.repaired.transaction(&t.name).is_some(),
+                "{}: transaction {} disappeared",
+                b.name,
+                t.name
+            );
+        }
+    }
+}
+
+#[test]
+fn at_least_half_of_all_anomalies_are_repaired() {
+    // §7.1: "Atropos was able to repair at least half the anomalies" per
+    // benchmark, and 74% on average. We check the aggregate claim.
+    let (mut total, mut fixed) = (0usize, 0usize);
+    for b in all_benchmarks() {
+        let report = repair_program(&b.program, ConsistencyLevel::EventualConsistency);
+        total += report.initial.len();
+        fixed += report.initial.len() - report.remaining.len();
+    }
+    assert!(total > 0);
+    let ratio = fixed as f64 / total as f64;
+    assert!(ratio >= 0.5, "only {:.0}% of anomalies repaired", ratio * 100.0);
+}
+
+#[test]
+fn serializable_marking_silences_the_remaining_anomalies() {
+    // The AT-SC configuration is provably safe: marking the still-anomalous
+    // transactions serializable leaves nothing behind.
+    for b in all_benchmarks() {
+        let report = repair_program(&b.program, ConsistencyLevel::EventualConsistency);
+        let marked = report.unsafe_transactions();
+        let residual = atropos::detect::detect_anomalies_marked(
+            &report.repaired,
+            ConsistencyLevel::EventualConsistency,
+            &marked,
+        );
+        let still: Vec<_> = residual
+            .iter()
+            .filter(|p| marked.contains(&p.txn1) && marked.contains(&p.txn2))
+            .collect();
+        assert!(
+            still.is_empty(),
+            "{}: SC-marked transactions still anomalous: {still:?}",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn stronger_isolation_levels_only_remove_anomalies() {
+    use atropos::detect::detect_anomalies;
+    for b in all_benchmarks() {
+        let ec = detect_anomalies(&b.program, ConsistencyLevel::EventualConsistency).len();
+        let cc = detect_anomalies(&b.program, ConsistencyLevel::CausalConsistency).len();
+        let rr = detect_anomalies(&b.program, ConsistencyLevel::RepeatableRead).len();
+        let sc = detect_anomalies(&b.program, ConsistencyLevel::Serializable).len();
+        assert!(cc <= ec, "{}: CC {} > EC {}", b.name, cc, ec);
+        assert!(rr <= ec, "{}: RR {} > EC {}", b.name, rr, ec);
+        assert_eq!(sc, 0, "{}: serializability must be anomaly-free", b.name);
+    }
+}
+
+#[test]
+fn printed_benchmarks_round_trip() {
+    for b in all_benchmarks() {
+        let text = print_program(&b.program);
+        let back = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert_eq!(back, b.program, "{} round trip", b.name);
+    }
+}
