@@ -67,14 +67,14 @@ pub fn run_figure(bench_name: &str, client_counts: &[usize], duration_ms: f64) -
         ClusterConfig::global(),
     ];
     // Sweep clusters in parallel; each worker returns its rows.
-    let rows: Vec<Vec<[String; 6]>> = crossbeam::thread::scope(|scope| {
+    let rows: Vec<Vec<[String; 6]>> = std::thread::scope(|scope| {
         let handles: Vec<_> = clusters
             .iter()
             .map(|cluster| {
                 let original = &original;
                 let repaired = &repaired;
                 let unsafe_txns = &unsafe_txns;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut rows = Vec::new();
                     for &clients in client_counts {
                         for config in PerfConfig::all() {
@@ -104,8 +104,7 @@ pub fn run_figure(bench_name: &str, client_counts: &[usize], duration_ms: f64) -
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("sweep worker")).collect()
-    })
-    .expect("crossbeam scope");
+    });
     for cluster_rows in rows {
         for r in cluster_rows {
             table.row(r.to_vec());

@@ -19,7 +19,7 @@ pub fn visit_stmts(body: &[Stmt], f: &mut impl FnMut(&Stmt)) {
 
 /// Applies `f` to every statement of a body mutably, recursing into nested
 /// bodies.
-pub fn visit_stmts_mut(body: &mut Vec<Stmt>, f: &mut impl FnMut(&mut Stmt)) {
+pub fn visit_stmts_mut(body: &mut [Stmt], f: &mut impl FnMut(&mut Stmt)) {
     for s in body.iter_mut() {
         f(s);
         match s {
@@ -147,7 +147,7 @@ pub fn rewrite_exprs(txn: &mut Transaction, f: &impl Fn(&Expr) -> Option<Expr>) 
             }
         }
     }
-    fn go_body(body: &mut Vec<Stmt>, f: &impl Fn(&Expr) -> Option<Expr>) {
+    fn go_body(body: &mut [Stmt], f: &impl Fn(&Expr) -> Option<Expr>) {
         for s in body.iter_mut() {
             match s {
                 Stmt::Select(c) => go_where(&mut c.where_, f),

@@ -25,7 +25,7 @@ pub fn eliminate_dead_selects(program: &mut Program) -> Vec<String> {
             }
             if !dead.is_empty() {
                 retain_commands(&mut t.body, &|s| {
-                    s.label().map_or(true, |l| !dead.contains(&l.0))
+                    s.label().is_none_or(|l| !dead.contains(&l.0))
                 });
                 removed.extend(dead);
                 progress = true;

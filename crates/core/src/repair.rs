@@ -647,7 +647,7 @@ fn redirect_then_merge(
         Stmt::Select(c) => match &c.fields {
             Some(fs) => fs
                 .iter()
-                .filter(|f| src_schema.field(f).map_or(false, |d| !d.primary_key))
+                .filter(|f| src_schema.field(f).is_some_and(|d| !d.primary_key))
                 .cloned()
                 .collect(),
             None => src_schema.value_fields().iter().map(|f| (*f).to_owned()).collect(),

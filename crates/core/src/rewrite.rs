@@ -194,7 +194,7 @@ pub fn apply_redirect(
             // rewritable (preprocessing should have split the command).
             let touched_unmoved_nonkey = touched.iter().any(|f| {
                 !moved.contains(f)
-                    && src.field(f).map_or(false, |d| !d.primary_key)
+                    && src.field(f).is_some_and(|d| !d.primary_key)
             });
             if touched_unmoved_nonkey {
                 failed = true;
@@ -231,7 +231,7 @@ pub fn apply_redirect(
                                         n.to_owned()
                                     } else if src
                                         .field(f)
-                                        .map_or(false, |d| d.primary_key)
+                                        .is_some_and(|d| d.primary_key)
                                     {
                                         theta.target_of(f).unwrap_or(f).to_owned()
                                     } else {
@@ -291,7 +291,7 @@ pub fn apply_redirect(
                     if let Some((_, n)) = renames.iter().find(|(old, _)| old == f) {
                         return Some(Expr::Agg(*op, v.clone(), n.clone()));
                     }
-                    if src2.field(f).map_or(false, |d| d.primary_key) {
+                    if src2.field(f).is_some_and(|d| d.primary_key) {
                         if let Some(n) = theta2.target_of(f) {
                             return Some(Expr::Agg(*op, v.clone(), n.to_owned()));
                         }
@@ -304,7 +304,7 @@ pub fn apply_redirect(
                     if let Some((_, n)) = renames.iter().find(|(old, _)| old == f) {
                         return Some(Expr::At(i.clone(), v.clone(), n.clone()));
                     }
-                    if src2.field(f).map_or(false, |d| d.primary_key) {
+                    if src2.field(f).is_some_and(|d| d.primary_key) {
                         if let Some(n) = theta2.target_of(f) {
                             return Some(Expr::At(i.clone(), v.clone(), n.to_owned()));
                         }
@@ -450,11 +450,10 @@ pub fn apply_logging(
                 }
                 // Inserting the logged field (or deleting whole records)
                 // cannot be expressed through the log.
-                Stmt::Insert(c) if c.schema == schema_name => {
-                    if c.values.iter().any(|(f, _)| f == field) {
+                Stmt::Insert(c) if c.schema == schema_name
+                    && c.values.iter().any(|(f, _)| f == field) => {
                         failed = true;
                     }
-                }
                 Stmt::Delete(c) if c.schema == schema_name => {
                     let _ = c;
                     failed = true;

@@ -415,7 +415,7 @@ fn analyse_pair(
                         break;
                     }
                 }
-                if out.last().map_or(false, |p| {
+                if out.last().is_some_and(|p| {
                     p.kind == AnomalyKind::NonRepeatableRead
                         && (p.cmd1 == model.cmds[c1].summary.label
                             || p.cmd2 == model.cmds[c1].summary.label)

@@ -99,7 +99,7 @@ impl TxnSummary {
                 let data_dep = c
                     .bound_var
                     .as_ref()
-                    .map_or(false, |v| w.uses_vars.contains(v));
+                    .is_some_and(|v| w.uses_vars.contains(v));
                 for f in c.reads.intersection(&w.writes) {
                     if f == ALIVE_FIELD {
                         continue;

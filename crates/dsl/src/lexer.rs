@@ -202,8 +202,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, DslError> {
             }
             '@' => {
                 i += 1;
-                let s = take_ident(bytes, &mut i);
-                if s.is_empty() {
+                let s = take_label(bytes, &mut i);
+                // Labels are dot-separated ident segments; every segment must
+                // be non-empty (rejects `@`, `@.L`, `@S1.`, `@S1..L`).
+                if s.is_empty() || s.split('.').any(str::is_empty) {
                     return Err(lex_err("expected label name after `@`", start));
                 }
                 toks.push(spanned(Token::Label(s), start, i));
@@ -258,17 +260,23 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, DslError> {
     Ok(toks)
 }
 
-fn take_ident(bytes: &[u8], i: &mut usize) -> String {
+fn take_while_bytes(bytes: &[u8], i: &mut usize, accept: impl Fn(u8) -> bool) -> String {
     let start = *i;
-    while *i < bytes.len() {
-        let b = bytes[*i];
-        if b.is_ascii_alphanumeric() || b == b'_' {
-            *i += 1;
-        } else {
-            break;
-        }
+    while *i < bytes.len() && accept(bytes[*i]) {
+        *i += 1;
     }
     String::from_utf8_lossy(&bytes[start..*i]).into_owned()
+}
+
+fn take_ident(bytes: &[u8], i: &mut usize) -> String {
+    take_while_bytes(bytes, i, |b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// Like [`take_ident`], but also accepts `.`: the repair engine derives
+/// labels for split commands (`@S1.1`, `@S1.L`) and they must survive a
+/// print/parse round trip.
+fn take_label(bytes: &[u8], i: &mut usize) -> String {
+    take_while_bytes(bytes, i, |b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.')
 }
 
 fn push(toks: &mut Vec<Spanned>, t: Token, start: usize, i: &mut usize) {

@@ -64,9 +64,9 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
                 None => "*".to_owned(),
                 Some(fs) => fs.join(", "),
             };
-            let _ = write!(
+            let _ = writeln!(
                 out,
-                "@{} {} := select {} from {}{};\n",
+                "@{} {} := select {} from {}{};",
                 c.label,
                 c.var,
                 fields,
@@ -81,9 +81,9 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
                 .map(|(f, e)| format!("{f} = {}", print_expr(e)))
                 .collect::<Vec<_>>()
                 .join(", ");
-            let _ = write!(
+            let _ = writeln!(
                 out,
-                "@{} update {} set {}{};\n",
+                "@{} update {} set {}{};",
                 c.label,
                 c.schema,
                 assigns,
@@ -97,19 +97,19 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
                 .map(|(f, e)| format!("{f} = {}", print_expr(e)))
                 .collect::<Vec<_>>()
                 .join(", ");
-            let _ = write!(out, "@{} insert into {} values ({});\n", c.label, c.schema, values);
+            let _ = writeln!(out, "@{} insert into {} values ({});", c.label, c.schema, values);
         }
         Stmt::Delete(c) => {
-            let _ = write!(
+            let _ = writeln!(
                 out,
-                "@{} delete from {}{};\n",
+                "@{} delete from {}{};",
                 c.label,
                 c.schema,
                 print_where_suffix(&c.where_)
             );
         }
         Stmt::If { cond, body } => {
-            let _ = write!(out, "if ({}) {{\n", print_expr(cond));
+            let _ = writeln!(out, "if ({}) {{", print_expr(cond));
             for s in body {
                 print_stmt(out, s, level + 1);
             }
@@ -117,7 +117,7 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
             out.push_str("}\n");
         }
         Stmt::Iterate { count, body } => {
-            let _ = write!(out, "iterate ({}) {{\n", print_expr(count));
+            let _ = writeln!(out, "iterate ({}) {{", print_expr(count));
             for s in body {
                 print_stmt(out, s, level + 1);
             }

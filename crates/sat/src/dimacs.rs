@@ -52,7 +52,7 @@ pub fn parse_dimacs(text: &str) -> Result<Solver, String> {
                 solver.add_clause(clause.drain(..));
             } else {
                 let v = (n.unsigned_abs() - 1) as u32;
-                if declared_vars.map_or(true, |nv| v as usize >= nv) {
+                if declared_vars.is_none_or(|nv| v as usize >= nv) {
                     return Err(format!("literal {n} out of declared range"));
                 }
                 clause.push(Lit::new(Var(v), n > 0));

@@ -186,9 +186,7 @@ impl Solver {
         match lits.len() {
             0 => self.unsat = true,
             1 => {
-                if !self.enqueue(lits[0], None) {
-                    self.unsat = true;
-                } else if self.propagate().is_some() {
+                if !self.enqueue(lits[0], None) || self.propagate().is_some() {
                     self.unsat = true;
                 }
             }
@@ -472,9 +470,7 @@ impl Solver {
                 }
                 self.var_inc /= VAR_DECAY;
                 self.cla_inc /= CLA_DECAY;
-                if conflicts_until_restart > 0 {
-                    conflicts_until_restart -= 1;
-                }
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
             } else {
                 if conflicts_until_restart == 0 {
                     self.stats.restarts += 1;

@@ -197,8 +197,7 @@ pub fn theta_image<'t>(
             keys.iter().zip(&src_record.key).all(|(k, kv)| {
                 vc.theta
                     .target_of(k)
-                    .and_then(|dst_f| row.get(dst_f))
-                    .map_or(false, |v| v == kv)
+                    .and_then(|dst_f| row.get(dst_f)) == Some(kv)
             })
         })
         .map(|(r, _)| r)

@@ -247,7 +247,7 @@ impl Store {
                     let e = &self.events[eid.index()];
                     if e.field == field {
                         if let EventKind::Write(v) = &e.kind {
-                            if best.map_or(true, |(bts, _)| atom.ts >= bts) {
+                            if best.is_none_or(|(bts, _)| atom.ts >= bts) {
                                 best = Some((atom.ts, v));
                             }
                         }
@@ -274,7 +274,7 @@ impl Store {
                     let e = &self.events[eid.index()];
                     if e.field == ALIVE_FIELD {
                         if let EventKind::Write(Value::Bool(b)) = &e.kind {
-                            if best.map_or(true, |(bts, _)| atom.ts >= bts) {
+                            if best.is_none_or(|(bts, _)| atom.ts >= bts) {
                                 best = Some((atom.ts, *b));
                             }
                         }

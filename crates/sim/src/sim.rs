@@ -71,7 +71,7 @@ impl SimConfig {
             duration_ms: 90_000.0,
             warmup_fraction: 0.1,
             cost: CostModel::default(),
-            seed: 0xA7120_05,
+            seed: 0x0A71_2005,
         }
     }
 }

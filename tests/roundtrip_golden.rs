@@ -1,0 +1,78 @@
+//! Golden round-trip coverage for the DSL frontend: for every benchmark of
+//! Table 1, `parse(print_program(p)) == p`, printing is a fixed point, and
+//! the printed text keeps the structure clients depend on (schema and
+//! transaction headers, command labels).
+
+use atropos::prelude::*;
+use atropos::workloads::all_benchmarks;
+
+#[test]
+fn every_benchmark_round_trips_exactly() {
+    for b in all_benchmarks() {
+        let text = print_program(&b.program);
+        let back = parse(&text).unwrap_or_else(|e| panic!("{}: re-parse failed: {e}\n{text}", b.name));
+        assert_eq!(back, b.program, "{}: parse(print(p)) != p", b.name);
+    }
+}
+
+#[test]
+fn printing_is_a_fixed_point() {
+    // print ∘ parse ∘ print == print — i.e. the printer emits canonical text.
+    for b in all_benchmarks() {
+        let once = print_program(&b.program);
+        let twice = print_program(&parse(&once).expect("canonical text parses"));
+        assert_eq!(once, twice, "{}: printer not idempotent", b.name);
+    }
+}
+
+#[test]
+fn printed_text_keeps_declared_structure() {
+    for b in all_benchmarks() {
+        let text = print_program(&b.program);
+        for schema in &b.program.schemas {
+            assert!(
+                text.contains(&format!("schema {}", schema.name)),
+                "{}: printed text lost schema {}",
+                b.name,
+                schema.name
+            );
+        }
+        for txn in &b.program.transactions {
+            assert!(
+                text.contains(&format!("txn {}", txn.name)),
+                "{}: printed text lost transaction {}",
+                b.name,
+                txn.name
+            );
+        }
+    }
+}
+
+#[test]
+fn round_trip_survives_repair() {
+    // The refactored output must stay inside the printable/parsable fragment
+    // of the language: repairs are programs, not just ASTs.
+    for b in all_benchmarks() {
+        let report = repair_program(&b.program, ConsistencyLevel::EventualConsistency);
+        let text = print_program(&report.repaired);
+        let back = parse(&text)
+            .unwrap_or_else(|e| panic!("{}: repaired program failed to re-parse: {e}", b.name));
+        assert_eq!(back, report.repaired, "{}: repaired round trip", b.name);
+        check_program(&back).unwrap_or_else(|e| panic!("{}: repaired re-check: {e}", b.name));
+    }
+}
+
+#[test]
+fn golden_courseware_header_lines() {
+    // A small literal golden fragment so gross printer format drift fails
+    // loudly rather than silently re-parsing.
+    let text = print_program(&atropos::workloads::courseware::program());
+    for needle in [
+        "schema STUDENT {",
+        "st_id: int key",
+        "txn regSt(",
+        "return ",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}

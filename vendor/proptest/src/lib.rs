@@ -1,0 +1,769 @@
+//! Offline, dependency-free subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so this shim implements the
+//! slice of `proptest` the workspace's property tests use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_recursive`,
+//!   `boxed`, plus [`strategy::Just`], unions ([`prop_oneof!`]), tuple and
+//!   integer-range strategies, and a tiny regex-subset string strategy;
+//! * [`collection::vec`] with the usual size-range sugar;
+//! * [`arbitrary::any`] for the primitive types the tests draw;
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, multiple
+//!   bindings per test, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from the real crate: generation is deterministic per test
+//! (seeded from the test's name) and failing cases are reported but not
+//! shrunk. Tests written against this shim compile unchanged against real
+//! `proptest`.
+
+pub mod rng {
+    /// SplitMix64 — small, fast, deterministic. Each `proptest!` test gets
+    /// one seeded from the hash of its own name, so runs are reproducible
+    /// without a persistence file.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn seed_from_u64(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9e3779b97f4a7c15,
+            }
+        }
+
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the test name keeps distinct tests on distinct
+            // streams while staying deterministic across runs.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            Self::seed_from_u64(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `0..n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        pub fn bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Subset of `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::rng::TestRng;
+    use std::rc::Rc;
+
+    /// Value-generation strategy. The shim drops shrinking, so a strategy is
+    /// just a composable generator.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// `depth` levels of recursion at most; the size-tuning parameters of
+        /// real proptest are accepted and ignored.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+        {
+            Recursive {
+                base: self.boxed(),
+                grow: Rc::new(move |b| f(b).boxed()),
+                depth,
+            }
+        }
+
+        fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    trait DynStrategy {
+        type Value;
+        fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Clonable type-erased strategy (`Strategy::boxed`).
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Clone, F: Clone> Clone for Map<S, F> {
+        fn clone(&self) -> Self {
+            Map {
+                inner: self.inner.clone(),
+                f: self.f.clone(),
+            }
+        }
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            // Bounded rejection sampling; a pathological filter fails loudly
+            // rather than spinning forever.
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 consecutive candidates");
+        }
+    }
+
+    pub struct Recursive<T> {
+        base: BoxedStrategy<T>,
+        grow: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+        depth: u32,
+    }
+
+    impl<T> Clone for Recursive<T> {
+        fn clone(&self) -> Self {
+            Recursive {
+                base: self.base.clone(),
+                grow: Rc::clone(&self.grow),
+                depth: self.depth,
+            }
+        }
+    }
+
+    impl<T> Strategy for Recursive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let levels = rng.below(self.depth as u64 + 1) as u32;
+            let mut strat = self.base.clone();
+            for _ in 0..levels {
+                strat = (self.grow)(strat);
+            }
+            strat.generate(rng)
+        }
+    }
+
+    /// Uniform choice among same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let k = rng.below(self.options.len() as u64) as usize;
+            self.options[k].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64 + 1;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// `&str` as a strategy: the pattern is interpreted as the regex subset
+    /// `proptest` users lean on for identifiers — literals, `[a-z0-9_]`-style
+    /// classes (ranges and single chars), and `{n}` / `{m,n}` / `?` / `*` /
+    /// `+` quantifiers (the unbounded ones capped at 8 repeats).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        #[derive(Debug)]
+        enum Atom {
+            Lit(char),
+            Class(Vec<(char, char)>),
+        }
+
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms: Vec<(Atom, usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                    let mut ranges = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            ranges.push((chars[j], chars[j + 2]));
+                            j += 3;
+                        } else {
+                            ranges.push((chars[j], chars[j]));
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    Atom::Class(ranges)
+                }
+                '\\' if i + 1 < chars.len() => {
+                    i += 2;
+                    Atom::Lit(chars[i - 1])
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            // Optional quantifier.
+            let (lo, hi) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .map(|p| i + p)
+                            .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((lo, hi)) => (
+                                lo.trim().parse().expect("bad {m,n} lower bound"),
+                                hi.trim().parse().expect("bad {m,n} upper bound"),
+                            ),
+                            None => {
+                                let n: usize = body.trim().parse().expect("bad {n} count");
+                                (n, n)
+                            }
+                        }
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push((atom, lo, hi));
+        }
+
+        let mut out = String::new();
+        for (atom, lo, hi) in atoms {
+            let reps = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..reps {
+                match &atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|&(a, b)| (b as u64).saturating_sub(a as u64) + 1)
+                            .sum();
+                        let mut pick = rng.below(total.max(1));
+                        for &(a, b) in ranges {
+                            let size = (b as u64).saturating_sub(a as u64) + 1;
+                            if pick < size {
+                                out.push(char::from_u32(a as u32 + pick as u32).unwrap_or(a));
+                                break;
+                            }
+                            pick -= size;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Canonical strategy for a type (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.bool()
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty => $name:ident),*) => {$(
+            pub struct $name;
+
+            impl Strategy for $name {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = $name;
+                fn arbitrary() -> $name {
+                    $name
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int! {
+        i8 => AnyI8, i16 => AnyI16, i32 => AnyI32, i64 => AnyI64,
+        u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64,
+        usize => AnyUsize, isize => AnyIsize
+    }
+}
+
+pub mod collection {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Element count for [`vec`]; converts from the usual range sugar.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            VecStrategy {
+                element: self.element.clone(),
+                size: self.size.clone(),
+            }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    // `prop::collection::vec(..)`-style paths.
+    pub use crate as prop;
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "prop_assert_eq failed: `{}` != `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!($($fmt)*);
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!(
+                "prop_assert_ne failed: both sides equal\n value: {:?}",
+                l
+            );
+        }
+    }};
+}
+
+/// The `proptest!` test harness: runs each test body `config.cases` times
+/// with fresh strategy draws. Deterministic per test name; no shrinking — a
+/// failing draw panics with the case number so it can be replayed by index.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::rng::TestRng::from_name(stringify!($name));
+                $(let $arg = $strategy;)+
+                for __case in 0..config.cases {
+                    // Inner lets shadow the strategy bindings with this
+                    // case's draws.
+                    $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_subset() {
+        let mut rng = crate::rng::TestRng::from_name("string_pattern_subset");
+        for _ in 0..500 {
+            let s = Strategy::generate(&"[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let strat = prop_oneof![
+            (0i64..5).prop_map(|n| n * 2),
+            Just(100i64),
+        ];
+        let mut rng = crate::rng::TestRng::from_name("union_and_map_compose");
+        let mut saw_branchy = false;
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 100 || (v % 2 == 0 && v < 10));
+            saw_branchy |= v != 100;
+        }
+        assert!(saw_branchy);
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        let strat = (0i64..10).prop_map(Tree::Leaf).prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner)
+                .prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+        });
+        let mut rng = crate::rng::TestRng::from_name("recursive_terminates");
+        for _ in 0..200 {
+            assert!(depth(&strat.generate(&mut rng)) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn harness_draws_in_range(x in 1usize..12, flag in any::<bool>()) {
+            prop_assert!((1..12).contains(&x));
+            let _ = flag;
+        }
+
+        #[test]
+        fn harness_vec_sizes(v in prop::collection::vec((0u32..12, any::<bool>()), 1..4)) {
+            prop_assert!((1..4).contains(&v.len()));
+            for (n, _) in v {
+                prop_assert!(n < 12);
+            }
+        }
+    }
+}
