@@ -2,7 +2,7 @@
 //! is dominated by these queries).
 
 use atropos_detect::{detect_anomalies, ConsistencyLevel};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 fn bench_detect(c: &mut Criterion) {
@@ -34,4 +34,4 @@ fn bench_detect(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_detect);
-criterion_main!(benches);
+atropos_bench::criterion_main_with_csv!("detect", benches);

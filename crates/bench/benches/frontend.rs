@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the DSL front-end (lexer + parser + checker).
 
 use atropos_dsl::{check_program, parse};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 fn bench_frontend(c: &mut Criterion) {
@@ -20,4 +20,4 @@ fn bench_frontend(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_frontend);
-criterion_main!(benches);
+atropos_bench::criterion_main_with_csv!("frontend", benches);

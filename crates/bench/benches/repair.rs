@@ -2,7 +2,7 @@
 
 use atropos_core::repair_program;
 use atropos_detect::ConsistencyLevel;
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 fn bench_repair(c: &mut Criterion) {
@@ -30,4 +30,4 @@ fn bench_repair(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_repair);
-criterion_main!(benches);
+atropos_bench::criterion_main_with_csv!("repair", benches);

@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the CDCL SAT solver substrate.
 
 use atropos_sat::{Lit, Solver, Var};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
@@ -56,4 +56,4 @@ fn bench_sat(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_sat);
-criterion_main!(benches);
+atropos_bench::criterion_main_with_csv!("sat", benches);

@@ -3,7 +3,7 @@
 
 use atropos_sim::{run_simulation, ClusterConfig, SimConfig};
 use atropos_workloads::{derive_workload, TableSpec};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 fn bench_sim(c: &mut Criterion) {
@@ -71,4 +71,4 @@ fn bench_sim(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_sim);
-criterion_main!(benches);
+atropos_bench::criterion_main_with_csv!("sim", benches);

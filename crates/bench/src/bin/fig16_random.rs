@@ -9,7 +9,11 @@ use atropos_workloads::benchmark;
 
 fn main() {
     let mut table = Table::new(vec!["benchmark", "round", "strategy", "anomalies"]);
-    for (name, rounds, moves) in [("SmallBank", 20, 8), ("SEATS", 20, 8), ("TPC-C", 8, 6)] {
+    let thin = atropos_bench::thin_slice();
+    for (name, mut rounds, moves) in [("SmallBank", 20, 8), ("SEATS", 20, 8), ("TPC-C", 8, 6)] {
+        if thin {
+            rounds = 2; // smoke-sized slice for CI
+        }
         let b = benchmark(name).expect("known benchmark");
         let baseline = detect_anomalies(&b.program, ConsistencyLevel::EventualConsistency).len();
         let report = repair_program(&b.program, ConsistencyLevel::EventualConsistency);

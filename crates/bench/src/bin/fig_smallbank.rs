@@ -3,11 +3,17 @@
 //! EC, AT-EC, SC, and AT-SC.
 
 use atropos_bench::perf::{print_headline, run_figure};
+use atropos_bench::thin_slice;
 use atropos_bench::write_csv;
 
 fn main() {
-    let clients: Vec<usize> = vec![1, 25, 50, 100, 150, 200, 250];
-    let fig = run_figure("SmallBank", &clients, 90_000.0);
+    // `--thin` / ATROPOS_THIN=1: a smoke-sized sweep for CI.
+    let (clients, duration_ms): (Vec<usize>, f64) = if thin_slice() {
+        (vec![1, 4], 1_000.0)
+    } else {
+        (vec![1, 25, 50, 100, 150, 200, 250], 90_000.0)
+    };
+    let fig = run_figure("SmallBank", &clients, duration_ms);
     println!("{}", fig.table.render());
     print_headline(&fig, *clients.last().unwrap());
     match write_csv("fig_smallbank", &fig.table) {

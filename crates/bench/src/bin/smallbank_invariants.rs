@@ -215,7 +215,8 @@ fn run_snapshot_probes(program: &Program, runs: u64) -> u64 {
 fn main() {
     let original = atropos_workloads::smallbank::program();
     let report = repair_program(&original, ConsistencyLevel::EventualConsistency);
-    let runs = 400;
+    // `--thin` / ATROPOS_THIN=1: a smoke-sized slice for CI.
+    let runs = if atropos_bench::thin_slice() { 20 } else { 400 };
 
     let mut table = Table::new(vec![
         "program",

@@ -11,3 +11,33 @@ pub mod perf;
 pub mod reporting;
 
 pub use reporting::{write_csv, Table};
+
+/// True when the experiment binaries should run a thin slice (tiny
+/// durations and iteration counts) instead of the full paper-scale sweep —
+/// enabled by `--thin` on the command line or `ATROPOS_THIN=1` in the
+/// environment. CI uses this to keep the six bins compiling *and running*
+/// without paying for full experiments.
+pub fn thin_slice() -> bool {
+    std::env::args().any(|a| a == "--thin")
+        || std::env::var_os("ATROPOS_THIN").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Declares `main` for a `harness = false` bench target: runs the given
+/// criterion groups, then emits the drained measurements as
+/// `experiments/bench_<name>.csv` through [`reporting::write_bench_csv`] —
+/// the same CSV pipeline the figure bins use. Test-mode smoke runs record
+/// no measurements and write nothing.
+#[macro_export]
+macro_rules! criterion_main_with_csv {
+    ($name:literal, $($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            let results = ::criterion::take_results();
+            match $crate::reporting::write_bench_csv($name, &results) {
+                Ok(Some(p)) => println!("wrote {}", p.display()),
+                Ok(None) => {}
+                Err(e) => eprintln!("could not write CSV: {e}"),
+            }
+        }
+    };
+}

@@ -1,8 +1,18 @@
-//! Minimal text-table and CSV reporting for the experiment binaries.
+//! Minimal text-table and CSV reporting for the experiment binaries and
+//! Criterion micro-benchmarks.
+//!
+//! Every CSV in `experiments/` follows one shape: a header row whose first
+//! column is `Benchmark`, then one data row per subject, all rows with the
+//! header's arity. [`parse_csv`] round-trips that shape so tests can pin
+//! it across the figure bins, the bench targets, and the detector-stats
+//! table alike.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
+
+use atropos_detect::DetectStats;
+use criterion::BenchResult;
 
 /// An aligned text table with a header row.
 #[derive(Debug, Clone)]
@@ -83,18 +93,138 @@ impl Table {
     }
 }
 
-/// Writes a table as `experiments/<name>.csv` (relative to the workspace
-/// root when run via `cargo run`), returning the path written.
+/// The `experiments/` directory of the workspace root: binaries run from
+/// the root already, while `cargo test`/`cargo bench` targets start in the
+/// crate directory — so walk ancestors until the workspace `Cargo.lock`.
+fn experiments_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("experiments");
+        }
+        if !dir.pop() {
+            return PathBuf::from("experiments");
+        }
+    }
+}
+
+/// Writes a table as `experiments/<name>.csv` (under the workspace root,
+/// regardless of the invoking target's working directory), returning the
+/// path written.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors.
 pub fn write_csv(name: &str, table: &Table) -> std::io::Result<PathBuf> {
-    let dir = PathBuf::from("experiments");
+    let dir = experiments_dir();
     fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.csv"));
     fs::write(&path, table.to_csv())?;
     Ok(path)
+}
+
+/// Parses CSV text produced by [`Table::to_csv`] back into rows (honouring
+/// quoted cells), so tests can pin the header/row shape of written files.
+pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let mut row = Vec::new();
+        let mut cell = String::new();
+        let mut quoted = false;
+        let mut chars = line.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if quoted => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cell.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                }
+                '"' => quoted = true,
+                ',' if !quoted => row.push(std::mem::take(&mut cell)),
+                _ => cell.push(c),
+            }
+        }
+        row.push(cell);
+        rows.push(row);
+    }
+    rows
+}
+
+/// Builds the per-subject table of Criterion measurements, matching the
+/// figure bins' CSV conventions (leading `Benchmark` column).
+pub fn bench_results_table(results: &[BenchResult]) -> Table {
+    let mut t = Table::new(vec![
+        "Benchmark", "Min (s)", "Mean (s)", "Max (s)", "Samples", "Iters",
+    ]);
+    for r in results {
+        t.row(vec![
+            r.id.clone(),
+            format!("{:.9}", r.min),
+            format!("{:.9}", r.mean),
+            format!("{:.9}", r.max),
+            format!("{}", r.samples),
+            format!("{}", r.iters),
+        ]);
+    }
+    t
+}
+
+/// Writes a bench target's drained measurements as
+/// `experiments/bench_<name>.csv`. Returns `None` without touching the
+/// filesystem when there are no measurements (test-mode smoke runs).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_bench_csv(
+    name: &str,
+    results: &[BenchResult],
+) -> std::io::Result<Option<PathBuf>> {
+    if results.is_empty() {
+        return Ok(None);
+    }
+    let table = bench_results_table(results);
+    write_csv(&format!("bench_{name}"), &table).map(Some)
+}
+
+/// Header of the detector-statistics table emitted by `table1`.
+pub fn detect_stats_header() -> Vec<String> {
+    [
+        "Benchmark",
+        "Queries",
+        "Memo hits",
+        "SAT",
+        "Conflicts",
+        "Clauses",
+        "Fresh-equiv clauses",
+        "Reuse",
+        "Incr (s)",
+        "Fresh (s)",
+        "Speedup",
+    ]
+    .map(str::to_owned)
+    .to_vec()
+}
+
+/// One row of the detector-statistics table: the incremental run's
+/// [`DetectStats`] plus the wall time of the fresh-solver reference run.
+pub fn detect_stats_row(name: &str, stats: &DetectStats, fresh_seconds: f64) -> Vec<String> {
+    vec![
+        name.to_owned(),
+        format!("{}", stats.queries),
+        format!("{}", stats.memo_hits),
+        format!("{}", stats.sat_queries),
+        format!("{}", stats.conflicts),
+        format!("{}", stats.clauses_encoded),
+        format!("{}", stats.clauses_fresh_equivalent),
+        format!("{:.2}", stats.reused_clause_ratio()),
+        format!("{:.3}", stats.seconds),
+        format!("{:.3}", fresh_seconds),
+        format!("{:.1}x", fresh_seconds / stats.seconds.max(1e-9)),
+    ]
 }
 
 #[cfg(test)]

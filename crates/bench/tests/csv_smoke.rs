@@ -1,0 +1,94 @@
+//! Smoke tests pinning the one CSV shape every experiment artifact shares:
+//! a header row led by `Benchmark`, and data rows matching the header's
+//! arity — whether the file comes from the figure bins (`Table::to_csv`),
+//! the Criterion micro-benches (`write_bench_csv`), or the detector-stats
+//! table `table1` emits.
+
+use atropos_bench::reporting::{
+    bench_results_table, detect_stats_header, detect_stats_row, parse_csv, write_bench_csv,
+};
+use atropos_bench::Table;
+use atropos_detect::DetectStats;
+use criterion::BenchResult;
+
+fn assert_csv_shape(rows: &[Vec<String>], what: &str) {
+    assert!(rows.len() >= 2, "{what}: want header + data, got {rows:?}");
+    assert_eq!(rows[0][0], "Benchmark", "{what}: header leads with Benchmark");
+    let arity = rows[0].len();
+    assert!(arity >= 2, "{what}: want at least a name and a value column");
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(r.len(), arity, "{what}: row {i} arity");
+    }
+}
+
+fn sample_results() -> Vec<BenchResult> {
+    vec![
+        BenchResult {
+            id: "detect/smallbank-ec".into(),
+            min: 1.25e-3,
+            mean: 1.5e-3,
+            max: 2.0e-3,
+            samples: 10,
+            iters: 4,
+        },
+        BenchResult {
+            id: "detect, with commas".into(),
+            min: 2.0e-6,
+            mean: 3.0e-6,
+            max: 4.0e-6,
+            samples: 20,
+            iters: 1024,
+        },
+    ]
+}
+
+#[test]
+fn bench_csv_matches_table1_shape() {
+    let bench = bench_results_table(&sample_results());
+    let parsed = parse_csv(&bench.to_csv());
+    assert_csv_shape(&parsed, "bench CSV");
+    assert_eq!(parsed[1][0], "detect/smallbank-ec");
+    assert_eq!(parsed[2][0], "detect, with commas", "quoted cells round-trip");
+
+    // The same invariant table1 itself satisfies (the header is the
+    // contract; the committed artifact lives under the gitignored
+    // experiments/, so validate the generated file when present).
+    let mut table1 = Table::new(vec!["Benchmark", "#Txns", "EC", "AT"]);
+    table1.row(vec!["TPC-C", "5", "87", "15"]);
+    assert_csv_shape(&parse_csv(&table1.to_csv()), "table1-shaped CSV");
+    for candidate in ["../../experiments/table1.csv", "experiments/table1.csv"] {
+        if let Ok(text) = std::fs::read_to_string(candidate) {
+            assert_csv_shape(&parse_csv(&text), candidate);
+        }
+    }
+}
+
+#[test]
+fn detect_stats_rows_match_their_header() {
+    let mut t = Table::new(detect_stats_header());
+    let stats = DetectStats {
+        pairs: 25,
+        queries: 310,
+        sat_queries: 120,
+        memo_hits: 40,
+        clauses_encoded: 100_000,
+        clauses_fresh_equivalent: 4_000_000,
+        conflicts: 900,
+        propagations: 1_000_000,
+        decisions: 40_000,
+        seconds: 0.15,
+    };
+    t.row(detect_stats_row("TPC-C", &stats, 1.1));
+    let parsed = parse_csv(&t.to_csv());
+    assert_csv_shape(&parsed, "detect-stats CSV");
+    assert_eq!(parsed[1][1], "310");
+    assert_eq!(parsed[1].last().unwrap(), "7.3x");
+}
+
+#[test]
+fn empty_bench_run_writes_nothing() {
+    // Test-mode smoke runs drain zero measurements; the writer must not
+    // clobber experiments/ with an empty file.
+    let written = write_bench_csv("smoke_empty", &[]).expect("io");
+    assert!(written.is_none());
+}

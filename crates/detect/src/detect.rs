@@ -1,7 +1,7 @@
 //! The anomaly oracle `O(P)`: enumerating candidate access pairs and
 //! discharging them with the SAT backend.
 //!
-//! Three violation templates cover the anomalies of §2 (the general FOL
+//! Four violation templates cover the anomalies of §2 (the general FOL
 //! condition of §3.2 restricted to the events of a command pair):
 //!
 //! * **Lost update** — both instances read-modify-write the same record
@@ -10,13 +10,26 @@
 //!   sibling write (violating strong atomicity);
 //! * **Non-repeatable read** — a later read of a transaction observes a
 //!   foreign write that an earlier read did not (violating strong
-//!   isolation).
+//!   isolation);
+//! * **Non-monotonic read** — an earlier read observes a foreign write
+//!   that a later read of the same transaction no longer sees (a causal
+//!   session violation: the observed state moved backwards).
+//!
+//! Queries are discharged incrementally: one [`PairSolver`] per
+//! transaction pair carries the ordering/visibility encoding across every
+//! pattern and consistency level, and each query travels as an assumption
+//! set. The fresh-solver reference path ([`detect_anomalies_fresh`]) and
+//! the CLOTHO-style differential runner ([`detect_differential`]) guard
+//! the equivalence of the two paths.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Instant;
 
 use atropos_dsl::{CmdLabel, Program};
 
-use crate::encode::{pattern_satisfiable, ConsistencyLevel, InstanceModel, VisRequirement};
+use crate::encode::{
+    fresh_query, ConsistencyLevel, InstanceModel, PairSolver, VisRequirement,
+};
 use crate::model::{summarize_program, CmdKind, TxnSummary};
 
 /// The anomaly template a pair was confirmed under.
@@ -28,6 +41,9 @@ pub enum AnomalyKind {
     DirtyRead,
     /// A transaction's reads observe foreign commits inconsistently.
     NonRepeatableRead,
+    /// A transaction's later read loses sight of a foreign commit an
+    /// earlier read observed.
+    NonMonotonicRead,
 }
 
 impl std::fmt::Display for AnomalyKind {
@@ -36,8 +52,50 @@ impl std::fmt::Display for AnomalyKind {
             AnomalyKind::LostUpdate => "lost-update",
             AnomalyKind::DirtyRead => "dirty-read",
             AnomalyKind::NonRepeatableRead => "non-repeatable-read",
+            AnomalyKind::NonMonotonicRead => "non-monotonic-read",
         };
         f.write_str(s)
+    }
+}
+
+/// Instrumentation of one detection run: how much SAT work the oracle did
+/// and how much encoding the incremental path avoided re-emitting.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DetectStats {
+    /// Ordered transaction pairs analysed.
+    pub pairs: u64,
+    /// Satisfiability queries issued (post-memoization).
+    pub queries: u64,
+    /// Queries answered SAT (a realizable anomaly witness).
+    pub sat_queries: u64,
+    /// Queries answered from the per-pair memo without touching a solver.
+    pub memo_hits: u64,
+    /// Clauses actually encoded into solvers.
+    pub clauses_encoded: u64,
+    /// Clauses a fresh-solver-per-query strategy would have encoded.
+    pub clauses_fresh_equivalent: u64,
+    /// Solver conflicts across all queries.
+    pub conflicts: u64,
+    /// Solver propagations across all queries.
+    pub propagations: u64,
+    /// Solver decisions across all queries.
+    pub decisions: u64,
+    /// Wall-clock seconds spent in detection.
+    pub seconds: f64,
+}
+
+impl DetectStats {
+    /// Fraction of the fresh-equivalent clause volume the run did *not*
+    /// have to encode thanks to per-pair solver reuse (0 when nothing was
+    /// saved, approaching 1 as reuse grows).
+    pub fn reused_clause_ratio(&self) -> f64 {
+        if self.clauses_fresh_equivalent == 0 {
+            return 0.0;
+        }
+        let saved = self
+            .clauses_fresh_equivalent
+            .saturating_sub(self.clauses_encoded);
+        saved as f64 / self.clauses_fresh_equivalent as f64
     }
 }
 
@@ -108,35 +166,210 @@ pub fn detect_anomalies_marked(
     level: ConsistencyLevel,
     serializable_txns: &BTreeSet<String>,
 ) -> Vec<AccessPair> {
+    let (mut by_level, _) = detect_core(
+        program,
+        &[level],
+        serializable_txns,
+        SolvePath::Incremental,
+        None,
+    );
+    by_level.remove(&level).unwrap_or_default()
+}
+
+/// [`detect_anomalies`] plus the run's [`DetectStats`].
+pub fn detect_anomalies_with_stats(
+    program: &Program,
+    level: ConsistencyLevel,
+) -> (Vec<AccessPair>, DetectStats) {
+    let (mut by_level, stats) = detect_core(
+        program,
+        &[level],
+        &BTreeSet::new(),
+        SolvePath::Incremental,
+        None,
+    );
+    (by_level.remove(&level).unwrap_or_default(), stats)
+}
+
+/// Detects anomalies under several consistency levels in one pass, sharing
+/// each transaction pair's incremental solver across all of them — the
+/// cheap way to produce Table 1's EC/CC/RR columns.
+pub fn detect_anomalies_at_levels(
+    program: &Program,
+    levels: &[ConsistencyLevel],
+) -> (BTreeMap<ConsistencyLevel, Vec<AccessPair>>, DetectStats) {
+    detect_core(program, levels, &BTreeSet::new(), SolvePath::Incremental, None)
+}
+
+/// The reference implementation: identical templates, but every query goes
+/// to a freshly constructed solver ([`crate::pattern_satisfiable`]). Slow;
+/// kept for differential testing and speedup accounting.
+pub fn detect_anomalies_fresh(
+    program: &Program,
+    level: ConsistencyLevel,
+) -> (Vec<AccessPair>, DetectStats) {
+    let (mut by_level, stats) = detect_core(
+        program,
+        &[level],
+        &BTreeSet::new(),
+        SolvePath::Fresh,
+        None,
+    );
+    (by_level.remove(&level).unwrap_or_default(), stats)
+}
+
+/// Outcome of a [`detect_differential`] run.
+#[derive(Debug, Clone)]
+pub struct DifferentialReport {
+    /// Anomalies per level (from the agreed verdicts).
+    pub by_level: BTreeMap<ConsistencyLevel, Vec<AccessPair>>,
+    /// Detection statistics of the paired run.
+    pub stats: DetectStats,
+    /// Human-readable descriptions of every query where the incremental
+    /// and fresh paths disagreed. Empty means the paths are equivalent on
+    /// this program.
+    pub mismatches: Vec<String>,
+}
+
+/// CLOTHO-style differential detection: every query is answered by *both*
+/// the incremental [`PairSolver`] and a fresh solver, and any disagreement
+/// is recorded. The returned anomalies use the incremental verdicts.
+pub fn detect_differential(
+    program: &Program,
+    levels: &[ConsistencyLevel],
+) -> DifferentialReport {
+    let mut mismatches = Vec::new();
+    let (by_level, stats) = detect_core(
+        program,
+        levels,
+        &BTreeSet::new(),
+        SolvePath::Differential,
+        Some(&mut mismatches),
+    );
+    DifferentialReport {
+        by_level,
+        stats,
+        mismatches,
+    }
+}
+
+/// How queries are discharged.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SolvePath {
+    /// One incremental solver per pair, queries via assumptions.
+    Incremental,
+    /// A fresh solver per query (the paper's Z3-per-query shape).
+    Fresh,
+    /// Both, with verdict comparison.
+    Differential,
+}
+
+fn detect_core(
+    program: &Program,
+    levels: &[ConsistencyLevel],
+    serializable_txns: &BTreeSet<String>,
+    path: SolvePath,
+    mut mismatches: Option<&mut Vec<String>>,
+) -> (BTreeMap<ConsistencyLevel, Vec<AccessPair>>, DetectStats) {
+    let started = Instant::now();
     let summaries = summarize_program(program);
-    let mut found: BTreeMap<(String, String, AnomalyKind), AccessPair> = BTreeMap::new();
+    let mut found: BTreeMap<ConsistencyLevel, BTreeMap<(String, String, AnomalyKind), AccessPair>> =
+        levels.iter().map(|&l| (l, BTreeMap::new())).collect();
+    let mut stats = DetectStats::default();
 
     for (i, t1) in summaries.iter().enumerate() {
         for (j, t2) in summaries.iter().enumerate() {
-            // A pair is only analysed as serializable when *both* instances
-            // of the bounded execution coordinate.
-            let eff = if serializable_txns.contains(&t1.name)
-                && serializable_txns.contains(&t2.name)
-            {
-                ConsistencyLevel::Serializable
-            } else {
-                level
-            };
-            let mut pairs = analyse_pair(t1, t2, eff, i <= j);
-            for p in pairs.drain(..) {
-                let key = pair_key(&p);
-                found
-                    .entry(key)
-                    .and_modify(|e| {
-                        e.fields1.extend(p.fields1.iter().cloned());
-                        e.fields2.extend(p.fields2.iter().cloned());
-                        e.witnesses.extend(p.witnesses.iter().cloned());
-                    })
-                    .or_insert(p);
+            let model = InstanceModel::new(t1, t2);
+            stats.pairs += 1;
+            // The incremental solver is shared across every level queried
+            // for this pair; built lazily so the fresh path never pays.
+            let mut pair_solver: Option<PairSolver> = None;
+            for &level in levels {
+                // A pair is only analysed as serializable when *both*
+                // instances of the bounded execution coordinate.
+                let eff = if serializable_txns.contains(&t1.name)
+                    && serializable_txns.contains(&t2.name)
+                {
+                    ConsistencyLevel::Serializable
+                } else {
+                    level
+                };
+                // Memoize SAT calls on their requirement signature.
+                let mut memo: HashMap<Vec<VisRequirement>, bool> = HashMap::new();
+                let mut sat = |reqs: Vec<VisRequirement>| -> bool {
+                    if let Some(&r) = memo.get(&reqs) {
+                        stats.memo_hits += 1;
+                        return r;
+                    }
+                    stats.queries += 1;
+                    let incremental = if path != SolvePath::Fresh {
+                        let ps = pair_solver.get_or_insert_with(|| PairSolver::new(&model));
+                        let r = ps.satisfiable(eff, &reqs);
+                        stats.clauses_fresh_equivalent +=
+                            ps.fresh_equivalent_clauses(eff) as u64;
+                        Some(r)
+                    } else {
+                        None
+                    };
+                    let fresh = if path != SolvePath::Incremental {
+                        let (r, s, clauses) = fresh_query(&model, eff, &reqs);
+                        if path == SolvePath::Fresh {
+                            stats.conflicts += s.conflicts;
+                            stats.propagations += s.propagations;
+                            stats.decisions += s.decisions;
+                            stats.clauses_encoded += clauses as u64;
+                            stats.clauses_fresh_equivalent += clauses as u64;
+                        }
+                        Some(r)
+                    } else {
+                        None
+                    };
+                    if let (Some(a), Some(b)) = (incremental, fresh) {
+                        if a != b {
+                            if let Some(log) = mismatches.as_deref_mut() {
+                                log.push(format!(
+                                    "{} × {} @ {eff}: reqs {reqs:?}: incremental={a} fresh={b}",
+                                    t1.name, t2.name
+                                ));
+                            }
+                        }
+                    }
+                    let r = incremental.or(fresh).expect("some path ran");
+                    if r {
+                        stats.sat_queries += 1;
+                    }
+                    memo.insert(reqs, r);
+                    r
+                };
+                let mut pairs = analyse_pair(t1, t2, &model, i <= j, &mut sat);
+                let per_level = found.get_mut(&level).expect("level registered");
+                for p in pairs.drain(..) {
+                    let key = pair_key(&p);
+                    per_level
+                        .entry(key)
+                        .and_modify(|e| {
+                            e.fields1.extend(p.fields1.iter().cloned());
+                            e.fields2.extend(p.fields2.iter().cloned());
+                            e.witnesses.extend(p.witnesses.iter().cloned());
+                        })
+                        .or_insert(p);
+                }
+            }
+            if let Some(ps) = &pair_solver {
+                let s = ps.solver_stats();
+                stats.conflicts += s.conflicts;
+                stats.propagations += s.propagations;
+                stats.decisions += s.decisions;
+                stats.clauses_encoded += ps.encoded_clauses() as u64;
             }
         }
     }
-    found.into_values().collect()
+    stats.seconds = started.elapsed().as_secs_f64();
+    let by_level = found
+        .into_iter()
+        .map(|(l, m)| (l, m.into_values().collect()))
+        .collect();
+    (by_level, stats)
 }
 
 fn pair_key(p: &AccessPair) -> (String, String, AnomalyKind) {
@@ -185,27 +418,19 @@ fn make_pair(
     }
 }
 
-/// Analyses one ordered transaction pair. `run_symmetric` gates the
-/// symmetric lost-update template so it runs once per unordered pair.
+/// Analyses one ordered transaction pair against the query oracle `sat`
+/// (which fixes the consistency level and the solving path).
+/// `run_symmetric` gates the symmetric lost-update template so it runs
+/// once per unordered pair.
 fn analyse_pair(
     t1: &TxnSummary,
     t2: &TxnSummary,
-    level: ConsistencyLevel,
+    model: &InstanceModel,
     run_symmetric: bool,
+    sat: &mut dyn FnMut(Vec<VisRequirement>) -> bool,
 ) -> Vec<AccessPair> {
-    let model = InstanceModel::new(t1, t2);
     let n1 = model.n1;
     let mut out = Vec::new();
-    // Memoize SAT calls on their requirement signature.
-    let mut memo: HashMap<Vec<VisRequirement>, bool> = HashMap::new();
-    let mut sat = |reqs: Vec<VisRequirement>| -> bool {
-        if let Some(&r) = memo.get(&reqs) {
-            return r;
-        }
-        let r = pattern_satisfiable(&model, level, &reqs);
-        memo.insert(reqs, r);
-        r
-    };
 
     // ---- Lost update: RMW in both instances on a shared record field. ----
     if run_symmetric {
@@ -428,6 +653,74 @@ fn analyse_pair(
         }
     }
 
+    // ---- Read instability on a single foreign write: two program-ordered
+    // reads of instance 1 observing one write atom of instance 2
+    // differently. Seen-late-only is a non-repeatable read; seen-then-lost
+    // is a non-monotonic read — the causal session violation that
+    // distinguishes CC (and RR) from EC. ----
+    for (ri, &(c1, r1)) in reads1.iter().enumerate() {
+        for &(c2, r2) in &reads1[ri + 1..] {
+            if !model.prog_before(c1, c2) {
+                continue;
+            }
+            let mut found_nrr = false;
+            let mut found_nmr = false;
+            for &(d, dr) in &writes2 {
+                if !model.may_alias_records(dr, r1) || !model.may_alias_records(dr, r2) {
+                    continue;
+                }
+                let f1: BTreeSet<String> = model.cmds[d]
+                    .summary
+                    .writes
+                    .intersection(&model.cmds[c1].summary.reads)
+                    .cloned()
+                    .collect();
+                if f1.is_empty() {
+                    continue;
+                }
+                let f2: BTreeSet<String> = model.cmds[d]
+                    .summary
+                    .writes
+                    .intersection(&model.cmds[c2].summary.reads)
+                    .cloned()
+                    .collect();
+                if f2.is_empty() {
+                    continue;
+                }
+                let Some(a) = model.atom(d, dr) else { continue };
+                if !found_nrr && sat(vec![(a, c2, true), (a, c1, false)]) {
+                    out.push(make_pair(
+                        t1,
+                        &model.cmds[c1].summary,
+                        f1.clone(),
+                        t1,
+                        &model.cmds[c2].summary,
+                        f2.clone(),
+                        BTreeSet::from([t2.name.clone()]),
+                        AnomalyKind::NonRepeatableRead,
+                    ));
+                    found_nrr = true;
+                }
+                if !found_nmr && sat(vec![(a, c1, true), (a, c2, false)]) {
+                    out.push(make_pair(
+                        t1,
+                        &model.cmds[c1].summary,
+                        f1,
+                        t1,
+                        &model.cmds[c2].summary,
+                        f2,
+                        BTreeSet::from([t2.name.clone()]),
+                        AnomalyKind::NonMonotonicRead,
+                    ));
+                    found_nmr = true;
+                }
+                if found_nrr && found_nmr {
+                    break;
+                }
+            }
+        }
+    }
+
     out
 }
 
@@ -488,14 +781,81 @@ mod tests {
         assert!(detect_anomalies(&p, ConsistencyLevel::Serializable).is_empty());
     }
 
+    /// A transaction reading the same record twice while another updates
+    /// it: the observed state can move backwards under EC (non-monotonic
+    /// read), which the causal session axioms and read stability forbid —
+    /// so CC and RR must count strictly fewer anomalies than EC.
+    const DOUBLE_READ: &str = "schema T { id: int key, v: int, w: int }
+         txn audit(k: int) {
+             @R1 x := select v from T where id = k;
+             @R2 y := select v, w from T where id = k;
+             return x.v + y.v;
+         }
+         txn bump(k: int) {
+             @B1 x := select v from T where id = k;
+             @B2 update T set v = x.v + 1 where id = k;
+             return 0;
+         }";
+
     #[test]
-    fn cc_and_rr_remove_few_anomalies() {
+    fn cc_strictly_prunes_ec_on_double_reads() {
+        let p = parse(DOUBLE_READ).unwrap();
+        let ec = detect_anomalies(&p, ConsistencyLevel::EventualConsistency);
+        let cc = detect_anomalies(&p, ConsistencyLevel::CausalConsistency);
+        let rr = detect_anomalies(&p, ConsistencyLevel::RepeatableRead);
+        assert!(
+            ec.iter().any(|a| a.kind == AnomalyKind::NonMonotonicRead),
+            "EC must witness the non-monotonic read: {ec:?}"
+        );
+        assert!(
+            cc.iter().all(|a| a.kind != AnomalyKind::NonMonotonicRead),
+            "causal sessions forbid non-monotonic reads: {cc:?}"
+        );
+        assert!(cc.len() < ec.len(), "CC {} !< EC {}", cc.len(), ec.len());
+        assert!(rr.len() < ec.len(), "RR {} !< EC {}", rr.len(), ec.len());
+    }
+
+    #[test]
+    fn stronger_levels_are_monotone_on_courseware() {
         let p = parse(COURSEWARE).unwrap();
         let ec = detect_anomalies(&p, ConsistencyLevel::EventualConsistency).len();
         let cc = detect_anomalies(&p, ConsistencyLevel::CausalConsistency).len();
         let rr = detect_anomalies(&p, ConsistencyLevel::RepeatableRead).len();
         assert!(cc <= ec && rr <= ec);
-        assert!(cc * 2 >= ec, "CC should retain most anomalies: {cc} vs {ec}");
+    }
+
+    #[test]
+    fn multi_level_pass_matches_single_level_runs() {
+        let p = parse(COURSEWARE).unwrap();
+        let (by_level, stats) = detect_anomalies_at_levels(&p, &ConsistencyLevel::ALL);
+        for level in ConsistencyLevel::ALL {
+            assert_eq!(
+                by_level[&level],
+                detect_anomalies(&p, level),
+                "shared-solver pass diverged at {level}"
+            );
+        }
+        assert!(stats.queries > 0);
+        assert!(
+            stats.reused_clause_ratio() > 0.5,
+            "per-pair reuse should dominate: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn differential_paths_agree_on_courseware() {
+        let p = parse(COURSEWARE).unwrap();
+        let report = detect_differential(&p, &ConsistencyLevel::ALL);
+        assert!(
+            report.mismatches.is_empty(),
+            "incremental vs fresh mismatches: {:?}",
+            report.mismatches
+        );
+        let (fresh_ec, _) = detect_anomalies_fresh(&p, ConsistencyLevel::EventualConsistency);
+        assert_eq!(
+            report.by_level[&ConsistencyLevel::EventualConsistency],
+            fresh_ec
+        );
     }
 
     #[test]

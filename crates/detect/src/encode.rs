@@ -9,10 +9,23 @@
 //! then asserts a serializability violation restricted to a specific pair of
 //! commands, and the CDCL solver decides satisfiability — exactly the role
 //! Z3 plays in the paper.
+//!
+//! Two solving paths share one encoder so their clause streams cannot
+//! diverge:
+//!
+//! * [`pattern_satisfiable`] — the reference path: a fresh solver per
+//!   query, with only the queried level's axioms, requirements asserted as
+//!   unit clauses;
+//! * [`PairSolver`] — the incremental path: the ordering/visibility matrix
+//!   is encoded **once per transaction pair**, each non-trivial consistency
+//!   level's axioms are installed as an activation-literal-guarded clause
+//!   group, and every anomaly query is dispatched via
+//!   `solve_with_assumptions` (the guard plus the requirement literals),
+//!   retaining learnt clauses across queries.
 
 use std::collections::HashMap;
 
-use atropos_sat::{CnfBuilder, Lit};
+use atropos_sat::{Lit, Solver, SolverStats};
 
 use crate::model::{CmdSummary, KeySpec, TxnSummary};
 
@@ -30,6 +43,26 @@ pub enum ConsistencyLevel {
     RepeatableRead,
     /// Full serializability: transaction instances execute as atomic blocks.
     Serializable,
+}
+
+impl ConsistencyLevel {
+    /// All four levels, weakest first.
+    pub const ALL: [ConsistencyLevel; 4] = [
+        ConsistencyLevel::EventualConsistency,
+        ConsistencyLevel::CausalConsistency,
+        ConsistencyLevel::RepeatableRead,
+        ConsistencyLevel::Serializable,
+    ];
+
+    /// Dense index (position in [`ConsistencyLevel::ALL`]).
+    fn index(self) -> usize {
+        match self {
+            ConsistencyLevel::EventualConsistency => 0,
+            ConsistencyLevel::CausalConsistency => 1,
+            ConsistencyLevel::RepeatableRead => 2,
+            ConsistencyLevel::Serializable => 3,
+        }
+    }
 }
 
 impl std::fmt::Display for ConsistencyLevel {
@@ -224,7 +257,7 @@ impl InstanceModel {
         self.cmds[a].instance == self.cmds[b].instance
     }
 
-    fn prog_before(&self, a: usize, b: usize) -> bool {
+    pub(crate) fn prog_before(&self, a: usize, b: usize) -> bool {
         self.same_instance(a, b) && self.cmds[a].summary.prog_index < self.cmds[b].summary.prog_index
     }
 
@@ -237,21 +270,49 @@ impl InstanceModel {
 /// and required polarity.
 pub type VisRequirement = (usize, usize, bool);
 
-/// Decides whether an execution satisfying `requirements` exists under the
-/// axioms of `level` — i.e., whether the candidate anomaly is realizable.
-pub fn pattern_satisfiable(
-    model: &InstanceModel,
-    level: ConsistencyLevel,
-    requirements: &[VisRequirement],
-) -> bool {
-    let n = model.cmds.len();
-    let mut b = CnfBuilder::new();
+/// The ord/vis literal layout produced by [`encode_base`].
+struct PairEncoding {
+    /// `ord[i][j]`: "command i is arbitrated before command j" (None on the
+    /// diagonal).
+    ord: Vec<Vec<Option<Lit>>>,
+    /// `vis[a][c]`: "atom a is visible to command c".
+    vis: Vec<Vec<Lit>>,
+}
 
+impl PairEncoding {
+    fn ord(&self, i: usize, j: usize) -> Lit {
+        self.ord[i][j].expect("i != j")
+    }
+}
+
+fn fresh(s: &mut Solver) -> Lit {
+    s.new_var().positive()
+}
+
+/// Adds `lits` as a clause, weakened by `¬guard` when a guard is present —
+/// so the clause only bites while the guard literal is assumed.
+fn emit(s: &mut Solver, guard: Option<Lit>, lits: impl IntoIterator<Item = Lit>) {
+    match guard {
+        None => s.add_clause(lits),
+        Some(g) => {
+            let mut c: Vec<Lit> = lits.into_iter().collect();
+            c.push(!g);
+            s.add_clause(c);
+        }
+    }
+}
+
+/// Encodes the level-independent skeleton: the total arbitration order
+/// (antisymmetric by construction, transitive by clauses, containing each
+/// instance's program order), the visibility variables with the session
+/// guarantee, and visibility-implies-arbitration.
+fn encode_base(s: &mut Solver, model: &InstanceModel) -> PairEncoding {
+    let n = model.cmds.len();
     // ord[i][j] (i < j): literal meaning "i is arbitrated before j".
     let mut ord: Vec<Vec<Option<Lit>>> = vec![vec![None; n]; n];
     for i in 0..n {
         for j in (i + 1)..n {
-            let l = b.fresh();
+            let l = fresh(s);
             ord[i][j] = Some(l);
             ord[j][i] = Some(!l);
         }
@@ -263,7 +324,7 @@ pub fn pattern_satisfiable(
         for j in 0..n {
             for k in 0..n {
                 if i != j && j != k && i != k {
-                    b.clause([!ord_lit(i, j), !ord_lit(j, k), ord_lit(i, k)]);
+                    s.add_clause([!ord_lit(i, j), !ord_lit(j, k), ord_lit(i, k)]);
                 }
             }
         }
@@ -272,42 +333,53 @@ pub fn pattern_satisfiable(
     for i in 0..n {
         for j in 0..n {
             if i != j && model.prog_before(i, j) {
-                b.assert_lit(ord_lit(i, j));
+                s.add_clause([ord_lit(i, j)]);
             }
         }
     }
 
     // vis[a][c] variables.
-    let na = model.atoms.len();
-    let mut vis = vec![vec![None::<Lit>; n]; na];
+    let mut vis = vec![Vec::with_capacity(n); model.atoms.len()];
     for (ai, atom) in model.atoms.iter().enumerate() {
         for c in 0..n {
-            let l = b.fresh();
-            vis[ai][c] = Some(l);
+            let l = fresh(s);
+            vis[ai].push(l);
             let producer = atom.cmd;
             if producer == c {
                 // A command's view predates its own events.
-                b.assert_lit(!l);
+                s.add_clause([!l]);
             } else if model.same_instance(producer, c) {
                 // Session guarantee: a transaction sees its own effects.
                 if model.prog_before(producer, c) {
-                    b.assert_lit(l);
+                    s.add_clause([l]);
                 } else {
-                    b.assert_lit(!l);
+                    s.add_clause([!l]);
                 }
             } else {
                 // Visibility implies arbitration order.
-                b.assert_implies(l, ord_lit(producer, c));
+                s.add_clause([!l, ord_lit(producer, c)]);
             }
         }
     }
-    let vis_lit = |vis: &Vec<Vec<Option<Lit>>>, a: usize, c: usize| vis[a][c].expect("built");
+    PairEncoding { ord, vis }
+}
 
+/// Encodes the axioms of one consistency level on top of [`encode_base`],
+/// optionally guarded by an activation literal (the incremental path).
+fn encode_level(
+    s: &mut Solver,
+    model: &InstanceModel,
+    enc: &PairEncoding,
+    level: ConsistencyLevel,
+    guard: Option<Lit>,
+) {
+    let n = model.cmds.len();
+    let na = model.atoms.len();
     match level {
         ConsistencyLevel::EventualConsistency => {}
         ConsistencyLevel::CausalConsistency => {
-            // vis(b, c') ∧ vis(a_{c'}, c) ⇒ vis(b, c): visibility is closed
-            // under the observer chain.
+            // (1) vis(b, c') ∧ vis(a_{c'}, c) ⇒ vis(b, c): visibility is
+            // closed under the observer chain.
             for bi in 0..na {
                 for cp in 0..n {
                     if model.atoms[bi].cmd == cp {
@@ -321,20 +393,55 @@ pub fn pattern_satisfiable(
                             if c == cp || model.atoms[bi].cmd == c {
                                 continue;
                             }
-                            b.clause([
-                                !vis_lit(&vis, bi, cp),
-                                !vis_lit(&vis, ai, c),
-                                vis_lit(&vis, bi, c),
-                            ]);
+                            emit(
+                                s,
+                                guard,
+                                [!enc.vis[bi][cp], !enc.vis[ai][c], enc.vis[bi][c]],
+                            );
                         }
+                    }
+                }
+            }
+            // (2) Writer-session closure: a session's earlier effects are
+            // causally before its later ones, so observing the later atom
+            // forces the earlier one — vis(a, c) ⇒ vis(b, c) when
+            // producer(b) precedes producer(a) in the same instance.
+            for ai in 0..na {
+                for bi in 0..na {
+                    let (pa, pb) = (model.atoms[ai].cmd, model.atoms[bi].cmd);
+                    if !model.prog_before(pb, pa) {
+                        continue;
+                    }
+                    for c in 0..n {
+                        if model.same_instance(pa, c) {
+                            continue;
+                        }
+                        emit(s, guard, [!enc.vis[ai][c], enc.vis[bi][c]]);
+                    }
+                }
+            }
+            // (3) Monotonic reads: a session's causal past only grows —
+            // vis(a, c1) ⇒ vis(a, c2) for c1 preceding c2 in one instance.
+            for (ai, atom) in model.atoms.iter().enumerate() {
+                for c1 in 0..n {
+                    if model.same_instance(atom.cmd, c1) {
+                        continue;
+                    }
+                    for c2 in 0..n {
+                        if c2 == c1 || !model.prog_before(c1, c2) {
+                            continue;
+                        }
+                        emit(s, guard, [!enc.vis[ai][c1], enc.vis[ai][c2]]);
                     }
                 }
             }
         }
         ConsistencyLevel::RepeatableRead => {
-            // Once command c1 of an instance has accessed record(a), later
-            // commands c2 of the instance cannot observe a foreign atom on
-            // that record that c1 did not observe.
+            // Reads of a record are stable for the rest of the transaction:
+            // once command c1 of an instance has accessed record(a), later
+            // commands c2 observe exactly the foreign atoms on that record
+            // that c1 observed — no new visibility (backward implication)
+            // and no retraction (forward implication).
             for (ai, atom) in model.atoms.iter().enumerate() {
                 for c1 in 0..n {
                     if model.same_instance(atom.cmd, c1) {
@@ -347,23 +454,24 @@ pub fn pattern_satisfiable(
                         if c2 == c1 || !model.prog_before(c1, c2) {
                             continue;
                         }
-                        b.assert_implies(vis_lit(&vis, ai, c2), vis_lit(&vis, ai, c1));
+                        emit(s, guard, [!enc.vis[ai][c2], enc.vis[ai][c1]]);
+                        emit(s, guard, [!enc.vis[ai][c1], enc.vis[ai][c2]]);
                     }
                 }
             }
         }
         ConsistencyLevel::Serializable => {
             // Whole-transaction blocks: blk ⇔ instance 0 runs first.
-            let blk = b.fresh();
+            let blk = fresh(s);
             for i in 0..n {
                 for j in 0..n {
                     if i == j || model.same_instance(i, j) {
                         continue;
                     }
-                    let l = ord_lit(i, j);
+                    let l = enc.ord(i, j);
                     if model.cmds[i].instance == 0 {
-                        b.assert_implies(blk, l);
-                        b.assert_implies(!blk, !l);
+                        emit(s, guard, [!blk, l]);
+                        emit(s, guard, [blk, !l]);
                     }
                 }
             }
@@ -372,24 +480,142 @@ pub fn pattern_satisfiable(
                     if model.same_instance(atom.cmd, c) {
                         continue;
                     }
-                    let l = vis_lit(&vis, ai, c);
+                    let l = enc.vis[ai][c];
                     if model.cmds[atom.cmd].instance == 0 {
-                        b.assert_implies(blk, l);
-                        b.assert_implies(!blk, !l);
+                        emit(s, guard, [!blk, l]);
+                        emit(s, guard, [blk, !l]);
                     } else {
-                        b.assert_implies(blk, !l);
-                        b.assert_implies(!blk, l);
+                        emit(s, guard, [!blk, !l]);
+                        emit(s, guard, [blk, l]);
                     }
                 }
             }
         }
     }
+}
 
+/// Decides whether an execution satisfying `requirements` exists under the
+/// axioms of `level` — i.e., whether the candidate anomaly is realizable.
+///
+/// This is the reference path: it constructs a fresh solver per query. The
+/// production detector uses [`PairSolver`], which must return identical
+/// verdicts (enforced by the `incremental_vs_fresh` differential suite).
+pub fn pattern_satisfiable(
+    model: &InstanceModel,
+    level: ConsistencyLevel,
+    requirements: &[VisRequirement],
+) -> bool {
+    fresh_query(model, level, requirements).0
+}
+
+/// The fresh path with instrumentation: verdict, this query's solver
+/// statistics, and the number of clauses the fresh encoding emitted.
+pub(crate) fn fresh_query(
+    model: &InstanceModel,
+    level: ConsistencyLevel,
+    requirements: &[VisRequirement],
+) -> (bool, SolverStats, usize) {
+    let mut s = Solver::new();
+    let enc = encode_base(&mut s, model);
+    encode_level(&mut s, model, &enc, level, None);
     for &(a, c, polarity) in requirements {
-        let l = vis_lit(&vis, a, c);
-        b.assert_lit(if polarity { l } else { !l });
+        let l = enc.vis[a][c];
+        s.add_clause([if polarity { l } else { !l }]);
     }
-    b.solve().is_sat()
+    let sat = s.solve().is_sat();
+    (sat, s.stats(), s.num_clauses())
+}
+
+/// An incremental anomaly oracle for one transaction pair.
+///
+/// The base ordering/visibility encoding is built once; the axioms of each
+/// non-trivial consistency level form an activation-literal-guarded clause
+/// group. A query assumes the queried level's guard plus the requirement
+/// literals, so the solver retains its clause database (including learnt
+/// clauses) across all patterns and levels.
+pub struct PairSolver<'m> {
+    model: &'m InstanceModel,
+    solver: Solver,
+    enc: PairEncoding,
+    /// Activation literal per level group, allocated when the level is
+    /// first queried (None for EC, which adds no axioms).
+    guards: [Option<Lit>; 4],
+    built: [bool; 4],
+    /// Clauses in the shared encoding: base skeleton plus built groups.
+    base_clauses: usize,
+    level_clauses: [usize; 4],
+}
+
+impl<'m> PairSolver<'m> {
+    /// Builds the level-independent encoding for `model`; each level's
+    /// axiom group is added lazily on first query.
+    pub fn new(model: &'m InstanceModel) -> PairSolver<'m> {
+        let mut solver = Solver::new();
+        let enc = encode_base(&mut solver, model);
+        let base_clauses = solver.num_clauses();
+        PairSolver {
+            model,
+            solver,
+            enc,
+            guards: [None; 4],
+            built: [false; 4],
+            base_clauses,
+            level_clauses: [0usize; 4],
+        }
+    }
+
+    /// Installs `level`'s guarded axiom group if it is not present yet.
+    fn ensure_level(&mut self, level: ConsistencyLevel) {
+        let idx = level.index();
+        if self.built[idx] {
+            return;
+        }
+        self.built[idx] = true;
+        if level == ConsistencyLevel::EventualConsistency {
+            return;
+        }
+        let before = self.solver.num_clauses();
+        let g = fresh(&mut self.solver);
+        encode_level(&mut self.solver, self.model, &self.enc, level, Some(g));
+        self.guards[idx] = Some(g);
+        self.level_clauses[idx] = self.solver.num_clauses() - before;
+    }
+
+    /// Decides one pattern query under `level` via assumptions: the
+    /// level's guard on, every other installed guard off (so inactive
+    /// groups are satisfied by unit propagation, not search), plus the
+    /// requirement literals.
+    pub fn satisfiable(&mut self, level: ConsistencyLevel, requirements: &[VisRequirement]) -> bool {
+        self.ensure_level(level);
+        let mut assumptions = Vec::with_capacity(requirements.len() + 4);
+        for other in ConsistencyLevel::ALL {
+            if let Some(g) = self.guards[other.index()] {
+                assumptions.push(if other == level { g } else { !g });
+            }
+        }
+        for &(a, c, polarity) in requirements {
+            let l = self.enc.vis[a][c];
+            assumptions.push(if polarity { l } else { !l });
+        }
+        self.solver
+            .solve_with_assumptions(&assumptions)
+            .is_sat()
+    }
+
+    /// Clauses this pair's shared encoding holds (excluding learnt ones).
+    pub fn encoded_clauses(&self) -> usize {
+        self.base_clauses + self.level_clauses.iter().sum::<usize>()
+    }
+
+    /// Clauses a fresh per-query encoding would have emitted for `level`.
+    pub fn fresh_equivalent_clauses(&self, level: ConsistencyLevel) -> usize {
+        self.base_clauses + self.level_clauses[level.index()]
+    }
+
+    /// Cumulative statistics of the underlying solver.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver.stats()
+    }
 }
 
 #[cfg(test)]

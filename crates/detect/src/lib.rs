@@ -11,9 +11,13 @@
 //!
 //! * [`model`] — static command summaries (read/write sets, key specs);
 //! * [`encode`] — witness records, atoms, and the CNF encoding of `ord`,
-//!   `vis`, and the per-level axioms (EC / CC / RR / SC);
-//! * [`detect`] — the three violation templates and the public oracle
-//!   [`detect_anomalies`].
+//!   `vis`, and the per-level axioms (EC / CC / RR / SC), shared by the
+//!   fresh reference path ([`pattern_satisfiable`]) and the incremental
+//!   [`PairSolver`] (one solver per transaction pair, level axioms as
+//!   activation-literal-guarded groups, queries via assumptions);
+//! * [`detect`] — the four violation templates, the public oracle
+//!   [`detect_anomalies`] (plus multi-level, instrumented, fresh, and
+//!   differential variants), and [`DetectStats`].
 //!
 //! # Examples
 //!
@@ -38,6 +42,10 @@ pub mod detect;
 pub mod encode;
 pub mod model;
 
-pub use detect::{detect_anomalies, detect_anomalies_marked, AccessPair, AnomalyKind};
-pub use encode::{pattern_satisfiable, ConsistencyLevel, InstanceModel};
+pub use detect::{
+    detect_anomalies, detect_anomalies_at_levels, detect_anomalies_fresh,
+    detect_anomalies_marked, detect_anomalies_with_stats, detect_differential, AccessPair,
+    AnomalyKind, DetectStats, DifferentialReport,
+};
+pub use encode::{pattern_satisfiable, ConsistencyLevel, InstanceModel, PairSolver};
 pub use model::{summarize_program, summarize_txn, CmdKind, CmdSummary, KeySpec, TxnSummary};

@@ -272,9 +272,12 @@ fn take_ident(bytes: &[u8], i: &mut usize) -> String {
     take_while_bytes(bytes, i, |b| b.is_ascii_alphanumeric() || b == b'_')
 }
 
-/// Like [`take_ident`], but also accepts `.`: the repair engine derives
-/// labels for split commands (`@S1.1`, `@S1.L`) and they must survive a
-/// print/parse round trip.
+/// Like [`take_ident`], but also accepts `.`: labels follow the grammar
+/// `segment ("." segment)*` with non-empty `[A-Za-z0-9_]+` segments (see
+/// the crate docs). The dot-suffix namespace is reserved for the repair
+/// engine, which derives `@S1.1`/`@S1.2` for split commands and `@S1.L`
+/// for logging rewrites; such labels must survive a print/parse round
+/// trip. Segment validation happens at the call site in [`lex`].
 fn take_label(bytes: &[u8], i: &mut usize) -> String {
     take_while_bytes(bytes, i, |b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.')
 }
@@ -364,6 +367,27 @@ mod tests {
             kinds("a // comment until eol\nb"),
             vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Eof]
         );
+    }
+
+    #[test]
+    fn accepts_repair_derived_dotted_labels() {
+        assert_eq!(
+            kinds("@S1.L @S1.1 @U4.2.L"),
+            vec![
+                Token::Label("S1.L".into()),
+                Token::Label("S1.1".into()),
+                Token::Label("U4.2.L".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_labels_with_empty_segments() {
+        // Every dot-separated segment of a label must be non-empty.
+        for bad in ["@", "@.L", "@S1.", "@S1..L", "@.", "@.."] {
+            assert!(lex(bad).is_err(), "{bad:?} must be rejected");
+        }
     }
 
     #[test]

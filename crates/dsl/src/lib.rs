@@ -15,6 +15,25 @@
 //!   [`parse`]);
 //! * [`check_program`] — name resolution and type checking.
 //!
+//! # Command-label grammar
+//!
+//! Commands may carry a `@label` annotation, referenced by the detector's
+//! access pairs and the repair engine's steps:
+//!
+//! ```text
+//! label   ::= segment ("." segment)*
+//! segment ::= [A-Za-z0-9_]+
+//! ```
+//!
+//! Every dot-separated segment must be non-empty — `@`, `@.L`, `@S1.`,
+//! and `@S1..L` are lexing errors. The suffix namespace after the first
+//! dot is **reserved for the repair engine**, which derives labels from
+//! the command it refactors: splitting `@S1` appends a 1-based part index
+//! (`@S1.1`, `@S1.2`, …) and logging rewrites append the literal `L`
+//! segment (`@S1.L`). Hand-written programs should therefore use dot-free
+//! labels; derived labels survive a print/parse round trip like any
+//! other.
+//!
 //! # Examples
 //!
 //! ```

@@ -8,7 +8,10 @@
 //! is self-contained and usable independently:
 //!
 //! * [`Solver`] — two-watched-literal CDCL with first-UIP learning, VSIDS,
-//!   phase saving, Luby restarts, and learnt-clause deletion;
+//!   phase saving, Luby restarts, learnt-clause deletion, and incremental
+//!   solving under assumptions (`solve_with_assumptions`) with
+//!   failed-assumption cores — the detector keeps one solver per
+//!   transaction pair and dispatches every anomaly query via assumptions;
 //! * [`CnfBuilder`] — fresh variables, raw clauses, Tseitin gates
 //!   (`and`/`or`/`iff`/`implies`) and cardinality constraints;
 //! * [`dimacs`] — DIMACS CNF import/export.

@@ -2,8 +2,13 @@
 //!
 //! Features: two-watched-literal propagation, first-UIP conflict analysis
 //! with clause learning, VSIDS branching with phase saving, Luby restarts,
-//! and activity-based deletion of learnt clauses. The solver is deliberately
-//! deterministic: identical inputs yield identical models.
+//! activity-based deletion of learnt clauses, and **incremental solving
+//! under assumptions**: [`Solver::solve_with_assumptions`] decides the
+//! formula conjoined with a set of assumption literals, retains learnt
+//! clauses across calls, and on failure exposes a failed-assumption core
+//! via [`Solver::failed_assumptions`]. Clauses may be added between calls.
+//! The solver is deliberately deterministic: identical inputs yield
+//! identical models.
 
 use crate::lit::{LBool, Lit, Var};
 
@@ -88,6 +93,8 @@ pub struct Solver {
     unsat: bool,
     stats: SolverStats,
     seen: Vec<bool>,
+    failed: Vec<Lit>,
+    num_learnt: usize,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -120,6 +127,8 @@ impl Solver {
             unsat: false,
             stats: SolverStats::default(),
             seen: Vec::new(),
+            failed: Vec::new(),
+            num_learnt: 0,
         }
     }
 
@@ -148,6 +157,19 @@ impl Solver {
         self.stats
     }
 
+    /// Number of clauses currently stored (original plus retained learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// After [`Solver::solve_with_assumptions`] returns
+    /// [`SolveResult::Unsat`], the subset of the assumption literals whose
+    /// conjunction already contradicts the formula (the *failed-assumption
+    /// core*). Empty when the formula is unsatisfiable on its own.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed
+    }
+
     fn value(&self, l: Lit) -> LBool {
         self.assign[l.var().index()].under(l.is_positive())
     }
@@ -155,16 +177,18 @@ impl Solver {
     /// Adds a clause (a disjunction of literals).
     ///
     /// Duplicated literals are removed; tautologies are silently dropped; an
-    /// empty clause makes the formula trivially unsatisfiable.
+    /// empty clause makes the formula trivially unsatisfiable. Clauses may
+    /// be added before the first solve and between solves (the solver
+    /// returns to the root decision level after every call); previously
+    /// learnt clauses stay valid because learning is deduction.
     ///
     /// # Panics
     ///
-    /// Panics if a literal references an unallocated variable, or if called
-    /// after solving has begun (the solver is single-shot).
+    /// Panics if a literal references an unallocated variable.
     pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
-        assert!(
+        debug_assert!(
             self.trail_lim.is_empty(),
-            "clauses must be added before solving"
+            "the solver is at the root level between solves"
         );
         let mut lits: Vec<Lit> = lits.into_iter().collect();
         for l in &lits {
@@ -200,6 +224,7 @@ impl Solver {
         let cref = self.clauses.len();
         self.watches[(!lits[0]).index()].push(cref);
         self.watches[(!lits[1]).index()].push(cref);
+        self.num_learnt += usize::from(learnt);
         self.clauses.push(Clause {
             lits,
             learnt,
@@ -432,6 +457,7 @@ impl Solver {
                 self.clauses.push(c);
             } else {
                 self.stats.deleted += 1;
+                self.num_learnt -= 1;
             }
         }
         for r in &mut self.reason {
@@ -439,22 +465,87 @@ impl Solver {
         }
     }
 
-    /// Runs the CDCL loop to completion.
+    /// Computes the failed-assumption core once assumption `p` was found
+    /// falsified: the subset of already-applied assumption decisions whose
+    /// propagation closure implies `¬p`, plus `p` itself. Mirrors MiniSat's
+    /// `analyzeFinal`, except the core is reported as the assumption
+    /// literals themselves (their conjunction is inconsistent with the
+    /// formula).
+    fn analyze_final(&mut self, p: Lit) {
+        self.failed.clear();
+        self.failed.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let q = self.trail[i];
+            let v = q.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            self.seen[v] = false;
+            match self.reason[v] {
+                // Decisions below the branching levels are assumptions.
+                None => self.failed.push(q),
+                Some(cref) => {
+                    for k in 1..self.clauses[cref].lits.len() {
+                        let l = self.clauses[cref].lits[k];
+                        if self.level[l.var().index()] > 0 {
+                            self.seen[l.var().index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+        self.seen[p.var().index()] = false;
+    }
+
+    /// Runs the CDCL loop to completion with no assumptions.
     ///
-    /// The solver is single-shot: call [`Solver::solve`] once per instance.
+    /// Equivalent to `solve_with_assumptions(&[])`; the solver may be
+    /// re-used (and extended with clauses) afterwards.
     pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Decides the formula under the conjunction of `assumptions`.
+    ///
+    /// Assumptions act like unit clauses scoped to this one call: they are
+    /// installed as the bottom-most decisions, so everything learnt while
+    /// solving remains valid for later calls with different assumptions.
+    /// On [`SolveResult::Unsat`], [`Solver::failed_assumptions`] holds an
+    /// inconsistent subset of `assumptions` (empty if the formula itself is
+    /// unsatisfiable). The solver backtracks to the root level before
+    /// returning, so clauses may be added afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption references an unallocated variable.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.failed.clear();
+        for l in assumptions {
+            assert!(l.var().index() < self.num_vars(), "unallocated assumption");
+        }
         if self.unsat {
             return SolveResult::Unsat;
         }
+        self.backtrack(0);
+        // Re-run root propagation: clauses added since the last call may
+        // have enqueued new root facts.
         if self.propagate().is_some() {
+            self.unsat = true;
             return SolveResult::Unsat;
         }
         let mut conflicts_until_restart = luby(self.stats.restarts) * 100;
-        let mut learnt_limit = (self.clauses.len() / 3).max(2000);
+        // Budget learnt clauses against the *original* clause count so the
+        // limit does not creep upwards across incremental calls.
+        let mut learnt_limit = ((self.clauses.len() - self.num_learnt) / 3).max(2000);
         loop {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
                 if self.decision_level() == 0 {
+                    self.unsat = true;
                     return SolveResult::Unsat;
                 }
                 let (learnt, bt) = self.analyze(conflict);
@@ -477,27 +568,51 @@ impl Solver {
                     conflicts_until_restart = luby(self.stats.restarts) * 100;
                     self.backtrack(0);
                 }
-                let learnt_count = self.clauses.iter().filter(|c| c.learnt).count();
-                if learnt_count > learnt_limit {
+                if self.num_learnt > learnt_limit {
                     self.reduce_db();
                     learnt_limit += learnt_limit / 10;
                 }
-                match self.pick_branch() {
-                    None => {
-                        let model = self
-                            .assign
-                            .iter()
-                            .map(|&a| a == LBool::True)
-                            .collect();
-                        return SolveResult::Sat(model);
-                    }
-                    Some(l) => {
-                        self.stats.decisions += 1;
-                        self.trail_lim.push(self.trail.len());
-                        let ok = self.enqueue(l, None);
-                        debug_assert!(ok, "decision variable was unassigned");
+                // Install pending assumptions as the next decisions. A
+                // satisfied assumption still opens a (possibly empty)
+                // decision level so `decision_level()` keeps indexing the
+                // assumption array; a falsified one yields the core.
+                let mut next: Option<Lit> = None;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.value(p) {
+                        LBool::True => self.trail_lim.push(self.trail.len()),
+                        LBool::False => {
+                            self.analyze_final(p);
+                            self.backtrack(0);
+                            return SolveResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            next = Some(p);
+                            break;
+                        }
                     }
                 }
+                let next = match next {
+                    Some(p) => p,
+                    None => match self.pick_branch() {
+                        None => {
+                            let model = self
+                                .assign
+                                .iter()
+                                .map(|&a| a == LBool::True)
+                                .collect();
+                            self.backtrack(0);
+                            return SolveResult::Sat(model);
+                        }
+                        Some(l) => {
+                            self.stats.decisions += 1;
+                            l
+                        }
+                    },
+                };
+                self.trail_lim.push(self.trail.len());
+                let ok = self.enqueue(next, None);
+                debug_assert!(ok, "decision variable was unassigned");
             }
         }
     }

@@ -203,6 +203,114 @@ fn cnf_builder_gates_behave() {
 }
 
 #[test]
+fn assumptions_scope_to_one_call() {
+    // (a ∨ b) with assumption ¬a forces b; with assumption ¬b forces a; and
+    // the solver stays reusable across calls.
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause([a.positive(), b.positive()]);
+    let SolveResult::Sat(m) = s.solve_with_assumptions(&[a.negative()]) else {
+        panic!("SAT under ¬a")
+    };
+    assert!(!m[a.index()] && m[b.index()]);
+    let SolveResult::Sat(m) = s.solve_with_assumptions(&[b.negative()]) else {
+        panic!("SAT under ¬b")
+    };
+    assert!(m[a.index()] && !m[b.index()]);
+    // Contradictory assumptions are UNSAT but leave the solver usable.
+    assert!(!s
+        .solve_with_assumptions(&[a.negative(), b.negative()])
+        .is_sat());
+    assert!(s.solve().is_sat());
+}
+
+#[test]
+fn failed_assumption_core_is_inconsistent_subset() {
+    // a→b, b→c; assuming {a, ¬c} is UNSAT and both assumptions are needed.
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let b = s.new_var();
+    let c = s.new_var();
+    let free = s.new_var();
+    s.add_clause([a.negative(), b.positive()]);
+    s.add_clause([b.negative(), c.positive()]);
+    let result = s.solve_with_assumptions(&[free.positive(), a.positive(), c.negative()]);
+    assert_eq!(result, SolveResult::Unsat);
+    let core: Vec<Lit> = s.failed_assumptions().to_vec();
+    assert!(core.contains(&a.positive()) && core.contains(&c.negative()));
+    assert!(!core.contains(&free.positive()), "free var is not in the core");
+    // Re-asserting the core as unit clauses refutes the formula outright.
+    for l in &core {
+        s.add_clause([*l]);
+    }
+    assert!(!s.solve().is_sat());
+}
+
+#[test]
+fn root_unsat_reports_empty_core() {
+    let mut s = Solver::new();
+    let a = s.new_var();
+    s.add_clause([a.positive()]);
+    s.add_clause([a.negative()]);
+    assert!(!s.solve_with_assumptions(&[a.positive()]).is_sat());
+    assert!(s.failed_assumptions().is_empty());
+}
+
+#[test]
+fn clauses_added_between_solves_take_effect() {
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause([a.positive(), b.positive()]);
+    assert!(s.solve().is_sat());
+    s.add_clause([a.negative()]);
+    let SolveResult::Sat(m) = s.solve() else {
+        panic!("still SAT")
+    };
+    assert!(!m[a.index()] && m[b.index()]);
+    s.add_clause([b.negative()]);
+    assert!(!s.solve().is_sat());
+    // Once root-level UNSAT, no assumptions can rescue it.
+    assert!(!s.solve_with_assumptions(&[a.positive()]).is_sat());
+}
+
+#[test]
+fn learnt_clauses_survive_between_assumption_calls() {
+    // Solving the same hard query twice must not redo all the work: the
+    // second call reuses the learnt clauses and finishes with fewer
+    // additional conflicts than the first.
+    let mut s = Solver::new();
+    let act = s.new_var();
+    let at: Vec<Vec<Var>> = (0..5)
+        .map(|_| (0..4).map(|_| s.new_var()).collect())
+        .collect();
+    // Activation-literal-guarded pigeonhole PHP(5, 4).
+    for row in &at {
+        let mut c: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+        c.push(act.negative());
+        s.add_clause(c);
+    }
+    for h in 0..4 {
+        for p1 in 0..5 {
+            for p2 in (p1 + 1)..5 {
+                s.add_clause([act.negative(), at[p1][h].negative(), at[p2][h].negative()]);
+            }
+        }
+    }
+    assert!(!s.solve_with_assumptions(&[act.positive()]).is_sat());
+    let first = s.stats().conflicts;
+    assert!(!s.solve_with_assumptions(&[act.positive()]).is_sat());
+    let second = s.stats().conflicts - first;
+    assert!(
+        second < first,
+        "retained clauses must shortcut the second refutation ({second} vs {first})"
+    );
+    // With the guard off the formula is trivially satisfiable.
+    assert!(s.solve_with_assumptions(&[act.negative()]).is_sat());
+}
+
+#[test]
 fn dimacs_round_trip_solves_identically() {
     let clauses: Vec<Vec<Lit>> = vec![
         vec![Var(0).positive(), Var(1).positive()],

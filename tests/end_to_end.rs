@@ -70,17 +70,28 @@ fn serializable_marking_silences_the_remaining_anomalies() {
 }
 
 #[test]
-fn stronger_isolation_levels_only_remove_anomalies() {
-    use atropos::detect::detect_anomalies;
+fn stronger_isolation_levels_differentiate() {
+    use atropos::detect::detect_anomalies_at_levels;
+    // RR ≤ EC and CC ≤ EC everywhere; SC is anomaly-free; and the levels
+    // genuinely differ — CC must count *strictly fewer* anomalies than EC
+    // on at least one benchmark (the causal session axioms prune
+    // non-monotonic reads; Table 1's CC column must not collapse into EC).
+    let mut cc_strictly_below_ec = 0usize;
     for b in all_benchmarks() {
-        let ec = detect_anomalies(&b.program, ConsistencyLevel::EventualConsistency).len();
-        let cc = detect_anomalies(&b.program, ConsistencyLevel::CausalConsistency).len();
-        let rr = detect_anomalies(&b.program, ConsistencyLevel::RepeatableRead).len();
-        let sc = detect_anomalies(&b.program, ConsistencyLevel::Serializable).len();
+        let (by_level, _) = detect_anomalies_at_levels(&b.program, &ConsistencyLevel::ALL);
+        let ec = by_level[&ConsistencyLevel::EventualConsistency].len();
+        let cc = by_level[&ConsistencyLevel::CausalConsistency].len();
+        let rr = by_level[&ConsistencyLevel::RepeatableRead].len();
+        let sc = by_level[&ConsistencyLevel::Serializable].len();
         assert!(cc <= ec, "{}: CC {} > EC {}", b.name, cc, ec);
         assert!(rr <= ec, "{}: RR {} > EC {}", b.name, rr, ec);
         assert_eq!(sc, 0, "{}: serializability must be anomaly-free", b.name);
+        cc_strictly_below_ec += usize::from(cc < ec);
     }
+    assert!(
+        cc_strictly_below_ec >= 1,
+        "causal consistency must strictly prune EC's anomaly set somewhere"
+    );
 }
 
 #[test]
