@@ -1,19 +1,25 @@
 //! Regenerates **Table 1**: statically identified anomalous access pairs in
 //! the original (EC / CC / RR) and refactored (AT) benchmark programs, plus
-//! analysis + repair time — and a second table of detector statistics
-//! comparing the incremental per-pair solver against the fresh-solver
-//! reference path ([`atropos_detect::detect_anomalies_fresh`]).
+//! analysis + repair time — a second table of detector statistics comparing
+//! the incremental per-pair solver against the fresh-solver reference path
+//! ([`atropos_detect::detect_anomalies_fresh`]) — and a third table of
+//! repair-loop statistics comparing the near-incremental verdict-cached
+//! driver ([`atropos_core::repair_with_config`]) against the from-scratch
+//! reference ([`atropos_core::repair_with_config_scratch`]), written to
+//! `experiments/repair_stats.csv`.
 
-use atropos_bench::reporting::{detect_stats_header, detect_stats_row};
+use atropos_bench::reporting::{
+    detect_stats_header, detect_stats_row, repair_stats_header, repair_stats_row,
+};
 use atropos_bench::{write_csv, Table};
-use atropos_core::repair_program;
+use atropos_core::{repair_program, repair_with_config_scratch, RepairConfig};
 use atropos_detect::{detect_anomalies_at_levels, detect_anomalies_fresh, ConsistencyLevel};
 use atropos_workloads::all_benchmarks;
 
 fn main() {
-    // `--thin` / ATROPOS_THIN=1: skip the deliberately slow fresh-solver
-    // reference runs so CI smoke runs stay cheap; the Table 1 columns
-    // themselves are identical either way.
+    // `--thin` / ATROPOS_THIN=1: skip the deliberately slow fresh-solver and
+    // from-scratch-repair reference runs so CI smoke runs stay cheap; the
+    // Table 1 columns themselves are identical either way.
     let thin = atropos_bench::thin_slice();
     let levels = [
         ConsistencyLevel::EventualConsistency,
@@ -24,10 +30,13 @@ fn main() {
         "Benchmark", "#Txns", "#Tables", "EC", "AT", "CC", "RR", "Time (s)", "Repaired",
     ]);
     let mut stats_table = Table::new(detect_stats_header());
+    let mut repair_table = Table::new(repair_stats_header());
     let mut total_ec = 0usize;
     let mut total_fixed = 0usize;
     let mut cc_below_ec = 0usize;
     let (mut incr_total, mut fresh_total) = (0.0f64, 0.0f64);
+    let (mut repair_cached_total, mut repair_scratch_total) = (0.0f64, 0.0f64);
+    let mut tpcc_repair_speedup = 0.0f64;
     for b in all_benchmarks() {
         // One shared-solver pass produces all three consistency columns.
         let (by_level, stats) = detect_anomalies_at_levels(&b.program, &levels);
@@ -47,6 +56,27 @@ fn main() {
         }
 
         let report = repair_program(&b.program, ConsistencyLevel::EventualConsistency);
+        if !thin {
+            // From-scratch reference repair, for the repair-loop speedup.
+            // Both drivers are timed as the best of three runs so one
+            // scheduler hiccup cannot distort the reported ratio.
+            let mut cached_seconds = report.seconds;
+            for _ in 0..2 {
+                let again = repair_program(&b.program, ConsistencyLevel::EventualConsistency);
+                cached_seconds = cached_seconds.min(again.seconds);
+            }
+            let mut scratch_seconds = f64::INFINITY;
+            for _ in 0..3 {
+                let scratch = repair_with_config_scratch(&b.program, &RepairConfig::default());
+                scratch_seconds = scratch_seconds.min(scratch.seconds);
+            }
+            repair_cached_total += cached_seconds;
+            repair_scratch_total += scratch_seconds;
+            if b.name == "TPC-C" {
+                tpcc_repair_speedup = scratch_seconds / cached_seconds.max(1e-9);
+            }
+            repair_table.row(repair_stats_row(b.name, &report, cached_seconds, scratch_seconds));
+        }
         total_ec += ec.len();
         total_fixed += ec.len().saturating_sub(report.remaining.len());
         table.row(vec![
@@ -72,7 +102,7 @@ fn main() {
     );
     let mut outputs = vec![("table1", &table)];
     if thin {
-        println!("(thin slice: fresh-solver reference runs skipped)");
+        println!("(thin slice: fresh-solver and from-scratch-repair reference runs skipped)");
     } else {
         println!("\nDetector statistics (incremental vs fresh-solver-per-query):");
         println!("{}", stats_table.render());
@@ -82,6 +112,16 @@ fn main() {
             fresh_total / incr_total.max(1e-9)
         );
         outputs.push(("detect_stats", &stats_table));
+
+        println!("\nRepair-loop statistics (verdict-cached vs from-scratch driver):");
+        println!("{}", repair_table.render());
+        println!(
+            "Repair total: cached {repair_cached_total:.3}s vs scratch \
+             {repair_scratch_total:.3}s ({:.1}x speedup); TPC-C speedup {:.1}x",
+            repair_scratch_total / repair_cached_total.max(1e-9),
+            tpcc_repair_speedup
+        );
+        outputs.push(("repair_stats", &repair_table));
     }
     for (name, t) in outputs {
         match write_csv(name, t) {

@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 
+use atropos_core::RepairReport;
 use atropos_detect::DetectStats;
 use criterion::BenchResult;
 
@@ -224,6 +225,51 @@ pub fn detect_stats_row(name: &str, stats: &DetectStats, fresh_seconds: f64) -> 
         format!("{:.3}", stats.seconds),
         format!("{:.3}", fresh_seconds),
         format!("{:.1}x", fresh_seconds / stats.seconds.max(1e-9)),
+    ]
+}
+
+/// Header of the repair-loop statistics table emitted by `table1`
+/// (`experiments/repair_stats.csv`): per-benchmark oracle reuse of the
+/// near-incremental repair driver against the from-scratch reference.
+pub fn repair_stats_header() -> Vec<String> {
+    [
+        "Benchmark",
+        "Oracle passes",
+        "Passes run",
+        "Passes reused",
+        "Pairs reused",
+        "Pairs solved",
+        "Hit ratio",
+        "Cached (s)",
+        "Scratch (s)",
+        "Speedup",
+    ]
+    .map(str::to_owned)
+    .to_vec()
+}
+
+/// One row of the repair-loop statistics table: the cached run's
+/// [`atropos_core::RepairStats`] plus explicit wall times for the cached
+/// and from-scratch runs (callers time several repetitions and report the
+/// best, so the timings travel separately from the report).
+pub fn repair_stats_row(
+    name: &str,
+    cached: &RepairReport,
+    cached_seconds: f64,
+    scratch_seconds: f64,
+) -> Vec<String> {
+    let s = &cached.stats;
+    vec![
+        name.to_owned(),
+        format!("{}", s.detections + s.detections_skipped),
+        format!("{}", s.detections),
+        format!("{}", s.detections_skipped),
+        format!("{}", s.pairs_reused()),
+        format!("{}", s.pairs_solved()),
+        format!("{:.2}", s.hit_ratio()),
+        format!("{:.3}", cached_seconds),
+        format!("{:.3}", scratch_seconds),
+        format!("{:.1}x", scratch_seconds / cached_seconds.max(1e-9)),
     ]
 }
 

@@ -5,7 +5,8 @@
 //! table `table1` emits.
 
 use atropos_bench::reporting::{
-    bench_results_table, detect_stats_header, detect_stats_row, parse_csv, write_bench_csv,
+    bench_results_table, detect_stats_header, detect_stats_row, parse_csv, repair_stats_header,
+    repair_stats_row, write_bench_csv,
 };
 use atropos_bench::Table;
 use atropos_detect::DetectStats;
@@ -83,6 +84,46 @@ fn detect_stats_rows_match_their_header() {
     assert_csv_shape(&parsed, "detect-stats CSV");
     assert_eq!(parsed[1][1], "310");
     assert_eq!(parsed[1].last().unwrap(), "7.3x");
+}
+
+#[test]
+fn repair_stats_rows_match_their_header() {
+    // A real (tiny) cached repair provides the row's RepairReport; the
+    // scratch wall time is synthetic so the speedup cell shape is pinned.
+    let p = atropos_dsl::parse(
+        "schema C { id: int key, cnt: int }
+         txn bump(k: int) {
+             x := select cnt from C where id = k;
+             update C set cnt = x.cnt + 1 where id = k;
+             return 0;
+         }",
+    )
+    .unwrap();
+    let report = atropos_core::repair_program(
+        &p,
+        atropos_detect::ConsistencyLevel::EventualConsistency,
+    );
+    let mut t = Table::new(repair_stats_header());
+    t.row(repair_stats_row("Counter", &report, report.seconds, 1.0));
+    let parsed = parse_csv(&t.to_csv());
+    assert_csv_shape(&parsed, "repair-stats CSV");
+    assert_eq!(parsed[1][0], "Counter");
+    // Oracle passes = run + reused, and the speedup cell carries the `x`.
+    let passes: u64 = parsed[1][1].parse().unwrap();
+    let run: u64 = parsed[1][2].parse().unwrap();
+    let reused: u64 = parsed[1][3].parse().unwrap();
+    assert_eq!(passes, run + reused);
+    assert!(parsed[1].last().unwrap().ends_with('x'));
+
+    // Validate the generated artifact when a full `table1` run produced it.
+    for candidate in [
+        "../../experiments/repair_stats.csv",
+        "experiments/repair_stats.csv",
+    ] {
+        if let Ok(text) = std::fs::read_to_string(candidate) {
+            assert_csv_shape(&parse_csv(&text), candidate);
+        }
+    }
 }
 
 #[test]

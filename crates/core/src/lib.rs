@@ -5,14 +5,18 @@
 //! Serializability Bugs in Distributed Database Programs via Automated
 //! Schema Refactoring* (PLDI 2021).
 //!
-//! * [`analysis`] — AST traversal, variable liveness, field-access analysis;
+//! * [`analysis`] — AST traversal, variable liveness, field-access analysis,
+//!   and the [`DirtySet`] invalidation payload of the verdict cache;
 //! * [`rewrite`] — the `⟦·⟧_v` rewrite function: the **redirect** and
 //!   **logger** rule instantiations of `intro v`;
 //! * [`merge`] — `try_merging`: fusing commands into single-row atomic ops;
 //! * [`dce`] — post-processing (dead selects, final merges, obsolete
 //!   tables);
-//! * [`repair`] — the Fig. 10 driver: preprocessing splits, per-anomaly
-//!   `try_repair`, post-processing, and the [`RepairReport`];
+//! * [`repair`] — the Fig. 10 driver made near-incremental: preprocessing
+//!   splits, per-anomaly `try_repair`, post-processing, a run-wide
+//!   [`atropos_detect::VerdictCache`] so each step only re-solves the pairs
+//!   it dirtied, and the [`RepairReport`] with per-iteration
+//!   [`RepairStats`];
 //! * [`random_search`] — the random-refactoring baseline of Fig. 16.
 //!
 //! # Examples
@@ -43,8 +47,15 @@ pub mod random_search;
 pub mod repair;
 pub mod rewrite;
 
-pub use dce::{post_process, PostProcessReport};
-pub use merge::try_merging;
+pub use analysis::{dirty_between, DirtySet};
+pub use dce::{post_process, post_process_tracked, PostProcessReport};
+pub use merge::{try_merging, try_merging_tracked};
 pub use random_search::{random_refactor, RandomSearchOutcome};
-pub use repair::{repair_program, repair_with_config, RepairConfig, RepairReport, RepairStep};
-pub use rewrite::{apply_logging, apply_redirect, fresh_field_name};
+pub use repair::{
+    repair_program, repair_with_config, repair_with_config_scratch, RepairConfig,
+    RepairIteration, RepairReport, RepairStats, RepairStep,
+};
+pub use rewrite::{
+    apply_logging, apply_logging_tracked, apply_redirect, apply_redirect_tracked,
+    fresh_field_name,
+};

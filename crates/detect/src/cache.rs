@@ -1,0 +1,470 @@
+//! Pair-verdict caching across program edits: the oracle-reuse layer of the
+//! near-incremental repair loop.
+//!
+//! A refactoring step (split / merge / redirect / logging) touches a handful
+//! of commands, yet the Fig. 10 driver re-runs the whole anomaly oracle on
+//! the mutated program. The [`VerdictCache`] closes that gap one level above
+//! the SAT layer: every ordered transaction pair's verdicts ([`AccessPair`]
+//! lists) are memoized under a **canonical fingerprint** of the two
+//! transactions' command summaries, so re-detection after a step only
+//! re-encodes and re-solves the pairs whose fingerprint changed.
+//!
+//! # The fingerprint
+//!
+//! [`txn_fingerprint`] hashes everything the two-instance encoding and the
+//! violation templates can observe about a transaction: its name and, per
+//! command in program order, the kind, schema, read/write field sets, key
+//! specification, bound variable, and used variables. Command **labels are
+//! deliberately excluded** — a pure relabeling preserves verdicts, and the
+//! cache remaps labels in cached [`AccessPair`]s through the rename map the
+//! refactoring rules report ([`VerdictCache::record_renames`]). Anything
+//! else a rewrite can change (field sets, filters, schemas, command order)
+//! lands in the fingerprint, so a stale hit is impossible as long as the
+//! fingerprint is *sound*: any mutation that changes a command's access
+//! behaviour must change it. That soundness obligation is pinned by the
+//! property suite in `crates/detect/tests/fingerprint_prop.rs`, not by the
+//! end-to-end tests.
+//!
+//! # The invalidation contract
+//!
+//! Soundness never depends on explicit invalidation (a changed pair simply
+//! misses), but every refactoring rule still reports the transactions it
+//! dirtied so the driver can call [`VerdictCache::invalidate_txns`]: this
+//! evicts the stale entries (bounding memory across long repair runs) and
+//! keeps the reuse statistics honest. Rules that relabel commands without
+//! changing their summaries must report the relabeling via
+//! [`VerdictCache::record_renames`] instead.
+//!
+//! # Solver retention
+//!
+//! Besides verdicts, the cache retains each pair's [`PairSolver`] (keyed by
+//! the fingerprint pair), so a pair that is re-queried — e.g. at another
+//! consistency level, or after its verdict entry was evicted while its
+//! fingerprint survived — reuses the already-encoded ordering/visibility
+//! matrix and every learnt clause instead of re-encoding from scratch.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+
+use atropos_dsl::Program;
+
+use crate::detect::AccessPair;
+use crate::encode::{ConsistencyLevel, InstanceModel, PairSolver};
+use crate::model::{summarize_program, CmdSummary, KeySpec, TxnSummary};
+
+/// Canonical fingerprint of one transaction's command summaries: the exact
+/// information the pair encoding and the violation templates consume.
+///
+/// Two summaries with equal fingerprints produce identical detection
+/// verdicts when paired with equal-fingerprint partners (up to command
+/// labels, which are excluded — see the module docs). The fingerprint is a
+/// 64-bit hash of a canonical serialization; collisions are possible in
+/// principle but vanishingly unlikely at repair-loop cache sizes
+/// (tens of entries).
+pub fn txn_fingerprint(txn: &TxnSummary) -> u64 {
+    let mut h = DefaultHasher::new();
+    txn.name.hash(&mut h);
+    txn.commands.len().hash(&mut h);
+    for c in &txn.commands {
+        hash_cmd(c, &mut h);
+    }
+    h.finish()
+}
+
+/// Canonical fingerprint of one command summary (the same detector-visible
+/// fields [`txn_fingerprint`] folds per command, label excluded) — the
+/// command-granular building block `dirty_between`-style diffs use to name
+/// exactly which commands a refactoring step changed.
+pub fn cmd_fingerprint(c: &CmdSummary) -> u64 {
+    let mut h = DefaultHasher::new();
+    hash_cmd(c, &mut h);
+    h.finish()
+}
+
+fn hash_cmd(c: &CmdSummary, h: &mut impl Hasher) {
+    // NOT hashed: c.label — relabelings resolve through the rename map.
+    (c.kind as u8).hash(h);
+    c.schema.hash(h);
+    c.prog_index.hash(h);
+    c.reads.hash(h);
+    c.writes.hash(h);
+    c.bound_var.hash(h);
+    c.uses_vars.hash(h);
+    match &c.key {
+        KeySpec::Keyed { key, constant } => {
+            0u8.hash(h);
+            key.hash(h);
+            constant.hash(h);
+        }
+        KeySpec::Scan => 1u8.hash(h),
+        KeySpec::Fresh => 2u8.hash(h),
+    }
+}
+
+/// Counters describing how much oracle work a [`VerdictCache`] saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Verdict lookups performed (one per ordered pair per detection pass).
+    pub lookups: u64,
+    /// Lookups answered from the cache without touching a solver.
+    pub hits: u64,
+    /// Lookups that had to re-analyse the pair.
+    pub misses: u64,
+    /// Misses that nevertheless reused a retained [`PairSolver`] (and its
+    /// encoded clauses and learnt clauses) instead of re-encoding.
+    pub solver_reuses: u64,
+    /// Entries evicted — by the fingerprint-liveness sweep each
+    /// [`crate::detect_anomalies_cached`] pass runs (stranded by program
+    /// edits), or by an explicit [`VerdictCache::invalidate_txns`] /
+    /// [`VerdictCache::sweep`] call.
+    pub invalidated: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when none were made).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.lookups as f64
+    }
+}
+
+/// Key of one verdict entry: the ordered pair's fingerprints, whether the
+/// symmetric (lost-update) template ran for this orientation, and the
+/// consistency level queried.
+type VerdictKey = (u64, u64, bool, ConsistencyLevel);
+
+#[derive(Debug, Clone)]
+struct VerdictEntry {
+    txn1: String,
+    txn2: String,
+    /// Raw `analyse_pair` output for this ordered pair (pre-deduplication).
+    pairs: Vec<AccessPair>,
+}
+
+/// Retained per-pair analysis state: the grounded two-instance model and,
+/// once a query was issued, the incremental solver built on it.
+pub(crate) struct PairState {
+    pub(crate) model: InstanceModel,
+    pub(crate) solver: Option<PairSolver>,
+    txns: (String, String),
+}
+
+/// A cache of per-pair anomaly verdicts and solvers, keyed by transaction
+/// fingerprints. The repair driver owns one per run and threads it through
+/// every detection pass via [`crate::detect_anomalies_cached`].
+///
+/// See the [module docs](self) for the fingerprint and invalidation
+/// contracts.
+pub struct VerdictCache {
+    verdicts: HashMap<VerdictKey, VerdictEntry>,
+    states: HashMap<(u64, u64), PairState>,
+    stats: CacheStats,
+}
+
+impl Default for VerdictCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VerdictCache {
+    /// Creates an empty cache.
+    pub fn new() -> VerdictCache {
+        VerdictCache {
+            verdicts: HashMap::new(),
+            states: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Cumulative statistics of this cache's lifetime.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of verdict entries currently cached.
+    pub fn len(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// True when no verdicts are cached.
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.is_empty()
+    }
+
+    /// Records the label renames of one refactoring step that *did not*
+    /// change the renamed commands' summaries (a pure relabeling), applying
+    /// them **eagerly and simultaneously** to every cached verdict and to
+    /// every retained pair model — so a swap batch `{a → b, b → a}` is
+    /// exact, and renames across successive steps compose by construction
+    /// (`a → b` now, `b → c` later, serves `c`). After this call the cache
+    /// speaks only the post-step label language, for hits and for fresh
+    /// analyses through retained state alike.
+    pub fn record_renames(&mut self, renames: &BTreeMap<String, String>) {
+        if renames.is_empty() {
+            return;
+        }
+        let remap = |label: &mut String| {
+            if let Some(to) = renames.get(label.as_str()) {
+                *label = to.clone();
+            }
+        };
+        for e in self.verdicts.values_mut() {
+            for p in &mut e.pairs {
+                remap(&mut p.cmd1.0);
+                remap(&mut p.cmd2.0);
+            }
+        }
+        for s in self.states.values_mut() {
+            for c in s.model.cmds.iter_mut() {
+                remap(&mut c.summary.label.0);
+            }
+        }
+    }
+
+    /// Evicts every verdict entry and retained solver involving one of the
+    /// named transactions. Returns the number of verdict entries evicted.
+    ///
+    /// This is the coarse, name-keyed form of invalidation — useful when
+    /// the caller knows which transactions changed but no longer has the
+    /// program they belonged to. The repair driver prefers the precise
+    /// [`VerdictCache::sweep`], which keeps entries whose fingerprints
+    /// survived the step. Content-addressed misses make both optional for
+    /// soundness — they bound memory and keep [`CacheStats`] honest.
+    pub fn invalidate_txns(&mut self, txns: &BTreeSet<String>) -> usize {
+        let before = self.verdicts.len();
+        self.verdicts
+            .retain(|_, e| !txns.contains(&e.txn1) && !txns.contains(&e.txn2));
+        self.states
+            .retain(|_, s| !txns.contains(&s.txns.0) && !txns.contains(&s.txns.1));
+        let evicted = before - self.verdicts.len();
+        self.stats.invalidated += evicted as u64;
+        evicted
+    }
+
+    /// Garbage-collects entries made unreachable by a program edit: every
+    /// verdict and retained solver whose fingerprints no longer occur in
+    /// `program` is dropped. Precise where [`VerdictCache::invalidate_txns`]
+    /// is coarse — an entry the sweep keeps is guaranteed to hit again on
+    /// the next detection pass over `program` (its transactions' summaries
+    /// are unchanged), so sweeping never converts a would-be hit into a
+    /// re-solve. Returns the number of verdict entries evicted.
+    pub fn sweep(&mut self, program: &Program) -> usize {
+        let fps: Vec<u64> = summarize_program(program)
+            .iter()
+            .map(txn_fingerprint)
+            .collect();
+        self.sweep_live(&fps)
+    }
+
+    /// [`VerdictCache::sweep`] against an already-computed set of live
+    /// transaction fingerprints. [`crate::detect_anomalies_cached`] calls
+    /// this at the start of every pass with the fingerprints it computes
+    /// anyway, so the cache continuously prunes itself to the program under
+    /// analysis at no extra summarization cost.
+    pub(crate) fn sweep_live(&mut self, fps: &[u64]) -> usize {
+        let live: BTreeSet<u64> = fps.iter().copied().collect();
+        let before = self.verdicts.len();
+        self.verdicts
+            .retain(|k, _| live.contains(&k.0) && live.contains(&k.1));
+        self.states
+            .retain(|k, _| live.contains(&k.0) && live.contains(&k.1));
+        let evicted = before - self.verdicts.len();
+        self.stats.invalidated += evicted as u64;
+        evicted
+    }
+
+    /// Looks up the cached verdicts for an ordered pair (already in the
+    /// current label language — see [`VerdictCache::record_renames`]).
+    /// Bumps hit/miss statistics.
+    pub(crate) fn lookup(
+        &mut self,
+        fp1: u64,
+        fp2: u64,
+        symmetric: bool,
+        level: ConsistencyLevel,
+    ) -> Option<Vec<AccessPair>> {
+        self.stats.lookups += 1;
+        match self.verdicts.get(&(fp1, fp2, symmetric, level)) {
+            Some(e) => {
+                self.stats.hits += 1;
+                Some(e.pairs.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts the raw verdicts of one ordered-pair analysis.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn insert(
+        &mut self,
+        fp1: u64,
+        fp2: u64,
+        symmetric: bool,
+        level: ConsistencyLevel,
+        t1: &TxnSummary,
+        t2: &TxnSummary,
+        pairs: Vec<AccessPair>,
+    ) {
+        self.verdicts.insert(
+            (fp1, fp2, symmetric, level),
+            VerdictEntry {
+                txn1: t1.name.clone(),
+                txn2: t2.name.clone(),
+                pairs,
+            },
+        );
+    }
+
+    /// Takes (or builds) the retained analysis state for an ordered pair.
+    /// Reusing a retained state skips `InstanceModel` grounding and, when a
+    /// solver exists, the whole CNF encoding.
+    pub(crate) fn take_state(&mut self, fp1: u64, fp2: u64, t1: &TxnSummary, t2: &TxnSummary) -> PairState {
+        match self.states.remove(&(fp1, fp2)) {
+            Some(s) => {
+                if s.solver.is_some() {
+                    self.stats.solver_reuses += 1;
+                }
+                s
+            }
+            None => PairState {
+                model: InstanceModel::new(t1, t2),
+                solver: None,
+                txns: (t1.name.clone(), t2.name.clone()),
+            },
+        }
+    }
+
+    /// Returns a pair's analysis state to the cache for later reuse.
+    pub(crate) fn store_state(&mut self, fp1: u64, fp2: u64, state: PairState) {
+        self.states.insert((fp1, fp2), state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::summarize_program;
+    use atropos_dsl::parse;
+
+    fn summaries(src: &str) -> Vec<TxnSummary> {
+        summarize_program(&parse(src).unwrap())
+    }
+
+    const COUNTER: &str = "schema T { id: int key, v: int }
+         txn bump(k: int) {
+             @R x := select v from T where id = k;
+             @W update T set v = x.v + 1 where id = k;
+             return 0;
+         }";
+
+    #[test]
+    fn fingerprint_is_deterministic_and_label_blind() {
+        let a = summaries(COUNTER);
+        let b = summaries(COUNTER);
+        assert_eq!(txn_fingerprint(&a[0]), txn_fingerprint(&b[0]));
+        // Relabeling @R/@W leaves the fingerprint unchanged…
+        let relabeled = summaries(&COUNTER.replace("@R", "@R9").replace("@W", "@W9"));
+        assert_eq!(txn_fingerprint(&a[0]), txn_fingerprint(&relabeled[0]));
+        // …while touching the key spec / access set changes it.
+        let scanned = summaries(&COUNTER.replace("select v from T where id = k", "select v from T"));
+        assert_ne!(txn_fingerprint(&a[0]), txn_fingerprint(&scanned[0]));
+    }
+
+    #[test]
+    fn renames_apply_to_cached_pairs_and_compose() {
+        let ts = summaries(COUNTER);
+        let (fp, t) = (txn_fingerprint(&ts[0]), &ts[0]);
+        let mut cache = VerdictCache::new();
+        let pair = AccessPair {
+            cmd1: "R".into(),
+            fields1: BTreeSet::from(["v".to_owned()]),
+            cmd2: "W".into(),
+            fields2: BTreeSet::from(["v".to_owned()]),
+            txn1: t.name.clone(),
+            txn2: t.name.clone(),
+            witnesses: BTreeSet::new(),
+            kind: crate::AnomalyKind::LostUpdate,
+        };
+        cache.insert(fp, fp, true, ConsistencyLevel::EventualConsistency, t, t, vec![pair]);
+        cache.record_renames(&BTreeMap::from([("R".to_owned(), "R2".to_owned())]));
+        cache.record_renames(&BTreeMap::from([("R2".to_owned(), "R3".to_owned())]));
+        let got = cache
+            .lookup(fp, fp, true, ConsistencyLevel::EventualConsistency)
+            .unwrap();
+        assert_eq!(got[0].cmd1.0, "R3");
+        assert_eq!(got[0].cmd2.0, "W");
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn a_swap_batch_renames_simultaneously() {
+        // One step that exchanges two summary-identical commands' labels
+        // reports {R → W, W → R}; sequential application would corrupt it.
+        let ts = summaries(COUNTER);
+        let (fp, t) = (txn_fingerprint(&ts[0]), &ts[0]);
+        let mut cache = VerdictCache::new();
+        let pair = AccessPair {
+            cmd1: "R".into(),
+            fields1: BTreeSet::new(),
+            cmd2: "W".into(),
+            fields2: BTreeSet::new(),
+            txn1: t.name.clone(),
+            txn2: t.name.clone(),
+            witnesses: BTreeSet::new(),
+            kind: crate::AnomalyKind::LostUpdate,
+        };
+        cache.insert(fp, fp, true, ConsistencyLevel::EventualConsistency, t, t, vec![pair]);
+        cache.record_renames(&BTreeMap::from([
+            ("R".to_owned(), "W".to_owned()),
+            ("W".to_owned(), "R".to_owned()),
+        ]));
+        let got = cache
+            .lookup(fp, fp, true, ConsistencyLevel::EventualConsistency)
+            .unwrap();
+        assert_eq!(got[0].cmd1.0, "W");
+        assert_eq!(got[0].cmd2.0, "R");
+    }
+
+    #[test]
+    fn renames_reach_retained_pair_models() {
+        // A retained state re-analysed after a pure relabeling must emit
+        // the *current* labels, not the ones it was grounded with.
+        let ts = summaries(COUNTER);
+        let (fp, t) = (txn_fingerprint(&ts[0]), &ts[0]);
+        let mut cache = VerdictCache::new();
+        let state = cache.take_state(fp, fp, t, t);
+        cache.store_state(fp, fp, state);
+        cache.record_renames(&BTreeMap::from([("R".to_owned(), "R9".to_owned())]));
+        let state = cache.take_state(fp, fp, t, t);
+        let labels: Vec<&str> = state
+            .model
+            .cmds
+            .iter()
+            .map(|c| c.summary.label.0.as_str())
+            .collect();
+        assert_eq!(labels, vec!["R9", "W", "R9", "W"]);
+    }
+
+    #[test]
+    fn invalidation_evicts_by_transaction_name() {
+        let ts = summaries(COUNTER);
+        let (fp, t) = (txn_fingerprint(&ts[0]), &ts[0]);
+        let mut cache = VerdictCache::new();
+        cache.insert(fp, fp, true, ConsistencyLevel::EventualConsistency, t, t, vec![]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.invalidate_txns(&BTreeSet::from(["other".to_owned()])), 0);
+        assert_eq!(cache.invalidate_txns(&BTreeSet::from(["bump".to_owned()])), 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidated, 1);
+        assert!(cache
+            .lookup(fp, fp, true, ConsistencyLevel::EventualConsistency)
+            .is_none());
+    }
+}

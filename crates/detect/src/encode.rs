@@ -319,13 +319,16 @@ fn encode_base(s: &mut Solver, model: &InstanceModel) -> PairEncoding {
     }
     let ord_lit = |i: usize, j: usize| ord[i][j].expect("i != j");
 
-    // Transitivity.
+    // Transitivity. Because ord(j, i) is the same literal as ¬ord(i, j),
+    // the six permutations of a triple collapse to two distinct clauses —
+    // one per forbidden 3-cycle orientation — so emitting them once per
+    // unordered triple {i < j < k} cuts the dominant clause group to a
+    // third without weakening the encoding.
     for i in 0..n {
-        for j in 0..n {
-            for k in 0..n {
-                if i != j && j != k && i != k {
-                    s.add_clause([!ord_lit(i, j), !ord_lit(j, k), ord_lit(i, k)]);
-                }
+        for j in (i + 1)..n {
+            for k in (j + 1)..n {
+                s.add_clause([!ord_lit(i, j), !ord_lit(j, k), ord_lit(i, k)]);
+                s.add_clause([ord_lit(i, j), ord_lit(j, k), !ord_lit(i, k)]);
             }
         }
     }
@@ -533,8 +536,13 @@ pub(crate) fn fresh_query(
 /// group. A query assumes the queried level's guard plus the requirement
 /// literals, so the solver retains its clause database (including learnt
 /// clauses) across all patterns and levels.
-pub struct PairSolver<'m> {
-    model: &'m InstanceModel,
+///
+/// The solver does **not** retain its [`InstanceModel`] — callers that keep
+/// a `PairSolver` alive (the repair driver's [`crate::VerdictCache`] retains
+/// them across refactoring steps) keep the model alongside it and pass the
+/// same model back into [`PairSolver::satisfiable`], which needs it only
+/// when a consistency level's axiom group is installed on first query.
+pub struct PairSolver {
     solver: Solver,
     enc: PairEncoding,
     /// Activation literal per level group, allocated when the level is
@@ -546,15 +554,14 @@ pub struct PairSolver<'m> {
     level_clauses: [usize; 4],
 }
 
-impl<'m> PairSolver<'m> {
+impl PairSolver {
     /// Builds the level-independent encoding for `model`; each level's
     /// axiom group is added lazily on first query.
-    pub fn new(model: &'m InstanceModel) -> PairSolver<'m> {
+    pub fn new(model: &InstanceModel) -> PairSolver {
         let mut solver = Solver::new();
         let enc = encode_base(&mut solver, model);
         let base_clauses = solver.num_clauses();
         PairSolver {
-            model,
             solver,
             enc,
             guards: [None; 4],
@@ -565,7 +572,7 @@ impl<'m> PairSolver<'m> {
     }
 
     /// Installs `level`'s guarded axiom group if it is not present yet.
-    fn ensure_level(&mut self, level: ConsistencyLevel) {
+    fn ensure_level(&mut self, model: &InstanceModel, level: ConsistencyLevel) {
         let idx = level.index();
         if self.built[idx] {
             return;
@@ -576,7 +583,7 @@ impl<'m> PairSolver<'m> {
         }
         let before = self.solver.num_clauses();
         let g = fresh(&mut self.solver);
-        encode_level(&mut self.solver, self.model, &self.enc, level, Some(g));
+        encode_level(&mut self.solver, model, &self.enc, level, Some(g));
         self.guards[idx] = Some(g);
         self.level_clauses[idx] = self.solver.num_clauses() - before;
     }
@@ -585,8 +592,17 @@ impl<'m> PairSolver<'m> {
     /// level's guard on, every other installed guard off (so inactive
     /// groups are satisfied by unit propagation, not search), plus the
     /// requirement literals.
-    pub fn satisfiable(&mut self, level: ConsistencyLevel, requirements: &[VisRequirement]) -> bool {
-        self.ensure_level(level);
+    ///
+    /// `model` must be the very [`InstanceModel`] this solver was built
+    /// from ([`PairSolver::new`]); it is consulted only when `level`'s
+    /// axiom group is installed for the first time.
+    pub fn satisfiable(
+        &mut self,
+        model: &InstanceModel,
+        level: ConsistencyLevel,
+        requirements: &[VisRequirement],
+    ) -> bool {
+        self.ensure_level(model, level);
         let mut assumptions = Vec::with_capacity(requirements.len() + 4);
         for other in ConsistencyLevel::ALL {
             if let Some(g) = self.guards[other.index()] {

@@ -17,7 +17,10 @@
 //!   activation-literal-guarded groups, queries via assumptions);
 //! * [`detect`] — the four violation templates, the public oracle
 //!   [`detect_anomalies`] (plus multi-level, instrumented, fresh, and
-//!   differential variants), and [`DetectStats`].
+//!   differential variants), and [`DetectStats`];
+//! * [`cache`] — transaction-pair fingerprinting and the [`VerdictCache`]
+//!   behind [`detect_anomalies_cached`], the near-incremental oracle the
+//!   repair loop re-invokes after every refactoring step.
 //!
 //! # Examples
 //!
@@ -38,14 +41,16 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod detect;
 pub mod encode;
 pub mod model;
 
+pub use cache::{cmd_fingerprint, txn_fingerprint, CacheStats, VerdictCache};
 pub use detect::{
-    detect_anomalies, detect_anomalies_at_levels, detect_anomalies_fresh,
-    detect_anomalies_marked, detect_anomalies_with_stats, detect_differential, AccessPair,
-    AnomalyKind, DetectStats, DifferentialReport,
+    detect_anomalies, detect_anomalies_at_levels, detect_anomalies_cached,
+    detect_anomalies_fresh, detect_anomalies_marked, detect_anomalies_with_stats,
+    detect_differential, AccessPair, AnomalyKind, DetectStats, DifferentialReport,
 };
 pub use encode::{pattern_satisfiable, ConsistencyLevel, InstanceModel, PairSolver};
 pub use model::{summarize_program, summarize_txn, CmdKind, CmdSummary, KeySpec, TxnSummary};

@@ -45,6 +45,108 @@ struct Clause {
 
 type ClauseRef = usize;
 
+/// A binary max-heap over variables ordered by VSIDS activity, with a
+/// position index for O(log n) re-heapification when an activity is bumped.
+/// Replaces the former O(vars) scan per decision in `pick_branch` — the
+/// difference matters once pair solvers are retained across a whole repair
+/// run and answer thousands of queries each.
+///
+/// Removal is lazy: variables stay in the heap when assigned and are simply
+/// skipped (and dropped) at [`OrderHeap::pop_max`] time; backtracking
+/// re-inserts the unassigned ones. Ties in activity break towards the lower
+/// variable index, keeping decisions fully deterministic.
+#[derive(Debug, Default)]
+struct OrderHeap {
+    heap: Vec<Var>,
+    /// `pos[v]` is the index of `v` in `heap`, or `ABSENT`.
+    pos: Vec<usize>,
+}
+
+impl OrderHeap {
+    const ABSENT: usize = usize::MAX;
+
+    /// "a ranks before b": strictly higher activity, ties by lower index.
+    #[inline]
+    fn before(activity: &[f64], a: Var, b: Var) -> bool {
+        let (aa, ab) = (activity[a.index()], activity[b.index()]);
+        aa > ab || (aa == ab && a.0 < b.0)
+    }
+
+    /// Registers a new variable slot (initially absent from the heap).
+    fn push_var(&mut self) {
+        self.pos.push(Self::ABSENT);
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.pos[v.index()] != Self::ABSENT
+    }
+
+    fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Restores the heap property after `v`'s activity increased.
+    fn bumped(&mut self, v: Var, activity: &[f64]) {
+        let i = self.pos[v.index()];
+        if i != Self::ABSENT {
+            self.sift_up(i, activity);
+        }
+    }
+
+    /// Pops the highest-ranked variable, or `None` when empty.
+    fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top.index()] = Self::ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if !Self::before(activity, self.heap[i], self.heap[parent]) {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && Self::before(activity, self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && Self::before(activity, self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                return;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].index()] = i;
+        self.pos[self.heap[j].index()] = j;
+    }
+}
+
 /// Statistics accumulated during solving.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SolverStats {
@@ -89,7 +191,7 @@ pub struct Solver {
     var_inc: f64,
     cla_inc: f64,
     phase: Vec<bool>,
-    order: Vec<Var>, // lazily filtered max-activity candidates
+    order: OrderHeap, // VSIDS order heap (lazy removal of assigned vars)
     unsat: bool,
     stats: SolverStats,
     seen: Vec<bool>,
@@ -123,7 +225,7 @@ impl Solver {
             var_inc: 1.0,
             cla_inc: 1.0,
             phase: Vec::new(),
-            order: Vec::new(),
+            order: OrderHeap::default(),
             unsat: false,
             stats: SolverStats::default(),
             seen: Vec::new(),
@@ -143,7 +245,8 @@ impl Solver {
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
-        self.order.push(v);
+        self.order.push_var();
+        self.order.insert(v, &self.activity);
         v
     }
 
@@ -308,11 +411,14 @@ impl Solver {
     fn bump_var(&mut self, v: Var) {
         self.activity[v.index()] += self.var_inc;
         if self.activity[v.index()] > RESCALE {
+            // Uniform rescaling preserves the relative order of every pair
+            // of activities, so the heap invariant survives untouched.
             for a in &mut self.activity {
                 *a /= RESCALE;
             }
             self.var_inc /= RESCALE;
         }
+        self.order.bumped(v, &self.activity);
     }
 
     fn bump_clause(&mut self, cref: ClauseRef) {
@@ -396,9 +502,10 @@ impl Solver {
         while self.decision_level() > level {
             let lim = self.trail_lim.pop().expect("level > 0");
             for &l in &self.trail[lim..] {
-                let v = l.var().index();
-                self.assign[v] = LBool::Undef;
-                self.reason[v] = None;
+                let v = l.var();
+                self.assign[v.index()] = LBool::Undef;
+                self.reason[v.index()] = None;
+                self.order.insert(v, &self.activity);
             }
             self.trail.truncate(lim);
         }
@@ -406,15 +513,12 @@ impl Solver {
     }
 
     fn pick_branch(&mut self) -> Option<Lit> {
-        let mut best: Option<Var> = None;
-        let mut best_act = -1.0;
-        for &v in &self.order {
-            if self.assign[v.index()] == LBool::Undef && self.activity[v.index()] > best_act {
-                best = Some(v);
-                best_act = self.activity[v.index()];
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assign[v.index()] == LBool::Undef {
+                return Some(Lit::new(v, self.phase[v.index()]));
             }
         }
-        best.map(|v| Lit::new(v, self.phase[v.index()]))
+        None
     }
 
     fn reduce_db(&mut self) {
@@ -726,6 +830,44 @@ mod tests {
     #[test]
     fn pigeonhole_sat_when_enough_holes() {
         assert!(pigeonhole(4, 4).is_sat());
+    }
+
+    #[test]
+    fn order_heap_pops_by_activity_with_index_ties() {
+        let mut h = OrderHeap::default();
+        let activity = [1.0, 3.0, 3.0, 0.5];
+        for i in 0..4u32 {
+            h.push_var();
+            h.insert(Var(i), &activity);
+        }
+        // Highest activity first; equal activities break to the lower index.
+        assert_eq!(h.pop_max(&activity), Some(Var(1)));
+        assert_eq!(h.pop_max(&activity), Some(Var(2)));
+        assert_eq!(h.pop_max(&activity), Some(Var(0)));
+        assert_eq!(h.pop_max(&activity), Some(Var(3)));
+        assert_eq!(h.pop_max(&activity), None);
+    }
+
+    #[test]
+    fn order_heap_reorders_after_bump_and_reinsert() {
+        let mut h = OrderHeap::default();
+        let mut activity = [0.0, 0.0, 0.0];
+        for i in 0..3u32 {
+            h.push_var();
+            h.insert(Var(i), &activity);
+        }
+        activity[2] = 5.0;
+        h.bumped(Var(2), &activity);
+        assert_eq!(h.pop_max(&activity), Some(Var(2)));
+        assert!(!h.contains(Var(2)));
+        // Re-insertion (as on backtrack) puts it back on top; double insert
+        // is a no-op.
+        h.insert(Var(2), &activity);
+        h.insert(Var(2), &activity);
+        assert_eq!(h.pop_max(&activity), Some(Var(2)));
+        assert_eq!(h.pop_max(&activity), Some(Var(0)));
+        assert_eq!(h.pop_max(&activity), Some(Var(1)));
+        assert_eq!(h.pop_max(&activity), None);
     }
 
     #[test]

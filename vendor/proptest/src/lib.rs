@@ -335,6 +335,8 @@ pub mod strategy {
         (A, B, C, D)
         (A, B, C, D, E)
         (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
     }
 
     /// `&str` as a strategy: the pattern is interpreted as the regex subset
