@@ -2,7 +2,8 @@
 //! count, on the VA / US / Global clusters) for the four configurations
 //! EC, AT-EC, SC, and AT-SC.
 
-use atropos_bench::perf::{print_headline, run_figure};
+use atropos_bench::perf::{print_headline, run_figure_with_engine};
+use atropos_bench::engine_from_args;
 use atropos_bench::thin_slice;
 use atropos_bench::write_csv;
 
@@ -13,7 +14,7 @@ fn main() {
     } else {
         (vec![1, 25, 50, 100, 150, 200, 250], 90_000.0)
     };
-    let fig = run_figure("SmallBank", &clients, duration_ms);
+    let fig = run_figure_with_engine("SmallBank", &clients, duration_ms, &engine_from_args());
     println!("{}", fig.table.render());
     print_headline(&fig, *clients.last().unwrap());
     match write_csv("fig_smallbank", &fig.table) {

@@ -3,24 +3,57 @@
 //! analysis + repair time — a second table of detector statistics comparing
 //! the incremental per-pair solver against the fresh-solver reference path
 //! ([`atropos_detect::detect_anomalies_fresh`]) — and a third table of
-//! repair-loop statistics comparing the near-incremental verdict-cached
-//! driver ([`atropos_core::repair_with_config`]) against the from-scratch
-//! reference ([`atropos_core::repair_with_config_scratch`]), written to
-//! `experiments/repair_stats.csv`.
+//! repair-loop statistics written to `experiments/repair_stats.csv`: the
+//! parallel verdict-cached driver ([`atropos_core::repair_with_engine`])
+//! against the from-scratch reference
+//! ([`atropos_core::repair_with_config_scratch`]), the cross-run hit ratio
+//! of a session-shared rule-ablation sweep per benchmark, and a TPC-C
+//! thread sweep (1/2/4/8 workers) for the threads-vs-speedup headline.
+//!
+//! One [`atropos_detect::DetectionEngine`] (from `--threads` /
+//! `ATROPOS_THREADS`, default: available parallelism) serves the whole
+//! sweep; sessions are scoped per measurement so every timed run starts
+//! from a cold cache and timings stay comparable across thread counts.
 
 use atropos_bench::reporting::{
     detect_stats_header, detect_stats_row, repair_stats_header, repair_stats_row,
 };
-use atropos_bench::{write_csv, Table};
-use atropos_core::{repair_program, repair_with_config_scratch, RepairConfig};
-use atropos_detect::{detect_anomalies_at_levels, detect_anomalies_fresh, ConsistencyLevel};
-use atropos_workloads::all_benchmarks;
+use atropos_bench::{engine_from_args, write_csv, Table};
+use atropos_core::{
+    ablation_sweep, repair_with_config_scratch, repair_with_engine, RepairConfig, RepairReport,
+};
+use atropos_detect::{
+    detect_anomalies_at_levels, detect_anomalies_fresh, ConsistencyLevel, DetectSession,
+    DetectionEngine,
+};
+use atropos_workloads::{all_benchmarks, Benchmark};
+
+/// Thread counts of the TPC-C thread sweep (the headline compares 4
+/// workers against the serial PR 3-shaped driver at 1).
+const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Best-of-`reps` cached repair at one thread count, each rep on a fresh
+/// (cold) session so the measurement matches a single-run driver.
+fn best_cached(b: &Benchmark, engine: &DetectionEngine, reps: usize) -> (RepairReport, f64) {
+    let config = RepairConfig::default();
+    let mut best: Option<(RepairReport, f64)> = None;
+    for _ in 0..reps {
+        let mut session = DetectSession::new();
+        let report = repair_with_engine(&b.program, &config, engine, &mut session);
+        let seconds = report.seconds;
+        if best.as_ref().is_none_or(|(_, s)| seconds < *s) {
+            best = Some((report, seconds));
+        }
+    }
+    best.expect("at least one rep")
+}
 
 fn main() {
     // `--thin` / ATROPOS_THIN=1: skip the deliberately slow fresh-solver and
     // from-scratch-repair reference runs so CI smoke runs stay cheap; the
     // Table 1 columns themselves are identical either way.
     let thin = atropos_bench::thin_slice();
+    let engine = engine_from_args();
     let levels = [
         ConsistencyLevel::EventualConsistency,
         ConsistencyLevel::CausalConsistency,
@@ -37,6 +70,8 @@ fn main() {
     let (mut incr_total, mut fresh_total) = (0.0f64, 0.0f64);
     let (mut repair_cached_total, mut repair_scratch_total) = (0.0f64, 0.0f64);
     let mut tpcc_repair_speedup = 0.0f64;
+    let mut tpcc_scratch_seconds = f64::INFINITY;
+    let mut cross_run_ratios: Vec<(String, f64)> = Vec::new();
     for b in all_benchmarks() {
         // One shared-solver pass produces all three consistency columns.
         let (by_level, stats) = detect_anomalies_at_levels(&b.program, &levels);
@@ -55,16 +90,11 @@ fn main() {
             stats_table.row(detect_stats_row(b.name, &stats, fresh_seconds));
         }
 
-        let report = repair_program(&b.program, ConsistencyLevel::EventualConsistency);
+        let (report, cached_seconds) = best_cached(&b, &engine, if thin { 1 } else { 3 });
         if !thin {
             // From-scratch reference repair, for the repair-loop speedup.
             // Both drivers are timed as the best of three runs so one
             // scheduler hiccup cannot distort the reported ratio.
-            let mut cached_seconds = report.seconds;
-            for _ in 0..2 {
-                let again = repair_program(&b.program, ConsistencyLevel::EventualConsistency);
-                cached_seconds = cached_seconds.min(again.seconds);
-            }
             let mut scratch_seconds = f64::INFINITY;
             for _ in 0..3 {
                 let scratch = repair_with_config_scratch(&b.program, &RepairConfig::default());
@@ -74,8 +104,23 @@ fn main() {
             repair_scratch_total += scratch_seconds;
             if b.name == "TPC-C" {
                 tpcc_repair_speedup = scratch_seconds / cached_seconds.max(1e-9);
+                tpcc_scratch_seconds = scratch_seconds;
             }
-            repair_table.row(repair_stats_row(b.name, &report, cached_seconds, scratch_seconds));
+            // The cross-run hit ratio of a session-shared ablation sweep:
+            // all six configurations repair the same program through one
+            // session, so later runs answer earlier runs' shapes warm.
+            let mut sweep_session = DetectSession::new();
+            ablation_sweep(&b.program, &engine, &mut sweep_session);
+            let cross = sweep_session.cache_stats().cross_run_hit_ratio();
+            cross_run_ratios.push((b.name.to_owned(), cross));
+            repair_table.row(repair_stats_row(
+                b.name,
+                &report,
+                engine.threads(),
+                cross,
+                cached_seconds,
+                scratch_seconds,
+            ));
         }
         total_ec += ec.len();
         total_fixed += ec.len().saturating_sub(report.remaining.len());
@@ -111,7 +156,29 @@ fn main() {
              ({:.1}x speedup)",
             fresh_total / incr_total.max(1e-9)
         );
-        outputs.push(("detect_stats", &stats_table));
+
+        // Threads-vs-speedup: TPC-C repaired at 1/2/4/8 workers (best of
+        // three cold-session runs each), appended to the same repair-stats
+        // table so the CSV carries the whole sweep. The 1-worker row *is*
+        // the PR 3 serial cached driver.
+        let tpcc = all_benchmarks()
+            .into_iter()
+            .find(|b| b.name == "TPC-C")
+            .expect("TPC-C registered");
+        let mut sweep_seconds: Vec<(usize, f64)> = Vec::new();
+        for threads in SWEEP_THREADS {
+            let sweep_engine = DetectionEngine::new(threads);
+            let (report, seconds) = best_cached(&tpcc, &sweep_engine, 3);
+            sweep_seconds.push((threads, seconds));
+            repair_table.row(repair_stats_row(
+                &format!("TPC-C (t={threads})"),
+                &report,
+                threads,
+                0.0,
+                seconds,
+                tpcc_scratch_seconds,
+            ));
+        }
 
         println!("\nRepair-loop statistics (verdict-cached vs from-scratch driver):");
         println!("{}", repair_table.render());
@@ -121,6 +188,30 @@ fn main() {
             repair_scratch_total / repair_cached_total.max(1e-9),
             tpcc_repair_speedup
         );
+        let serial = sweep_seconds
+            .iter()
+            .find(|(t, _)| *t == 1)
+            .map(|(_, s)| *s)
+            .unwrap_or(f64::INFINITY);
+        let sweep_line: Vec<String> = sweep_seconds
+            .iter()
+            .map(|(t, s)| format!("{t} thr {:.2}x ({s:.3}s)", serial / s.max(1e-9)))
+            .collect();
+        println!(
+            "TPC-C thread sweep vs serial cached driver: {}",
+            sweep_line.join(", ")
+        );
+        let mean_cross: f64 = cross_run_ratios.iter().map(|(_, r)| r).sum::<f64>()
+            / cross_run_ratios.len().max(1) as f64;
+        println!(
+            "Ablation-sweep cross-run hit ratio (one shared session per benchmark): \
+             mean {mean_cross:.2}, per benchmark {:?}",
+            cross_run_ratios
+                .iter()
+                .map(|(n, r)| format!("{n}: {r:.2}"))
+                .collect::<Vec<_>>()
+        );
+        outputs.push(("detect_stats", &stats_table));
         outputs.push(("repair_stats", &repair_table));
     }
     for (name, t) in outputs {

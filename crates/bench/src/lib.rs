@@ -22,6 +22,22 @@ pub fn thin_slice() -> bool {
         || std::env::var_os("ATROPOS_THIN").is_some_and(|v| v != "0" && !v.is_empty())
 }
 
+/// The one [`atropos_detect::DetectionEngine`] an experiment binary
+/// constructs for its whole sweep: `--threads N` on the command line wins,
+/// then the `ATROPOS_THREADS` environment variable, then the machine's
+/// available parallelism (see [`atropos_detect::DetectionEngine::from_env`]).
+pub fn engine_from_args() -> atropos_detect::DetectionEngine {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(t) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                return atropos_detect::DetectionEngine::new(t);
+            }
+        }
+    }
+    atropos_detect::DetectionEngine::from_env()
+}
+
 /// Declares `main` for a `harness = false` bench target: runs the given
 /// criterion groups, then emits the drained measurements as
 /// `experiments/bench_<name>.csv` through [`reporting::write_bench_csv`] —

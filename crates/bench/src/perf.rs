@@ -1,8 +1,8 @@
 //! Shared driver for the performance figures (Figs. 12–15): sweeps client
 //! counts over a cluster for the four configurations the paper compares.
 
-use atropos_core::repair_program;
-use atropos_detect::ConsistencyLevel;
+use atropos_core::{repair_with_engine, RepairConfig};
+use atropos_detect::{ConsistencyLevel, DetectSession, DetectionEngine};
 use atropos_sim::{run_simulation, ClusterConfig, RunStats, SimConfig, Workload};
 use atropos_workloads::{benchmark, derive_workload, TableSpec};
 
@@ -44,14 +44,47 @@ pub struct FigureRun {
     pub table: Table,
 }
 
-/// Runs the full sweep for one benchmark.
+/// Runs the full sweep for one benchmark with an engine built from the
+/// environment (`ATROPOS_THREADS`).
 ///
 /// # Panics
 ///
 /// Panics if the benchmark name is unknown.
 pub fn run_figure(bench_name: &str, client_counts: &[usize], duration_ms: f64) -> FigureRun {
+    run_figure_with_engine(
+        bench_name,
+        client_counts,
+        duration_ms,
+        &DetectionEngine::from_env(),
+    )
+}
+
+/// [`run_figure`] against a caller-owned [`DetectionEngine`] — the figure
+/// bins construct **one** engine (from `--threads` / `ATROPOS_THREADS`)
+/// for their whole sweep and repair through a session, so the repair that
+/// derives the AT-EC/AT-SC workloads solves its dirty pairs on the
+/// engine's workers.
+///
+/// # Panics
+///
+/// Panics if the benchmark name is unknown.
+pub fn run_figure_with_engine(
+    bench_name: &str,
+    client_counts: &[usize],
+    duration_ms: f64,
+    engine: &DetectionEngine,
+) -> FigureRun {
     let bench = benchmark(bench_name).expect("known benchmark");
-    let report = repair_program(&bench.program, ConsistencyLevel::EventualConsistency);
+    let mut session = DetectSession::new();
+    let report = repair_with_engine(
+        &bench.program,
+        &RepairConfig {
+            level: ConsistencyLevel::EventualConsistency,
+            ..RepairConfig::default()
+        },
+        engine,
+        &mut session,
+    );
     let unsafe_txns: Vec<String> = report.unsafe_transactions().into_iter().collect();
     let spec = TableSpec::default();
 

@@ -230,16 +230,21 @@ pub fn detect_stats_row(name: &str, stats: &DetectStats, fresh_seconds: f64) -> 
 
 /// Header of the repair-loop statistics table emitted by `table1`
 /// (`experiments/repair_stats.csv`): per-benchmark oracle reuse of the
-/// near-incremental repair driver against the from-scratch reference.
+/// near-incremental repair driver — at the engine's thread count, plus
+/// extra per-thread-count rows for the headline thread sweep — against the
+/// from-scratch reference, and the cross-run hit ratio of a
+/// session-shared ablation sweep.
 pub fn repair_stats_header() -> Vec<String> {
     [
         "Benchmark",
+        "Threads",
         "Oracle passes",
         "Passes run",
         "Passes reused",
         "Pairs reused",
         "Pairs solved",
         "Hit ratio",
+        "Cross-run ratio",
         "Cached (s)",
         "Scratch (s)",
         "Speedup",
@@ -249,24 +254,30 @@ pub fn repair_stats_header() -> Vec<String> {
 }
 
 /// One row of the repair-loop statistics table: the cached run's
-/// [`atropos_core::RepairStats`] plus explicit wall times for the cached
-/// and from-scratch runs (callers time several repetitions and report the
-/// best, so the timings travel separately from the report).
+/// [`atropos_core::RepairStats`], the engine thread count it ran at, the
+/// cross-run hit ratio of the benchmark's session-shared ablation sweep,
+/// and explicit wall times for the cached and from-scratch runs (callers
+/// time several repetitions and report the best, so the timings travel
+/// separately from the report).
 pub fn repair_stats_row(
     name: &str,
     cached: &RepairReport,
+    threads: usize,
+    cross_run_ratio: f64,
     cached_seconds: f64,
     scratch_seconds: f64,
 ) -> Vec<String> {
     let s = &cached.stats;
     vec![
         name.to_owned(),
+        format!("{threads}"),
         format!("{}", s.detections + s.detections_skipped),
         format!("{}", s.detections),
         format!("{}", s.detections_skipped),
         format!("{}", s.pairs_reused()),
         format!("{}", s.pairs_solved()),
         format!("{:.2}", s.hit_ratio()),
+        format!("{:.2}", cross_run_ratio),
         format!("{:.3}", cached_seconds),
         format!("{:.3}", scratch_seconds),
         format!("{:.1}x", scratch_seconds / cached_seconds.max(1e-9)),

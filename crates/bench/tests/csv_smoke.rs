@@ -104,14 +104,23 @@ fn repair_stats_rows_match_their_header() {
         atropos_detect::ConsistencyLevel::EventualConsistency,
     );
     let mut t = Table::new(repair_stats_header());
-    t.row(repair_stats_row("Counter", &report, report.seconds, 1.0));
+    t.row(repair_stats_row("Counter", &report, 4, 0.5, report.seconds, 1.0));
     let parsed = parse_csv(&t.to_csv());
     assert_csv_shape(&parsed, "repair-stats CSV");
+    // The parallel-engine columns are part of the CSV contract: a thread
+    // count right after the benchmark name, and the session-shared
+    // ablation sweep's cross-run hit ratio before the timings.
+    let header: Vec<&str> = parsed[0].iter().map(String::as_str).collect();
+    assert_eq!(header[1], "Threads");
+    assert!(header.contains(&"Cross-run ratio"), "{header:?}");
     assert_eq!(parsed[1][0], "Counter");
+    assert_eq!(parsed[1][1], "4");
+    let cross_idx = header.iter().position(|h| *h == "Cross-run ratio").unwrap();
+    assert_eq!(parsed[1][cross_idx], "0.50");
     // Oracle passes = run + reused, and the speedup cell carries the `x`.
-    let passes: u64 = parsed[1][1].parse().unwrap();
-    let run: u64 = parsed[1][2].parse().unwrap();
-    let reused: u64 = parsed[1][3].parse().unwrap();
+    let passes: u64 = parsed[1][2].parse().unwrap();
+    let run: u64 = parsed[1][3].parse().unwrap();
+    let reused: u64 = parsed[1][4].parse().unwrap();
     assert_eq!(passes, run + reused);
     assert!(parsed[1].last().unwrap().ends_with('x'));
 
@@ -121,7 +130,14 @@ fn repair_stats_rows_match_their_header() {
         "experiments/repair_stats.csv",
     ] {
         if let Ok(text) = std::fs::read_to_string(candidate) {
-            assert_csv_shape(&parse_csv(&text), candidate);
+            let rows = parse_csv(&text);
+            assert_csv_shape(&rows, candidate);
+            assert_eq!(rows[0][1], "Threads", "{candidate}");
+            assert!(
+                rows[0].iter().any(|h| h == "Cross-run ratio"),
+                "{candidate}: {:?}",
+                rows[0]
+            );
         }
     }
 }

@@ -12,11 +12,14 @@
 //! * [`merge`] — `try_merging`: fusing commands into single-row atomic ops;
 //! * [`dce`] — post-processing (dead selects, final merges, obsolete
 //!   tables);
-//! * [`repair`] — the Fig. 10 driver made near-incremental: preprocessing
-//!   splits, per-anomaly `try_repair`, post-processing, a run-wide
-//!   [`atropos_detect::VerdictCache`] so each step only re-solves the pairs
-//!   it dirtied, and the [`RepairReport`] with per-iteration
-//!   [`RepairStats`];
+//! * [`repair`] — the Fig. 10 driver made near-incremental and parallel:
+//!   preprocessing splits, per-anomaly `try_repair`, post-processing, and
+//!   detection through an [`atropos_detect::DetectionEngine`] against an
+//!   [`atropos_detect::DetectSession`] — so each step only re-solves the
+//!   pairs it dirtied (on the engine's workers), a session shared across
+//!   runs ([`repair_with_engine`], [`ablation_sweep`]) answers common
+//!   transaction shapes from warm verdicts, and the [`RepairReport`]
+//!   carries per-iteration [`RepairStats`];
 //! * [`random_search`] — the random-refactoring baseline of Fig. 16.
 //!
 //! # Examples
@@ -50,10 +53,10 @@ pub mod rewrite;
 pub use analysis::{dirty_between, DirtySet};
 pub use dce::{post_process, post_process_tracked, PostProcessReport};
 pub use merge::{try_merging, try_merging_tracked};
-pub use random_search::{random_refactor, RandomSearchOutcome};
+pub use random_search::{random_refactor, random_refactor_with_session, RandomSearchOutcome};
 pub use repair::{
-    repair_program, repair_with_config, repair_with_config_scratch, RepairConfig,
-    RepairIteration, RepairReport, RepairStats, RepairStep,
+    ablation_sweep, repair_program, repair_with_config, repair_with_config_scratch,
+    repair_with_engine, RepairConfig, RepairIteration, RepairReport, RepairStats, RepairStep,
 };
 pub use rewrite::{
     apply_logging, apply_logging_tracked, apply_redirect, apply_redirect_tracked,

@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use atropos_detect::{detect_anomalies, ConsistencyLevel};
+use atropos_detect::{detect_anomalies, ConsistencyLevel, DetectSession, DetectionEngine};
 use atropos_dsl::Program;
 use atropos_semantics::ThetaMap;
 
@@ -30,6 +30,44 @@ pub struct RandomSearchOutcome {
 /// a random record correspondence / logging of a random integer field) and
 /// reports the anomaly count of the result.
 pub fn random_refactor(program: &Program, seed: u64, moves: usize) -> RandomSearchOutcome {
+    let (current, applied) = random_moves(program, seed, moves);
+    let anomalies = detect_anomalies(&current, ConsistencyLevel::EventualConsistency).len();
+    RandomSearchOutcome {
+        program: current,
+        applied,
+        anomalies,
+    }
+}
+
+/// [`random_refactor`] with the anomaly count discharged through a shared
+/// engine and session: every round is one session run, so rounds over the
+/// same base program answer the transaction pairs their random moves left
+/// untouched (usually most of them — random moves rarely apply) from warm
+/// verdicts instead of re-solving. Outcome-identical to [`random_refactor`]
+/// for every `(program, seed, moves)` triple.
+pub fn random_refactor_with_session(
+    program: &Program,
+    seed: u64,
+    moves: usize,
+    engine: &DetectionEngine,
+    session: &mut DetectSession,
+) -> RandomSearchOutcome {
+    let (current, applied) = random_moves(program, seed, moves);
+    // Reset session liveness to the shared base program between rounds:
+    // the previous round's mutated shapes are evicted, the base shapes —
+    // the source of cross-round reuse — stay warm.
+    session.sweep(program);
+    session.begin_run();
+    let (pairs, _) = engine.detect(&current, ConsistencyLevel::EventualConsistency, session);
+    RandomSearchOutcome {
+        program: current,
+        applied,
+        anomalies: pairs.len(),
+    }
+}
+
+/// The deterministic random-move replay shared by both entry points.
+fn random_moves(program: &Program, seed: u64, moves: usize) -> (Program, usize) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut current = program.clone();
     let mut applied = 0;
@@ -45,12 +83,7 @@ pub fn random_refactor(program: &Program, seed: u64, moves: usize) -> RandomSear
             applied += 1;
         }
     }
-    let anomalies = detect_anomalies(&current, ConsistencyLevel::EventualConsistency).len();
-    RandomSearchOutcome {
-        program: current,
-        applied,
-        anomalies,
-    }
+    (current, applied)
 }
 
 fn random_merge(p: &Program, rng: &mut StdRng) -> Option<Program> {
@@ -196,6 +229,28 @@ mod tests {
         );
         assert!(out.program.schema("C_CNT_LOG").is_some());
         assert!(report.repaired.schema("C_CNT_LOG").is_some());
+    }
+
+    /// Session-shared rounds must report exactly what the plain entry
+    /// point reports, while the shared cache turns repeated base shapes
+    /// into warm cross-run verdicts.
+    #[test]
+    fn session_shared_rounds_match_plain_and_reuse_verdicts() {
+        let p = parse(SRC).unwrap();
+        let engine = DetectionEngine::new(2);
+        let mut session = DetectSession::new();
+        for seed in 0..10 {
+            let plain = random_refactor(&p, seed, 5);
+            let shared = random_refactor_with_session(&p, seed, 5, &engine, &mut session);
+            assert_eq!(shared.program, plain.program, "seed {seed}");
+            assert_eq!(shared.applied, plain.applied, "seed {seed}");
+            assert_eq!(shared.anomalies, plain.anomalies, "seed {seed}");
+        }
+        let stats = session.cache_stats();
+        assert!(
+            stats.cross_run_hits > 0,
+            "ten rounds over one base program must share verdicts: {stats:?}"
+        );
     }
 
     #[test]

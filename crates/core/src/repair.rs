@@ -6,8 +6,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
 use atropos_detect::{
-    detect_anomalies_cached, detect_anomalies_with_stats, AccessPair, AnomalyKind, CacheStats,
-    ConsistencyLevel, VerdictCache,
+    detect_anomalies_with_stats, AccessPair, AnomalyKind, CacheStats, ConsistencyLevel,
+    DetectSession, DetectionEngine,
 };
 use atropos_dsl::{check_program, CmdLabel, Expr, Program, Stmt, Transaction, UpdateCmd};
 use atropos_semantics::{ThetaMap, ValueCorrespondence};
@@ -100,6 +100,23 @@ impl Default for RepairConfig {
             enable_postprocess: true,
             max_iterations: 64,
         }
+    }
+}
+
+impl RepairConfig {
+    /// The rule-ablation sweep of the differential suites and the
+    /// benchmark bins: the default configuration plus each refactoring
+    /// rule disabled in turn.
+    pub fn ablations() -> Vec<(&'static str, RepairConfig)> {
+        let base = RepairConfig::default();
+        vec![
+            ("default", base.clone()),
+            ("no-split", RepairConfig { enable_split: false, ..base.clone() }),
+            ("no-merge", RepairConfig { enable_merge: false, ..base.clone() }),
+            ("no-redirect", RepairConfig { enable_redirect: false, ..base.clone() }),
+            ("no-logging", RepairConfig { enable_logging: false, ..base.clone() }),
+            ("no-postprocess", RepairConfig { enable_postprocess: false, ..base }),
+        ]
     }
 }
 
@@ -241,20 +258,58 @@ pub fn repair_program(program: &Program, level: ConsistencyLevel) -> RepairRepor
 
 /// Repairs a program under an explicit configuration.
 ///
-/// This is the production, near-incremental driver: it owns a
-/// [`VerdictCache`] for the whole run, so each re-detection after a
-/// refactoring step only re-solves the transaction pairs the step dirtied,
-/// and a detection pass is skipped entirely when the program has not
-/// changed since the previous one. Verdict- and step-equivalence with the
-/// from-scratch reference driver ([`repair_with_config_scratch`]) is pinned
-/// by the `repair_incremental_vs_scratch` differential suite on all nine
+/// This is the production, near-incremental driver: it builds a
+/// [`DetectionEngine`] from the environment (`ATROPOS_THREADS`) and a
+/// fresh [`DetectSession`] for the run, so each re-detection after a
+/// refactoring step only re-solves the transaction pairs the step dirtied
+/// (in parallel when the engine has workers to spare), and a detection
+/// pass is skipped entirely when the program has not changed since the
+/// previous one. Callers that repair many programs (or the same program
+/// under many configurations) should construct the engine and session once
+/// and call [`repair_with_engine`] instead — warm verdicts then carry
+/// across runs. Verdict- and step-equivalence with the from-scratch
+/// reference driver ([`repair_with_config_scratch`]) is pinned by the
+/// `repair_incremental_vs_scratch` differential suite on all nine
 /// workloads and every rule ablation.
 ///
 /// # Panics
 ///
 /// Panics if the input program fails to type check.
 pub fn repair_with_config(program: &Program, config: &RepairConfig) -> RepairReport {
-    repair_core(program, config, true)
+    let engine = DetectionEngine::from_env();
+    let mut session = DetectSession::new();
+    repair_with_engine(program, config, &engine, &mut session)
+}
+
+/// [`repair_with_config`] against a caller-owned engine and session: the
+/// session's verdict cache (and its retained pair solvers) survives the
+/// call, so a following run over a program sharing transaction shapes —
+/// the same benchmark under another rule ablation, the next iteration of a
+/// parameter sweep — answers those pairs from warm verdicts. The run's
+/// [`RepairStats::cache`] reports only this run's share of the session's
+/// counters.
+///
+/// # Panics
+///
+/// Panics if the input program fails to type check.
+pub fn repair_with_engine(
+    program: &Program,
+    config: &RepairConfig,
+    engine: &DetectionEngine,
+    session: &mut DetectSession,
+) -> RepairReport {
+    // Bound the session at each run boundary: reset liveness to this run's
+    // input program, evicting entries stranded by the previous run's
+    // intermediate refactoring states while keeping every shape of the
+    // (typically shared) input program warm — which is exactly where
+    // cross-run reuse comes from. Within the run, liveness then grows by
+    // union as the program is refactored (see `atropos_detect::cache`).
+    session.sweep(program);
+    session.begin_run();
+    let before = session.cache_stats();
+    let mut report = repair_core(program, config, &mut Oracle::Engine { engine, session });
+    report.stats.cache = session.cache_stats().since(&before);
+    report
 }
 
 /// The from-scratch reference driver, verbatim Fig. 10: the full anomaly
@@ -267,7 +322,46 @@ pub fn repair_with_config(program: &Program, config: &RepairConfig) -> RepairRep
 ///
 /// Panics if the input program fails to type check.
 pub fn repair_with_config_scratch(program: &Program, config: &RepairConfig) -> RepairReport {
-    repair_core(program, config, false)
+    repair_core(program, config, &mut Oracle::Scratch)
+}
+
+/// Repairs `program` under every configuration of
+/// [`RepairConfig::ablations`] through **one shared session**: common
+/// transaction shapes (every ablation starts from the same program) are
+/// answered from warm verdicts across runs, which is where the session's
+/// cross-run hit ratio ([`CacheStats::cross_run_hit_ratio`]) comes from in
+/// the benchmark bins.
+///
+/// # Panics
+///
+/// Panics if the input program fails to type check.
+pub fn ablation_sweep(
+    program: &Program,
+    engine: &DetectionEngine,
+    session: &mut DetectSession,
+) -> Vec<(&'static str, RepairReport)> {
+    RepairConfig::ablations()
+        .into_iter()
+        .map(|(name, config)| (name, repair_with_engine(program, &config, engine, session)))
+        .collect()
+}
+
+/// How a repair run discharges its detection passes.
+enum Oracle<'e, 's> {
+    /// The Fig. 10 reference: a full fresh oracle pass every time.
+    Scratch,
+    /// The production path: the engine's (possibly parallel) cached oracle
+    /// against a caller-owned session.
+    Engine {
+        engine: &'e DetectionEngine,
+        session: &'s mut DetectSession,
+    },
+}
+
+impl Oracle<'_, '_> {
+    fn is_cached(&self) -> bool {
+        matches!(self, Oracle::Engine { .. })
+    }
 }
 
 /// Runs one detection pass (cached or scratch) and records its
@@ -275,15 +369,15 @@ pub fn repair_with_config_scratch(program: &Program, config: &RepairConfig) -> R
 fn run_detection(
     program: &Program,
     level: ConsistencyLevel,
-    cache: &mut Option<VerdictCache>,
+    oracle: &mut Oracle<'_, '_>,
     stats: &mut RepairStats,
 ) -> Vec<AccessPair> {
     stats.detections += 1;
-    match cache {
-        Some(c) => {
-            let before = c.stats();
-            let (pairs, d) = detect_anomalies_cached(program, level, c);
-            let after = c.stats();
+    match oracle {
+        Oracle::Engine { engine, session } => {
+            let before = session.cache_stats();
+            let (pairs, d) = engine.detect(program, level, session);
+            let after = session.cache_stats();
             stats.iterations.push(RepairIteration {
                 pairs: d.pairs,
                 pairs_reused: after.hits - before.hits,
@@ -294,7 +388,7 @@ fn run_detection(
             });
             pairs
         }
-        None => {
+        Oracle::Scratch => {
             let (pairs, d) = detect_anomalies_with_stats(program, level);
             stats.iterations.push(RepairIteration {
                 pairs: d.pairs,
@@ -309,13 +403,17 @@ fn run_detection(
     }
 }
 
-fn repair_core(program: &Program, config: &RepairConfig, cached: bool) -> RepairReport {
+fn repair_core(
+    program: &Program,
+    config: &RepairConfig,
+    oracle: &mut Oracle<'_, '_>,
+) -> RepairReport {
     check_program(program).expect("repair requires a well-typed program");
     let start = Instant::now();
-    let mut cache = cached.then(VerdictCache::new);
+    let cached = oracle.is_cached();
     let mut stats = RepairStats::default();
 
-    let initial = run_detection(program, config.level, &mut cache, &mut stats);
+    let initial = run_detection(program, config.level, oracle, &mut stats);
 
     let mut current = program.clone();
     let mut steps: Vec<RepairStep> = Vec::new();
@@ -332,7 +430,7 @@ fn repair_core(program: &Program, config: &RepairConfig, cached: bool) -> Repair
         pre_process(&mut current, &initial, &mut steps);
         let dirty = dirty_between(&before, &current);
         if !dirty.is_empty() {
-            apply_dirty(&mut cache, &dirty);
+            apply_dirty(oracle, &dirty);
             last_verdict = None;
         }
     }
@@ -344,7 +442,7 @@ fn repair_core(program: &Program, config: &RepairConfig, cached: bool) -> Repair
                 stats.detections_skipped += 1;
                 p
             }
-            None => run_detection(&current, config.level, &mut cache, &mut stats),
+            None => run_detection(&current, config.level, oracle, &mut stats),
         };
         // Repair lost updates (logging) before dirty/non-repeatable pairs
         // (merging): merging first would fuse updates into multi-assignment
@@ -366,7 +464,7 @@ fn repair_core(program: &Program, config: &RepairConfig, cached: bool) -> Repair
                     if let Some(it) = stats.iterations.last_mut() {
                         it.dirtied_txns = dirty.txns.iter().cloned().collect();
                     }
-                    apply_dirty(&mut cache, &dirty);
+                    apply_dirty(oracle, &dirty);
                     progress = true;
                     break;
                 }
@@ -385,7 +483,7 @@ fn repair_core(program: &Program, config: &RepairConfig, cached: bool) -> Repair
     let post = if config.enable_postprocess {
         let (report, dirty) = post_process_tracked(&mut current);
         if !dirty.is_empty() {
-            apply_dirty(&mut cache, &dirty);
+            apply_dirty(oracle, &dirty);
             last_verdict = None;
         }
         report
@@ -397,15 +495,14 @@ fn repair_core(program: &Program, config: &RepairConfig, cached: bool) -> Repair
             stats.detections_skipped += 1;
             p
         }
-        None => run_detection(&current, config.level, &mut cache, &mut stats),
+        None => run_detection(&current, config.level, oracle, &mut stats),
     };
     // Canonical order: the carried-forward verdicts arrive in repair-rule
     // order while a fresh detection arrives in witness order, and the two
     // drivers must report byte-identical remainders.
     remaining.sort();
-    if let Some(c) = &cache {
-        stats.cache = c.stats();
-    }
+    // The cached driver's share of the session cache counters is filled in
+    // by `repair_with_engine` (the session may be older than this run).
     RepairReport {
         original: program.clone(),
         repaired: current,
@@ -419,13 +516,13 @@ fn repair_core(program: &Program, config: &RepairConfig, cached: bool) -> Repair
     }
 }
 
-/// Funnels one step's [`DirtySet`] into the verdict cache: pure relabelings
-/// are remapped so surviving entries serve current labels. Eviction needs
-/// no driver action — the next detection pass sweeps stranded entries by
-/// fingerprint liveness itself.
-fn apply_dirty(cache: &mut Option<VerdictCache>, dirty: &DirtySet) {
-    if let Some(c) = cache {
-        c.record_renames(&dirty.renames);
+/// Funnels one step's [`DirtySet`] into the session's verdict cache: pure
+/// relabelings are remapped so surviving entries serve current labels.
+/// Eviction needs no driver action — the next detection pass sweeps
+/// stranded entries by fingerprint liveness itself.
+fn apply_dirty(oracle: &mut Oracle<'_, '_>, dirty: &DirtySet) {
+    if let Oracle::Engine { session, .. } = oracle {
+        session.record_renames(&dirty.renames);
     }
 }
 
@@ -1152,6 +1249,38 @@ mod tests {
             cached.stats.detections + cached.stats.detections_skipped,
             scratch.stats.detections + scratch.stats.detections_skipped
         );
+    }
+
+    /// The ablation sweep shares one session: every configuration repairs
+    /// the same program, so later runs answer the shapes earlier runs
+    /// solved — a nonzero cross-run hit ratio — while each run's report
+    /// still matches an isolated repair of the same configuration.
+    #[test]
+    fn ablation_sweep_shares_warm_verdicts_across_runs() {
+        let p = parse(COURSEWARE).unwrap();
+        let engine = DetectionEngine::new(2);
+        let mut session = DetectSession::new();
+        let sweep = ablation_sweep(&p, &engine, &mut session);
+        assert_eq!(sweep.len(), RepairConfig::ablations().len());
+        for ((name, config), (_, shared)) in RepairConfig::ablations().iter().zip(&sweep) {
+            let isolated = repair_with_config(&p, config);
+            assert_eq!(shared.steps, isolated.steps, "{name}");
+            assert_eq!(shared.remaining, isolated.remaining, "{name}");
+            assert_eq!(
+                print_program(&shared.repaired),
+                print_program(&isolated.repaired),
+                "{name}"
+            );
+        }
+        let stats = session.cache_stats();
+        assert!(
+            stats.cross_run_hit_ratio() > 0.0,
+            "sweep must reuse verdicts across runs: {stats:?}"
+        );
+        assert_eq!(session.runs(), sweep.len() as u64);
+        // Per-run cache shares sum to the session's lifetime counters.
+        let run_hits: u64 = sweep.iter().map(|(_, r)| r.stats.cache.hits).sum();
+        assert_eq!(run_hits, stats.hits);
     }
 
     #[test]

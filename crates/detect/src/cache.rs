@@ -42,10 +42,30 @@
 //! consistency level, or after its verdict entry was evicted while its
 //! fingerprint survived — reuses the already-encoded ordering/visibility
 //! matrix and every learnt clause instead of re-encoding from scratch.
+//! Retained states live in a **sharded map** ([`ShardedStateMap`]):
+//! independent mutex-guarded shards keyed by the fingerprint pair, so the
+//! parallel detection engine's workers can take and return solvers
+//! concurrently without a global lock (retained solvers migrate freely
+//! between workers — [`PairState`] is `Send`).
+//!
+//! # Multi-run lifetimes
+//!
+//! A cache may outlive one repair run: a [`crate::DetectSession`] shares it
+//! across an ablation sweep or a whole benchmark suite. Liveness for the
+//! per-pass garbage sweep is therefore computed against the **union of all
+//! programs seen** since construction (or since the last explicit
+//! [`VerdictCache::sweep`]), so warm entries from a prior run are neither
+//! stranded behind a narrower program nor prematurely dropped before that
+//! run's program comes back. Callers that want memory bounded between runs
+//! call [`VerdictCache::sweep`] explicitly, which resets liveness to exactly
+//! one program. Run boundaries ([`VerdictCache::advance_run`]) additionally
+//! let the cache attribute hits to entries born in earlier runs — the
+//! cross-run counters of [`CacheStats`].
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 use atropos_dsl::Program;
 
@@ -119,6 +139,13 @@ pub struct CacheStats {
     /// edits), or by an explicit [`VerdictCache::invalidate_txns`] /
     /// [`VerdictCache::sweep`] call.
     pub invalidated: u64,
+    /// Lookups performed in any run after the session's first (see
+    /// [`VerdictCache::advance_run`]); zero when the cache never crossed a
+    /// run boundary.
+    pub cross_run_lookups: u64,
+    /// Of those, lookups answered by an entry inserted in an *earlier* run —
+    /// the warm verdicts one repair run hands the next.
+    pub cross_run_hits: u64,
 }
 
 impl CacheStats {
@@ -128,6 +155,30 @@ impl CacheStats {
             return 0.0;
         }
         self.hits as f64 / self.lookups as f64
+    }
+
+    /// Fraction of post-first-run lookups answered by an earlier run's
+    /// entry (0 when the cache never crossed a run boundary).
+    pub fn cross_run_hit_ratio(&self) -> f64 {
+        if self.cross_run_lookups == 0 {
+            return 0.0;
+        }
+        self.cross_run_hits as f64 / self.cross_run_lookups as f64
+    }
+
+    /// Counter-wise difference `self - earlier`: the work attributable to
+    /// the span between two snapshots of one cache's lifetime statistics.
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups - earlier.lookups,
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            solver_reuses: self.solver_reuses - earlier.solver_reuses,
+            invalidated: self.invalidated - earlier.invalidated,
+            cross_run_lookups: self.cross_run_lookups - earlier.cross_run_lookups,
+            cross_run_hits: self.cross_run_hits - earlier.cross_run_hits,
+        }
     }
 }
 
@@ -140,28 +191,122 @@ type VerdictKey = (u64, u64, bool, ConsistencyLevel);
 struct VerdictEntry {
     txn1: String,
     txn2: String,
+    /// Run (see [`VerdictCache::advance_run`]) this entry was inserted in.
+    run: u64,
     /// Raw `analyse_pair` output for this ordered pair (pre-deduplication).
     pairs: Vec<AccessPair>,
 }
 
 /// Retained per-pair analysis state: the grounded two-instance model and,
 /// once a query was issued, the incremental solver built on it.
+///
+/// `PairState` is `Send` (a compile-time guarantee pinned below): the
+/// parallel detection engine hands retained states to whichever worker
+/// claims the pair, so a solver built on one thread freely migrates to
+/// another between passes.
 pub(crate) struct PairState {
     pub(crate) model: InstanceModel,
     pub(crate) solver: Option<PairSolver>,
     txns: (String, String),
 }
 
+impl PairState {
+    /// Grounds a fresh analysis state for one ordered transaction pair.
+    pub(crate) fn new(t1: &TxnSummary, t2: &TxnSummary) -> PairState {
+        PairState {
+            model: InstanceModel::new(t1, t2),
+            solver: None,
+            txns: (t1.name.clone(), t2.name.clone()),
+        }
+    }
+}
+
+// The whole retained-state payload must be able to migrate between the
+// engine's workers; a non-Send field sneaking into the solver stack should
+// fail compilation here, not at every use site.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<PairState>();
+};
+
+/// How many independently locked shards [`ShardedStateMap`] spreads the
+/// retained pair states over. Sixteen comfortably exceeds the engine's
+/// worker cap, so two workers rarely contend on one mutex.
+const STATE_SHARDS: usize = 16;
+
+/// The solver-retention map: retained [`PairState`]s keyed by the ordered
+/// fingerprint pair, split over [`STATE_SHARDS`] mutex-guarded shards so
+/// parallel workers can `take`/`store` concurrently through a shared
+/// reference. Serial callers go through the same API (an uncontended mutex
+/// lock is a few nanoseconds), keeping one code path.
+pub(crate) struct ShardedStateMap {
+    shards: Vec<Mutex<HashMap<(u64, u64), PairState>>>,
+}
+
+impl ShardedStateMap {
+    fn new() -> ShardedStateMap {
+        ShardedStateMap {
+            shards: (0..STATE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard_of(key: (u64, u64)) -> usize {
+        // Cheap deterministic mix of both fingerprints; the keys are already
+        // high-entropy hashes, so xor-fold is distribution enough.
+        ((key.0 ^ key.1.rotate_left(17)) % STATE_SHARDS as u64) as usize
+    }
+
+    /// Removes and returns the retained state for a pair, if any.
+    pub(crate) fn take(&self, key: (u64, u64)) -> Option<PairState> {
+        self.shards[Self::shard_of(key)]
+            .lock()
+            .expect("state shard poisoned")
+            .remove(&key)
+    }
+
+    /// Returns a pair's state to the map for later reuse.
+    pub(crate) fn store(&self, key: (u64, u64), state: PairState) {
+        self.shards[Self::shard_of(key)]
+            .lock()
+            .expect("state shard poisoned")
+            .insert(key, state);
+    }
+
+    /// Keeps only the states satisfying `f` (exclusive access, no locking).
+    fn retain(&mut self, mut f: impl FnMut(&(u64, u64), &PairState) -> bool) {
+        for shard in &mut self.shards {
+            shard.get_mut().expect("state shard poisoned").retain(|k, s| f(k, s));
+        }
+    }
+
+    /// Mutable visit of every retained state (exclusive access).
+    fn for_each_mut(&mut self, mut f: impl FnMut(&mut PairState)) {
+        for shard in &mut self.shards {
+            for s in shard.get_mut().expect("state shard poisoned").values_mut() {
+                f(s);
+            }
+        }
+    }
+}
+
 /// A cache of per-pair anomaly verdicts and solvers, keyed by transaction
-/// fingerprints. The repair driver owns one per run and threads it through
-/// every detection pass via [`crate::detect_anomalies_cached`].
+/// fingerprints. The repair driver owns one per run — or, via
+/// [`crate::DetectSession`], one per whole benchmark sweep — and threads it
+/// through every detection pass via [`crate::detect_anomalies_cached`] or
+/// the [`crate::DetectionEngine`].
 ///
-/// See the [module docs](self) for the fingerprint and invalidation
-/// contracts.
+/// See the [module docs](self) for the fingerprint, invalidation, and
+/// multi-run liveness contracts.
 pub struct VerdictCache {
     verdicts: HashMap<VerdictKey, VerdictEntry>,
-    states: HashMap<(u64, u64), PairState>,
+    states: ShardedStateMap,
     stats: CacheStats,
+    /// Union of every live transaction fingerprint seen since construction
+    /// or the last explicit [`VerdictCache::sweep`] — the liveness set the
+    /// per-pass garbage sweep checks entries against.
+    session_live: BTreeSet<u64>,
+    /// Current run number; 0 until [`VerdictCache::advance_run`] is called.
+    run: u64,
 }
 
 impl Default for VerdictCache {
@@ -175,9 +320,38 @@ impl VerdictCache {
     pub fn new() -> VerdictCache {
         VerdictCache {
             verdicts: HashMap::new(),
-            states: HashMap::new(),
+            states: ShardedStateMap::new(),
             stats: CacheStats::default(),
+            session_live: BTreeSet::new(),
+            run: 0,
         }
+    }
+
+    /// Marks the boundary between two runs sharing this cache (e.g. two
+    /// `repair` calls of an ablation sweep). Hits on entries inserted
+    /// before the boundary count as *cross-run* hits in [`CacheStats`];
+    /// the entries themselves stay warm — eviction is the business of
+    /// [`VerdictCache::sweep`], not of run accounting.
+    pub fn advance_run(&mut self) {
+        self.run += 1;
+    }
+
+    /// Runs started on this cache (0 until the first
+    /// [`VerdictCache::advance_run`]).
+    pub fn runs(&self) -> u64 {
+        self.run
+    }
+
+    /// Shared handle to the sharded solver-retention map, for the parallel
+    /// engine's workers.
+    pub(crate) fn states(&self) -> &ShardedStateMap {
+        &self.states
+    }
+
+    /// Mutable access to the lifetime counters, for the engine to merge
+    /// worker-local statistics after a parallel pass.
+    pub(crate) fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
     }
 
     /// Cumulative statistics of this cache's lifetime.
@@ -218,11 +392,11 @@ impl VerdictCache {
                 remap(&mut p.cmd2.0);
             }
         }
-        for s in self.states.values_mut() {
+        self.states.for_each_mut(|s| {
             for c in s.model.cmds.iter_mut() {
                 remap(&mut c.summary.label.0);
             }
-        }
+        });
     }
 
     /// Evicts every verdict entry and retained solver involving one of the
@@ -245,33 +419,48 @@ impl VerdictCache {
         evicted
     }
 
-    /// Garbage-collects entries made unreachable by a program edit: every
-    /// verdict and retained solver whose fingerprints no longer occur in
-    /// `program` is dropped. Precise where [`VerdictCache::invalidate_txns`]
-    /// is coarse — an entry the sweep keeps is guaranteed to hit again on
-    /// the next detection pass over `program` (its transactions' summaries
-    /// are unchanged), so sweeping never converts a would-be hit into a
-    /// re-solve. Returns the number of verdict entries evicted.
+    /// **Resets** liveness to exactly `program` and garbage-collects every
+    /// verdict and retained solver whose fingerprints do not occur in it.
+    ///
+    /// This is the explicit between-runs sweep of a multi-run cache: the
+    /// per-pass sweep ([`VerdictCache::sweep_live`]) only ever checks
+    /// against the *union* of programs seen — so a sweep over benchmark B
+    /// never strands or prematurely drops benchmark A's warm entries — and
+    /// it is this call that a session uses to bound memory once a run's
+    /// entries are genuinely dead. An entry the sweep keeps is guaranteed
+    /// to hit again on the next detection pass over `program` (its
+    /// transactions' summaries are unchanged), so sweeping never converts a
+    /// would-be hit into a re-solve. Returns the number of verdict entries
+    /// evicted.
     pub fn sweep(&mut self, program: &Program) -> usize {
-        let fps: Vec<u64> = summarize_program(program)
+        self.session_live = summarize_program(program)
             .iter()
             .map(txn_fingerprint)
             .collect();
-        self.sweep_live(&fps)
+        self.retain_session_live()
     }
 
-    /// [`VerdictCache::sweep`] against an already-computed set of live
-    /// transaction fingerprints. [`crate::detect_anomalies_cached`] calls
-    /// this at the start of every pass with the fingerprints it computes
-    /// anyway, so the cache continuously prunes itself to the program under
-    /// analysis at no extra summarization cost.
+    /// The per-pass sweep: folds the pass's live transaction fingerprints
+    /// into the session's liveness union, then garbage-collects entries
+    /// outside the union. [`crate::detect_anomalies_cached`] and the
+    /// [`crate::DetectionEngine`] call this at the start of every pass with
+    /// the fingerprints they compute anyway. Within a single-program
+    /// lifetime this degenerates to the precise per-program sweep; across a
+    /// session it keeps warm entries of *every* program seen alive (bound
+    /// memory with the explicit [`VerdictCache::sweep`]).
     pub(crate) fn sweep_live(&mut self, fps: &[u64]) -> usize {
-        let live: BTreeSet<u64> = fps.iter().copied().collect();
+        self.session_live.extend(fps.iter().copied());
+        self.retain_session_live()
+    }
+
+    fn retain_session_live(&mut self) -> usize {
+        let live = std::mem::take(&mut self.session_live);
         let before = self.verdicts.len();
         self.verdicts
             .retain(|k, _| live.contains(&k.0) && live.contains(&k.1));
         self.states
             .retain(|k, _| live.contains(&k.0) && live.contains(&k.1));
+        self.session_live = live;
         let evicted = before - self.verdicts.len();
         self.stats.invalidated += evicted as u64;
         evicted
@@ -288,9 +477,18 @@ impl VerdictCache {
         level: ConsistencyLevel,
     ) -> Option<Vec<AccessPair>> {
         self.stats.lookups += 1;
+        // Cross-run accounting engages from the second run onwards: only
+        // then can a lookup possibly be served by an earlier run's entry.
+        let cross = self.run >= 2;
+        if cross {
+            self.stats.cross_run_lookups += 1;
+        }
         match self.verdicts.get(&(fp1, fp2, symmetric, level)) {
             Some(e) => {
                 self.stats.hits += 1;
+                if cross && e.run < self.run {
+                    self.stats.cross_run_hits += 1;
+                }
                 Some(e.pairs.clone())
             }
             None => {
@@ -317,34 +515,12 @@ impl VerdictCache {
             VerdictEntry {
                 txn1: t1.name.clone(),
                 txn2: t2.name.clone(),
+                run: self.run,
                 pairs,
             },
         );
     }
 
-    /// Takes (or builds) the retained analysis state for an ordered pair.
-    /// Reusing a retained state skips `InstanceModel` grounding and, when a
-    /// solver exists, the whole CNF encoding.
-    pub(crate) fn take_state(&mut self, fp1: u64, fp2: u64, t1: &TxnSummary, t2: &TxnSummary) -> PairState {
-        match self.states.remove(&(fp1, fp2)) {
-            Some(s) => {
-                if s.solver.is_some() {
-                    self.stats.solver_reuses += 1;
-                }
-                s
-            }
-            None => PairState {
-                model: InstanceModel::new(t1, t2),
-                solver: None,
-                txns: (t1.name.clone(), t2.name.clone()),
-            },
-        }
-    }
-
-    /// Returns a pair's analysis state to the cache for later reuse.
-    pub(crate) fn store_state(&mut self, fp1: u64, fp2: u64, state: PairState) {
-        self.states.insert((fp1, fp2), state);
-    }
 }
 
 #[cfg(test)]
@@ -439,10 +615,9 @@ mod tests {
         let ts = summaries(COUNTER);
         let (fp, t) = (txn_fingerprint(&ts[0]), &ts[0]);
         let mut cache = VerdictCache::new();
-        let state = cache.take_state(fp, fp, t, t);
-        cache.store_state(fp, fp, state);
+        cache.states().store((fp, fp), PairState::new(t, t));
         cache.record_renames(&BTreeMap::from([("R".to_owned(), "R9".to_owned())]));
-        let state = cache.take_state(fp, fp, t, t);
+        let state = cache.states().take((fp, fp)).expect("retained");
         let labels: Vec<&str> = state
             .model
             .cmds
@@ -450,6 +625,73 @@ mod tests {
             .map(|c| c.summary.label.0.as_str())
             .collect();
         assert_eq!(labels, vec!["R9", "W", "R9", "W"]);
+    }
+
+    /// Satellite regression for multi-run cache lifetimes: a detection pass
+    /// over program B must not strand or prematurely drop warm entries of a
+    /// previously seen program A — liveness is the union of programs seen —
+    /// while the explicit [`VerdictCache::sweep`] resets liveness to one
+    /// program and evicts the rest.
+    #[test]
+    fn per_pass_sweep_keeps_warm_entries_of_earlier_runs() {
+        use crate::{detect_anomalies_cached, ConsistencyLevel};
+        let prog_a = atropos_dsl::parse(COUNTER).unwrap();
+        let prog_b = atropos_dsl::parse(
+            "schema U { id: int key, n: int }
+             txn touch(k: int) {
+                 @T update U set n = 1 where id = k;
+                 return 0;
+             }",
+        )
+        .unwrap();
+        let ec = ConsistencyLevel::EventualConsistency;
+        let mut cache = VerdictCache::new();
+
+        cache.advance_run();
+        let (a1, _) = detect_anomalies_cached(&prog_a, ec, &mut cache);
+        // A different program's pass must not evict A's entries…
+        cache.advance_run();
+        detect_anomalies_cached(&prog_b, ec, &mut cache);
+        assert_eq!(cache.stats().invalidated, 0, "{:?}", cache.stats());
+        // …so returning to A answers every pair warm, across two runs.
+        cache.advance_run();
+        let before = cache.stats();
+        let (a2, s) = detect_anomalies_cached(&prog_a, ec, &mut cache);
+        assert_eq!(a2, a1);
+        assert_eq!(s.queries, 0, "warm re-run must not touch a solver");
+        let delta = cache.stats().since(&before);
+        assert_eq!(delta.misses, 0, "premature drop: {delta:?}");
+        assert!(delta.cross_run_hits > 0, "{delta:?}");
+        assert!(cache.stats().cross_run_hit_ratio() > 0.0);
+
+        // The explicit between-runs sweep resets liveness to one program:
+        // A's entries go, B's stay warm.
+        let evicted = cache.sweep(&prog_b);
+        assert!(evicted > 0);
+        let before = cache.stats();
+        detect_anomalies_cached(&prog_b, ec, &mut cache);
+        assert_eq!(cache.stats().since(&before).misses, 0, "B stayed warm");
+        let before = cache.stats();
+        detect_anomalies_cached(&prog_a, ec, &mut cache);
+        assert!(cache.stats().since(&before).misses > 0, "A was swept");
+    }
+
+    #[test]
+    fn sharded_state_map_takes_and_stores_through_shared_refs() {
+        let ts = summaries(COUNTER);
+        let t = &ts[0];
+        let map = ShardedStateMap::new();
+        assert!(map.take((1, 2)).is_none());
+        map.store((1, 2), PairState::new(t, t));
+        map.store((3, 4), PairState::new(t, t));
+        // Concurrent take/store from scoped workers — the engine's pattern.
+        std::thread::scope(|scope| {
+            let h1 = scope.spawn(|| map.take((1, 2)).is_some());
+            let h2 = scope.spawn(|| map.take((3, 4)).is_some());
+            assert!(h1.join().unwrap());
+            assert!(h2.join().unwrap());
+        });
+        assert!(map.take((1, 2)).is_none());
     }
 
     #[test]

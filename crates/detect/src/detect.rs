@@ -27,7 +27,7 @@ use std::time::Instant;
 
 use atropos_dsl::{CmdLabel, Program};
 
-use crate::cache::{txn_fingerprint, VerdictCache};
+use crate::cache::VerdictCache;
 use crate::encode::{
     fresh_query, ConsistencyLevel, InstanceModel, PairSolver, VisRequirement,
 };
@@ -374,8 +374,11 @@ fn detect_core(
 
 /// Folds one ordered pair's raw `analyse_pair` output into the per-level
 /// result map, merging field sets and witnesses of duplicate keys exactly
-/// like repeated template hits within one pass would.
-fn accumulate(
+/// like repeated template hits within one pass would. Merge order is part
+/// of the oracle's observable behaviour (the first entry of a key provides
+/// its base orientation), so the parallel engine replays this fold in the
+/// serial pair order regardless of which worker finished first.
+pub(crate) fn accumulate(
     per_level: &mut BTreeMap<(String, String, AnomalyKind), AccessPair>,
     pairs: Vec<AccessPair>,
 ) {
@@ -394,7 +397,9 @@ fn accumulate(
 /// Detects every anomalous access pair of `program` under `level`,
 /// answering untouched transaction pairs from `cache` (and refreshing it
 /// with everything analysed) — the oracle the near-incremental repair
-/// driver calls after each refactoring step.
+/// driver calls after each refactoring step. This is the serial form; the
+/// [`crate::DetectionEngine`] runs the same pass (one shared
+/// implementation) with the dirty pairs fanned out over a worker pool.
 ///
 /// Equivalent to [`detect_anomalies`] on every input (the
 /// `repair_incremental_vs_scratch` differential suite pins this on all nine
@@ -409,63 +414,55 @@ pub fn detect_anomalies_cached(
     level: ConsistencyLevel,
     cache: &mut VerdictCache,
 ) -> (Vec<AccessPair>, DetectStats) {
-    let started = Instant::now();
-    let summaries = summarize_program(program);
-    let fps: Vec<u64> = summaries.iter().map(txn_fingerprint).collect();
-    // Prune entries stranded by program edits since the last pass; an entry
-    // the sweep keeps is guaranteed to hit below.
-    cache.sweep_live(&fps);
-    let mut found: BTreeMap<(String, String, AnomalyKind), AccessPair> = BTreeMap::new();
-    let mut stats = DetectStats::default();
+    crate::engine::detect_with_cache(1, program, level, cache, None)
+}
 
-    for (i, t1) in summaries.iter().enumerate() {
-        for (j, t2) in summaries.iter().enumerate() {
-            stats.pairs += 1;
-            let symmetric = i <= j;
-            if let Some(pairs) = cache.lookup(fps[i], fps[j], symmetric, level) {
-                accumulate(&mut found, pairs);
-                continue;
+/// Analyses one dirty (cache-missed) ordered pair against its retained (or
+/// freshly grounded) [`crate::cache::PairState`], returning the raw
+/// verdicts and this pair's [`DetectStats`] delta. The single solving path
+/// shared by the serial cached oracle and every worker of the parallel
+/// [`crate::DetectionEngine`] — so the two cannot drift apart.
+pub(crate) fn solve_pair_with_state(
+    t1: &TxnSummary,
+    t2: &TxnSummary,
+    symmetric: bool,
+    level: ConsistencyLevel,
+    state: &mut crate::cache::PairState,
+) -> (Vec<AccessPair>, DetectStats) {
+    let mut stats = DetectStats::default();
+    let clauses_before = state
+        .solver
+        .as_ref()
+        .map(|s| (s.encoded_clauses(), s.solver_stats()));
+    let pairs = {
+        let (model, solver) = (&state.model, &mut state.solver);
+        let mut memo: HashMap<Vec<VisRequirement>, bool> = HashMap::new();
+        let mut sat = |reqs: Vec<VisRequirement>| -> bool {
+            if let Some(&r) = memo.get(&reqs) {
+                stats.memo_hits += 1;
+                return r;
             }
-            let mut state = cache.take_state(fps[i], fps[j], t1, t2);
-            let clauses_before = state
-                .solver
-                .as_ref()
-                .map(|s| (s.encoded_clauses(), s.solver_stats()));
-            let pairs = {
-                let (model, solver) = (&state.model, &mut state.solver);
-                let mut memo: HashMap<Vec<VisRequirement>, bool> = HashMap::new();
-                let mut sat = |reqs: Vec<VisRequirement>| -> bool {
-                    if let Some(&r) = memo.get(&reqs) {
-                        stats.memo_hits += 1;
-                        return r;
-                    }
-                    stats.queries += 1;
-                    let r = pair_query(solver, model, level, &reqs, &mut stats);
-                    if r {
-                        stats.sat_queries += 1;
-                    }
-                    memo.insert(reqs, r);
-                    r
-                };
-                analyse_pair(t1, t2, &state.model, symmetric, &mut sat)
-            };
-            if let Some(ps) = &state.solver {
-                // A retained solver's counters are cumulative across calls;
-                // charge this pass only with the delta it caused.
-                let (c0, s0) = clauses_before.unwrap_or_default();
-                let s = ps.solver_stats();
-                stats.conflicts += s.conflicts - s0.conflicts;
-                stats.propagations += s.propagations - s0.propagations;
-                stats.decisions += s.decisions - s0.decisions;
-                stats.clauses_encoded += (ps.encoded_clauses() - c0) as u64;
+            stats.queries += 1;
+            let r = pair_query(solver, model, level, &reqs, &mut stats);
+            if r {
+                stats.sat_queries += 1;
             }
-            cache.insert(fps[i], fps[j], symmetric, level, t1, t2, pairs.clone());
-            cache.store_state(fps[i], fps[j], state);
-            accumulate(&mut found, pairs);
-        }
+            memo.insert(reqs, r);
+            r
+        };
+        analyse_pair(t1, t2, model, symmetric, &mut sat)
+    };
+    if let Some(ps) = &state.solver {
+        // A retained solver's counters are cumulative across calls;
+        // charge this pass only with the delta it caused.
+        let (c0, s0) = clauses_before.unwrap_or_default();
+        let s = ps.solver_stats();
+        stats.conflicts += s.conflicts - s0.conflicts;
+        stats.propagations += s.propagations - s0.propagations;
+        stats.decisions += s.decisions - s0.decisions;
+        stats.clauses_encoded += (ps.encoded_clauses() - c0) as u64;
     }
-    stats.seconds = started.elapsed().as_secs_f64();
-    (found.into_values().collect(), stats)
+    (pairs, stats)
 }
 
 fn pair_key(p: &AccessPair) -> (String, String, AnomalyKind) {

@@ -554,6 +554,15 @@ pub struct PairSolver {
     level_clauses: [usize; 4],
 }
 
+// Retained pair solvers travel between the detection engine's workers via
+// the sharded retention map; `PairSolver` (and the model it is grounded
+// from) must therefore stay `Send`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<PairSolver>();
+    assert_send::<InstanceModel>();
+};
+
 impl PairSolver {
     /// Builds the level-independent encoding for `model`; each level's
     /// axiom group is added lazily on first query.

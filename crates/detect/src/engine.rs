@@ -1,0 +1,406 @@
+//! The parallel detection engine: dirty-pair solving fanned out over a
+//! worker pool, deterministically merged.
+//!
+//! The paper's detection formulation makes every transaction pair an
+//! independent satisfiability query, so the re-solved ("dirty") pairs of a
+//! cached detection pass are embarrassingly parallel. A
+//! [`DetectionEngine`] owns the parallelism policy — a worker count from
+//! [`DetectionEngine::new`], the `ATROPOS_THREADS` environment variable,
+//! or the machine's available parallelism — and runs each pass in three
+//! phases:
+//!
+//! 1. **Plan** (serial): summarize the program, fingerprint every
+//!    transaction, sweep the cache's liveness union, and look every ordered
+//!    pair up in the verdict cache. Hits fill their result slots
+//!    immediately; misses form the dirty-pair work list.
+//! 2. **Solve** (parallel): `std::thread::scope` workers drain the work
+//!    list through an atomic cursor. Each worker takes the pair's retained
+//!    [`crate::cache::PairState`] from the sharded solver-retention map
+//!    (solvers migrate freely between workers — they are `Send`), solves
+//!    with the exact same per-pair routine as the serial oracle, and
+//!    returns the state to its shard.
+//! 3. **Merge** (serial, deterministic): verdicts are folded into the
+//!    result map and inserted into the cache **in the serial pair order**,
+//!    not in completion order, so the engine's output — verdicts, the
+//!    entire [`DetectStats`] except wall-clock seconds, and every
+//!    downstream repair decision — is byte-identical at any thread count
+//!    (pinned by `tests/parallel_determinism.rs` on all nine workloads).
+//!
+//! With one thread the scope is skipped and phase 2 runs inline: the
+//! serial cached oracle ([`crate::detect_anomalies_cached`]) is literally
+//! this engine at `threads = 1`, so the paths cannot drift apart.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use atropos_dsl::Program;
+
+use crate::cache::{txn_fingerprint, PairState, VerdictCache};
+use crate::detect::{accumulate, solve_pair_with_state, AccessPair, AnomalyKind, DetectStats};
+use crate::encode::ConsistencyLevel;
+use crate::model::{summarize_program, TxnSummary};
+use crate::session::DetectSession;
+
+/// Per-worker counters of one engine's lifetime, indexed by worker slot
+/// (worker 0 is also the inline path of a single-threaded pass).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Dirty pairs this worker re-solved.
+    pub pairs_solved: u64,
+    /// SAT queries those pairs issued.
+    pub queries: u64,
+    /// Pairs that reused a retained solver taken from the sharded map.
+    pub solver_reuses: u64,
+    /// Wall-clock seconds this worker spent solving.
+    pub seconds: f64,
+}
+
+impl WorkerStats {
+    fn absorb(&mut self, other: &WorkerStats) {
+        self.pairs_solved += other.pairs_solved;
+        self.queries += other.queries;
+        self.solver_reuses += other.solver_reuses;
+        self.seconds += other.seconds;
+    }
+}
+
+/// Parallelism policy for cached detection passes. Cheap to construct and
+/// `Copy`-light (one `usize`); callers typically build **one engine per
+/// sweep** and share it — the expensive, long-lived state (verdicts,
+/// retained solvers) lives in the [`DetectSession`], not here.
+///
+/// # Examples
+///
+/// ```
+/// use atropos_detect::{ConsistencyLevel, DetectionEngine, DetectSession};
+///
+/// let p = atropos_dsl::parse(
+///     "schema T { id: int key, v: int }
+///      txn bump(k: int) {
+///          x := select v from T where id = k;
+///          update T set v = x.v + 1 where id = k;
+///          return 0;
+///      }",
+/// ).unwrap();
+/// let engine = DetectionEngine::new(2);
+/// let mut session = DetectSession::new();
+/// let (first, _) = engine.detect(&p, ConsistencyLevel::EventualConsistency, &mut session);
+/// assert_eq!(first.len(), 1); // the lost update
+/// // Same program again: answered entirely from the session's warm cache.
+/// let (again, stats) = engine.detect(&p, ConsistencyLevel::EventualConsistency, &mut session);
+/// assert_eq!(again, first);
+/// assert_eq!(stats.queries, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectionEngine {
+    threads: usize,
+}
+
+impl DetectionEngine {
+    /// An engine solving dirty pairs on `threads` workers (clamped to at
+    /// least 1). Thread count never affects results, only wall-clock.
+    pub fn new(threads: usize) -> DetectionEngine {
+        DetectionEngine {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The strictly serial engine (`threads = 1`); what
+    /// [`crate::detect_anomalies_cached`] runs under the hood.
+    pub fn serial() -> DetectionEngine {
+        DetectionEngine::new(1)
+    }
+
+    /// An engine honouring the `ATROPOS_THREADS` environment variable
+    /// (clamped to at least 1, exactly like [`DetectionEngine::new`] — so
+    /// `ATROPOS_THREADS=0` means serial, not "use the default"), falling
+    /// back to the machine's available parallelism (capped at 8 —
+    /// dirty-pair batches rarely feed more workers than that).
+    pub fn from_env() -> DetectionEngine {
+        let configured = std::env::var("ATROPOS_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok());
+        DetectionEngine::new(configured.unwrap_or_else(default_threads))
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// One cached detection pass over `program` at `level`, answering
+    /// untouched pairs from the session's verdict cache and fanning the
+    /// dirty remainder out over this engine's workers.
+    ///
+    /// Verdict-identical to [`crate::detect_anomalies`] and to itself at
+    /// every thread count; see the module docs for the three-phase
+    /// structure and the determinism argument.
+    pub fn detect(
+        &self,
+        program: &Program,
+        level: ConsistencyLevel,
+        session: &mut DetectSession,
+    ) -> (Vec<AccessPair>, DetectStats) {
+        let (cache, per_worker) = session.cache_and_workers();
+        detect_with_cache(self.threads, program, level, cache, Some(per_worker))
+    }
+}
+
+/// Smallest dirty-pair batch worth one worker thread: below this, the
+/// spawn/join overhead rivals the SAT work itself and the pass runs
+/// inline. Thread count never affects verdicts, so this is purely a
+/// scheduling knob.
+const MIN_PAIRS_PER_WORKER: usize = 4;
+
+/// Default worker count when `ATROPOS_THREADS` is unset.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// One dirty pair of the work list: its slot in the pass's result vector
+/// and the ordered transaction indices.
+struct Miss {
+    slot: usize,
+    i: usize,
+    j: usize,
+    symmetric: bool,
+}
+
+/// The outcome of solving one dirty pair, produced on whatever worker
+/// claimed it and merged on the coordinating thread.
+struct MissOutcome {
+    pairs: Vec<AccessPair>,
+    stats: DetectStats,
+    solver_reused: bool,
+}
+
+fn solve_miss(
+    summaries: &[TxnSummary],
+    fps: &[u64],
+    level: ConsistencyLevel,
+    states: &crate::cache::ShardedStateMap,
+    m: &Miss,
+) -> MissOutcome {
+    let (t1, t2) = (&summaries[m.i], &summaries[m.j]);
+    let key = (fps[m.i], fps[m.j]);
+    let mut state = states.take(key).unwrap_or_else(|| PairState::new(t1, t2));
+    let solver_reused = state.solver.is_some();
+    let (pairs, stats) = solve_pair_with_state(t1, t2, m.symmetric, level, &mut state);
+    states.store(key, state);
+    MissOutcome {
+        pairs,
+        stats,
+        solver_reused,
+    }
+}
+
+/// The shared implementation behind [`DetectionEngine::detect`] and the
+/// serial [`crate::detect_anomalies_cached`]: plan serially, solve the
+/// misses on up to `threads` workers, merge deterministically.
+pub(crate) fn detect_with_cache(
+    threads: usize,
+    program: &Program,
+    level: ConsistencyLevel,
+    cache: &mut VerdictCache,
+    per_worker: Option<&mut Vec<WorkerStats>>,
+) -> (Vec<AccessPair>, DetectStats) {
+    let started = Instant::now();
+    let summaries = summarize_program(program);
+    let fps: Vec<u64> = summaries.iter().map(txn_fingerprint).collect();
+    // Fold this program into the session's liveness union and prune entries
+    // outside it; an entry the sweep keeps is guaranteed to hit below (this
+    // pass or a later one over a program already seen).
+    cache.sweep_live(&fps);
+    let n = summaries.len();
+    let mut stats = DetectStats::default();
+
+    // Phase 1 (serial): verdict lookups. Hits fill their slots; misses
+    // become the dirty-pair work list.
+    let mut slots: Vec<Option<Vec<AccessPair>>> = Vec::with_capacity(n * n);
+    let mut misses: Vec<Miss> = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            stats.pairs += 1;
+            let symmetric = i <= j;
+            let slot = slots.len();
+            match cache.lookup(fps[i], fps[j], symmetric, level) {
+                Some(pairs) => slots.push(Some(pairs)),
+                None => {
+                    slots.push(None);
+                    misses.push(Miss {
+                        slot,
+                        i,
+                        j,
+                        symmetric,
+                    });
+                }
+            }
+        }
+    }
+
+    // Phase 2: solve the dirty pairs. Spawning is only worth it when every
+    // worker gets a real batch: incremental repair's later passes dirty a
+    // handful of pairs, and paying a spawn/join round-trip for them would
+    // hand the serial driver a regression. A batch too small to feed
+    // multiple workers at MIN_PAIRS_PER_WORKER each (or a serial engine)
+    // solves inline as worker 0.
+    let workers = threads
+        .min(misses.len() / MIN_PAIRS_PER_WORKER)
+        .max(1);
+    let mut outcomes: Vec<Option<MissOutcome>> = Vec::with_capacity(misses.len());
+    outcomes.resize_with(misses.len(), || None);
+    let mut worker_stats = vec![WorkerStats::default(); workers];
+    if workers <= 1 {
+        let w = &mut worker_stats[0];
+        let t0 = Instant::now();
+        for (k, m) in misses.iter().enumerate() {
+            let o = solve_miss(&summaries, &fps, level, cache.states(), m);
+            w.pairs_solved += 1;
+            w.queries += o.stats.queries;
+            w.solver_reuses += u64::from(o.solver_reused);
+            outcomes[k] = Some(o);
+        }
+        w.seconds += t0.elapsed().as_secs_f64();
+    } else {
+        let next = AtomicUsize::new(0);
+        let states = cache.states();
+        let (summaries, fps, misses) = (&summaries, &fps, &misses);
+        let produced: Vec<(usize, WorkerStats, Vec<(usize, MissOutcome)>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let next = &next;
+                        scope.spawn(move || {
+                            let t0 = Instant::now();
+                            let mut ws = WorkerStats::default();
+                            let mut out = Vec::new();
+                            loop {
+                                let k = next.fetch_add(1, Ordering::Relaxed);
+                                if k >= misses.len() {
+                                    break;
+                                }
+                                let o = solve_miss(summaries, fps, level, states, &misses[k]);
+                                ws.pairs_solved += 1;
+                                ws.queries += o.stats.queries;
+                                ws.solver_reuses += u64::from(o.solver_reused);
+                                out.push((k, o));
+                            }
+                            ws.seconds = t0.elapsed().as_secs_f64();
+                            (w, ws, out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("detection worker panicked"))
+                    .collect()
+            });
+        for (w, ws, out) in produced {
+            worker_stats[w] = ws;
+            for (k, o) in out {
+                outcomes[k] = Some(o);
+            }
+        }
+    }
+
+    // Phase 3 (serial, deterministic): insert verdicts and fold results in
+    // the serial pair order, whatever order the workers finished in.
+    for (m, o) in misses.iter().zip(outcomes) {
+        let o = o.expect("every miss was solved");
+        cache.stats_mut().solver_reuses += u64::from(o.solver_reused);
+        stats.queries += o.stats.queries;
+        stats.sat_queries += o.stats.sat_queries;
+        stats.memo_hits += o.stats.memo_hits;
+        stats.clauses_encoded += o.stats.clauses_encoded;
+        stats.clauses_fresh_equivalent += o.stats.clauses_fresh_equivalent;
+        stats.conflicts += o.stats.conflicts;
+        stats.propagations += o.stats.propagations;
+        stats.decisions += o.stats.decisions;
+        cache.insert(
+            fps[m.i],
+            fps[m.j],
+            m.symmetric,
+            level,
+            &summaries[m.i],
+            &summaries[m.j],
+            o.pairs.clone(),
+        );
+        slots[m.slot] = Some(o.pairs);
+    }
+    let mut found: std::collections::BTreeMap<(String, String, AnomalyKind), AccessPair> =
+        std::collections::BTreeMap::new();
+    for pairs in slots {
+        accumulate(&mut found, pairs.expect("every slot was filled"));
+    }
+    if let Some(pw) = per_worker {
+        if pw.len() < worker_stats.len() {
+            pw.resize(worker_stats.len(), WorkerStats::default());
+        }
+        for (slot, ws) in worker_stats.iter().enumerate() {
+            pw[slot].absorb(ws);
+        }
+    }
+    stats.seconds = started.elapsed().as_secs_f64();
+    (found.into_values().collect(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::detect_anomalies;
+    use atropos_dsl::parse;
+
+    const TWO_TXNS: &str = "schema T { id: int key, v: int, w: int }
+         txn bump(k: int) {
+             @R x := select v from T where id = k;
+             @W update T set v = x.v + 1 where id = k;
+             return 0;
+         }
+         txn audit(k: int) {
+             @A1 y := select v, w from T where id = k;
+             @A2 z := select v from T where id = k;
+             return y.v + z.v;
+         }";
+
+    #[test]
+    fn engine_matches_plain_detection_at_every_thread_count() {
+        let p = parse(TWO_TXNS).unwrap();
+        for level in ConsistencyLevel::ALL {
+            let reference = detect_anomalies(&p, level);
+            for threads in [1, 2, 8] {
+                let engine = DetectionEngine::new(threads);
+                let mut session = DetectSession::new();
+                let (got, stats) = engine.detect(&p, level, &mut session);
+                assert_eq!(got, reference, "{threads} threads @ {level}");
+                assert_eq!(stats.pairs, 4);
+                // Warm second pass: zero queries, same verdicts.
+                let (again, warm) = engine.detect(&p, level, &mut session);
+                assert_eq!(again, reference);
+                assert_eq!(warm.queries, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn per_worker_counters_cover_all_dirty_pairs() {
+        let p = parse(TWO_TXNS).unwrap();
+        let engine = DetectionEngine::new(2);
+        let mut session = DetectSession::new();
+        let (_, stats) = engine.detect(&p, ConsistencyLevel::EventualConsistency, &mut session);
+        let solved: u64 = session.per_worker().iter().map(|w| w.pairs_solved).sum();
+        assert_eq!(solved, stats.pairs, "all 4 pairs were dirty on a cold cache");
+        let queries: u64 = session.per_worker().iter().map(|w| w.queries).sum();
+        assert_eq!(queries, stats.queries);
+        assert!(session.per_worker().len() <= 2);
+    }
+
+    #[test]
+    fn thread_count_clamps_and_env_parses() {
+        assert_eq!(DetectionEngine::new(0).threads(), 1);
+        assert_eq!(DetectionEngine::serial().threads(), 1);
+        assert!(DetectionEngine::from_env().threads() >= 1);
+    }
+}

@@ -20,7 +20,13 @@
 //!   differential variants), and [`DetectStats`];
 //! * [`cache`] — transaction-pair fingerprinting and the [`VerdictCache`]
 //!   behind [`detect_anomalies_cached`], the near-incremental oracle the
-//!   repair loop re-invokes after every refactoring step.
+//!   repair loop re-invokes after every refactoring step;
+//! * [`engine`] — the [`DetectionEngine`]: the same cached oracle with the
+//!   dirty pairs solved on a scoped-thread worker pool
+//!   (`ATROPOS_THREADS`-controlled) and merged deterministically;
+//! * [`session`] — the [`DetectSession`]: a verdict cache with a session
+//!   lifetime, shared across repair runs so common transaction shapes hit
+//!   warm verdicts (cross-run counters in [`CacheStats`]).
 //!
 //! # Examples
 //!
@@ -44,9 +50,13 @@
 pub mod cache;
 pub mod detect;
 pub mod encode;
+pub mod engine;
 pub mod model;
+pub mod session;
 
 pub use cache::{cmd_fingerprint, txn_fingerprint, CacheStats, VerdictCache};
+pub use engine::{DetectionEngine, WorkerStats};
+pub use session::DetectSession;
 pub use detect::{
     detect_anomalies, detect_anomalies_at_levels, detect_anomalies_cached,
     detect_anomalies_fresh, detect_anomalies_marked, detect_anomalies_with_stats,

@@ -164,6 +164,12 @@ pub struct SolverStats {
 
 /// A CDCL SAT solver.
 ///
+/// The solver owns all of its state (no shared-memory interior), so it is
+/// `Send` — a compile-time guarantee pinned below that the detection
+/// engine relies on to migrate retained pair solvers between its workers.
+/// It is *not* concurrency-safe (`&mut` access only); parallelism is the
+/// callers' business, one solver per worker at a time.
+///
 /// # Examples
 ///
 /// ```
@@ -198,6 +204,14 @@ pub struct Solver {
     failed: Vec<Lit>,
     num_learnt: usize,
 }
+
+// A retained solver must be able to migrate between detection workers; any
+// non-Send field added to the solver stack should fail compilation here.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Solver>();
+    assert_send::<SolveResult>();
+};
 
 const VAR_DECAY: f64 = 0.95;
 const CLA_DECAY: f64 = 0.999;
@@ -868,6 +882,32 @@ mod tests {
         assert_eq!(h.pop_max(&activity), Some(Var(0)));
         assert_eq!(h.pop_max(&activity), Some(Var(1)));
         assert_eq!(h.pop_max(&activity), None);
+    }
+
+    /// A solver built on one thread keeps working (same verdicts, retained
+    /// learnt clauses) after moving to another — the migration pattern the
+    /// detection engine's sharded solver-retention map performs.
+    #[test]
+    fn solver_migrates_between_threads() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0].positive(), v[1].positive()]);
+        s.add_clause([v[1].negative(), v[2].positive()]);
+        assert!(s.solve_with_assumptions(&[v[0].negative()]).is_sat());
+        let (a, b) = (v[1], v[2]);
+        let mut s = std::thread::spawn(move || {
+            assert!(s.solve_with_assumptions(&[a.negative()]).is_sat());
+            s
+        })
+        .join()
+        .unwrap();
+        let v = [v[0], a, b];
+        s.add_clause([v[2].negative()]);
+        assert_eq!(
+            s.solve_with_assumptions(&[v[1].positive()]),
+            SolveResult::Unsat
+        );
+        assert!(!s.failed_assumptions().is_empty());
     }
 
     #[test]

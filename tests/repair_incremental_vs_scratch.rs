@@ -18,23 +18,12 @@ use atropos::repair::{repair_with_config, repair_with_config_scratch, RepairConf
 use atropos::workloads::benchmark;
 use atropos_dsl::print_program;
 
-/// The default configuration plus each refactoring rule disabled in turn.
-fn ablations() -> Vec<(&'static str, RepairConfig)> {
-    let base = RepairConfig::default();
-    vec![
-        ("default", base.clone()),
-        ("no-split", RepairConfig { enable_split: false, ..base.clone() }),
-        ("no-merge", RepairConfig { enable_merge: false, ..base.clone() }),
-        ("no-redirect", RepairConfig { enable_redirect: false, ..base.clone() }),
-        ("no-logging", RepairConfig { enable_logging: false, ..base.clone() }),
-        ("no-postprocess", RepairConfig { enable_postprocess: false, ..base }),
-    ]
-}
-
 fn assert_equivalent(workload: &str) {
     let b = benchmark(workload).expect("registered benchmark");
     let mut some_reuse = false;
-    for (config_name, config) in ablations() {
+    // The canonical rule-ablation sweep ([`RepairConfig::ablations`]),
+    // shared with `atropos_core::ablation_sweep` and the benchmark bins.
+    for (config_name, config) in RepairConfig::ablations() {
         let cached = repair_with_config(&b.program, &config);
         let scratch = repair_with_config_scratch(&b.program, &config);
         let ctx = format!("{workload} [{config_name}]");
