@@ -8,25 +8,35 @@
 //! against the from-scratch reference
 //! ([`atropos_core::repair_with_config_scratch`]), the cross-run hit ratio
 //! of a session-shared rule-ablation sweep per benchmark, and a TPC-C
-//! thread sweep (1/2/4/8 workers) for the threads-vs-speedup headline.
+//! thread sweep (1/2/4/8 workers) for the threads-vs-speedup headline —
+//! plus a fourth, pair-vs-triple table (`experiments/triple_stats.csv`):
+//! anomaly counts and timing of the bounded three-instance mode
+//! ([`atropos_detect::DetectMode::Triples`]) against the pair bound on
+//! every benchmark and chain scenario.
 //!
 //! One [`atropos_detect::DetectionEngine`] (from `--threads` /
 //! `ATROPOS_THREADS`, default: available parallelism) serves the whole
 //! sweep; sessions are scoped per measurement so every timed run starts
 //! from a cold cache and timings stay comparable across thread counts.
+//! The exception is the pair-vs-triple table's session, which opts into
+//! cross-process persistence when `ATROPOS_CACHE_FILE` names a verdict
+//! file (conventionally `experiments/verdict_cache.v1`): it loads warm,
+//! and is saved back after the sweep.
 
 use atropos_bench::reporting::{
     detect_stats_header, detect_stats_row, repair_stats_header, repair_stats_row,
+    triple_stats_header, triple_stats_row,
 };
-use atropos_bench::{engine_from_args, write_csv, Table};
+use atropos_bench::{engine_from_args, persist_session_from_env, session_from_env, write_csv, Table};
 use atropos_core::{
-    ablation_sweep, repair_with_config_scratch, repair_with_engine, RepairConfig, RepairReport,
+    ablation_sweep, repair_with_config_scratch, repair_with_engine, DetectMode, RepairConfig,
+    RepairReport,
 };
 use atropos_detect::{
     detect_anomalies_at_levels, detect_anomalies_fresh, ConsistencyLevel, DetectSession,
     DetectionEngine,
 };
-use atropos_workloads::{all_benchmarks, Benchmark};
+use atropos_workloads::{all_benchmarks, chain_scenarios, Benchmark};
 
 /// Thread counts of the TPC-C thread sweep (the headline compares 4
 /// workers against the serial PR 3-shaped driver at 1).
@@ -117,6 +127,7 @@ fn main() {
                 b.name,
                 &report,
                 engine.threads(),
+                DetectMode::Pairs,
                 cross,
                 cached_seconds,
                 scratch_seconds,
@@ -145,7 +156,44 @@ fn main() {
         "CC strictly below EC on {cc_below_ec}/9 benchmarks (causal session axioms prune \
          non-monotonic reads)"
     );
-    let mut outputs = vec![("table1", &table)];
+
+    // Pair-vs-triple detection at EC: all nine benchmarks plus the chain
+    // scenarios, through one session — so the triple pass's time is the
+    // *marginal* cost of the wider bound (its pair phase replays the pair
+    // pass's warm verdicts), and the whole session can warm-start across
+    // processes via ATROPOS_CACHE_FILE (experiments/verdict_cache.v1).
+    let mut triple_table = Table::new(triple_stats_header());
+    let mut triple_session = session_from_env();
+    let ec = ConsistencyLevel::EventualConsistency;
+    let mut chain_extras = 0usize;
+    for b in all_benchmarks().into_iter().chain(chain_scenarios()) {
+        let t0 = std::time::Instant::now();
+        let (pair, _) = engine.detect(&b.program, ec, &mut triple_session);
+        let pair_seconds = t0.elapsed().as_secs_f64();
+        let t0 = std::time::Instant::now();
+        let (triple, tstats) =
+            engine.detect_with_mode(&b.program, ec, DetectMode::Triples, &mut triple_session);
+        let triple_seconds = t0.elapsed().as_secs_f64();
+        chain_extras += triple.len().saturating_sub(pair.len());
+        triple_table.row(triple_stats_row(
+            b.name,
+            "EC",
+            pair.len(),
+            triple.len(),
+            tstats.triples,
+            pair_seconds,
+            triple_seconds,
+        ));
+    }
+    println!("\nPair-vs-triple detection (bounded three-instance mode, marginal cost):");
+    println!("{}", triple_table.render());
+    println!(
+        "Triple mode found {chain_extras} chain anomalies beyond the pair bound \
+         (observer chains, write-skew cycles, fractured-read chains)"
+    );
+    persist_session_from_env(&triple_session);
+
+    let mut outputs = vec![("table1", &table), ("triple_stats", &triple_table)];
     if thin {
         println!("(thin slice: fresh-solver and from-scratch-repair reference runs skipped)");
     } else {
@@ -174,11 +222,50 @@ fn main() {
                 &format!("TPC-C (t={threads})"),
                 &report,
                 threads,
+                DetectMode::Pairs,
                 0.0,
                 seconds,
                 tpcc_scratch_seconds,
             ));
         }
+
+        // One triple-mode repair row, so the Mode column carries both
+        // values: the Relay chain scenario driven by DetectMode::Triples
+        // (whose observer chain survives repair into the AT-SC set).
+        let relay = chain_scenarios()
+            .into_iter()
+            .find(|b| b.name == "Relay")
+            .expect("Relay scenario registered");
+        let triple_config = RepairConfig {
+            mode: DetectMode::Triples,
+            ..RepairConfig::default()
+        };
+        // Both drivers best-of-3 on cold sessions, like every other row.
+        let mut relay_best: Option<(RepairReport, f64)> = None;
+        for _ in 0..3 {
+            let mut relay_session = DetectSession::new();
+            let report =
+                repair_with_engine(&relay.program, &triple_config, &engine, &mut relay_session);
+            let seconds = report.seconds;
+            if relay_best.as_ref().is_none_or(|(_, s)| seconds < *s) {
+                relay_best = Some((report, seconds));
+            }
+        }
+        let (relay_report, relay_cached) = relay_best.expect("three reps ran");
+        let mut relay_scratch = f64::INFINITY;
+        for _ in 0..3 {
+            relay_scratch = relay_scratch
+                .min(repair_with_config_scratch(&relay.program, &triple_config).seconds);
+        }
+        repair_table.row(repair_stats_row(
+            "Relay (triples)",
+            &relay_report,
+            engine.threads(),
+            DetectMode::Triples,
+            0.0,
+            relay_cached,
+            relay_scratch,
+        ));
 
         println!("\nRepair-loop statistics (verdict-cached vs from-scratch driver):");
         println!("{}", repair_table.render());

@@ -158,12 +158,13 @@ pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
 /// figure bins' CSV conventions (leading `Benchmark` column).
 pub fn bench_results_table(results: &[BenchResult]) -> Table {
     let mut t = Table::new(vec![
-        "Benchmark", "Min (s)", "Mean (s)", "Max (s)", "Samples", "Iters",
+        "Benchmark", "Min (s)", "Median (s)", "Mean (s)", "Max (s)", "Samples", "Iters",
     ]);
     for r in results {
         t.row(vec![
             r.id.clone(),
             format!("{:.9}", r.min),
+            format!("{:.9}", r.median),
             format!("{:.9}", r.mean),
             format!("{:.9}", r.max),
             format!("{}", r.samples),
@@ -238,6 +239,7 @@ pub fn repair_stats_header() -> Vec<String> {
     [
         "Benchmark",
         "Threads",
+        "Mode",
         "Oracle passes",
         "Passes run",
         "Passes reused",
@@ -254,15 +256,18 @@ pub fn repair_stats_header() -> Vec<String> {
 }
 
 /// One row of the repair-loop statistics table: the cached run's
-/// [`atropos_core::RepairStats`], the engine thread count it ran at, the
-/// cross-run hit ratio of the benchmark's session-shared ablation sweep,
-/// and explicit wall times for the cached and from-scratch runs (callers
-/// time several repetitions and report the best, so the timings travel
-/// separately from the report).
+/// [`atropos_core::RepairStats`], the engine thread count and detection
+/// mode it ran at (`pairs` or `triples` — the [`atropos_core::DetectMode`]
+/// rendered lowercase), the cross-run hit ratio of the benchmark's
+/// session-shared ablation sweep, and explicit wall times for the cached
+/// and from-scratch runs (callers time several repetitions and report the
+/// best, so the timings travel separately from the report).
+#[allow(clippy::too_many_arguments)]
 pub fn repair_stats_row(
     name: &str,
     cached: &RepairReport,
     threads: usize,
+    mode: atropos_core::DetectMode,
     cross_run_ratio: f64,
     cached_seconds: f64,
     scratch_seconds: f64,
@@ -271,6 +276,7 @@ pub fn repair_stats_row(
     vec![
         name.to_owned(),
         format!("{threads}"),
+        format!("{mode}"),
         format!("{}", s.detections + s.detections_skipped),
         format!("{}", s.detections),
         format!("{}", s.detections_skipped),
@@ -281,6 +287,48 @@ pub fn repair_stats_row(
         format!("{:.3}", cached_seconds),
         format!("{:.3}", scratch_seconds),
         format!("{:.1}x", scratch_seconds / cached_seconds.max(1e-9)),
+    ]
+}
+
+/// Header of the pair-vs-triple detection table emitted by `table1`
+/// (`experiments/triple_stats.csv`): per benchmark, the anomaly counts of
+/// the two bounds at one level, how many are chain-only extras, the
+/// triples analysed, and both passes' wall times.
+pub fn triple_stats_header() -> Vec<String> {
+    [
+        "Benchmark",
+        "Level",
+        "Pair anomalies",
+        "Triple anomalies",
+        "Chain extras",
+        "Triples",
+        "Pair (s)",
+        "Triple (s)",
+    ]
+    .map(str::to_owned)
+    .to_vec()
+}
+
+/// One row of the pair-vs-triple detection table.
+#[allow(clippy::too_many_arguments)]
+pub fn triple_stats_row(
+    name: &str,
+    level: &str,
+    pair_anomalies: usize,
+    triple_anomalies: usize,
+    triples: u64,
+    pair_seconds: f64,
+    triple_seconds: f64,
+) -> Vec<String> {
+    vec![
+        name.to_owned(),
+        level.to_owned(),
+        format!("{pair_anomalies}"),
+        format!("{triple_anomalies}"),
+        format!("{}", triple_anomalies.saturating_sub(pair_anomalies)),
+        format!("{triples}"),
+        format!("{pair_seconds:.3}"),
+        format!("{triple_seconds:.3}"),
     ]
 }
 

@@ -6,7 +6,7 @@
 
 use atropos_bench::reporting::{
     bench_results_table, detect_stats_header, detect_stats_row, parse_csv, repair_stats_header,
-    repair_stats_row, write_bench_csv,
+    repair_stats_row, triple_stats_header, triple_stats_row, write_bench_csv,
 };
 use atropos_bench::Table;
 use atropos_detect::DetectStats;
@@ -27,6 +27,7 @@ fn sample_results() -> Vec<BenchResult> {
         BenchResult {
             id: "detect/smallbank-ec".into(),
             min: 1.25e-3,
+            median: 1.4e-3,
             mean: 1.5e-3,
             max: 2.0e-3,
             samples: 10,
@@ -35,6 +36,7 @@ fn sample_results() -> Vec<BenchResult> {
         BenchResult {
             id: "detect, with commas".into(),
             min: 2.0e-6,
+            median: 2.5e-6,
             mean: 3.0e-6,
             max: 4.0e-6,
             samples: 20,
@@ -50,6 +52,11 @@ fn bench_csv_matches_table1_shape() {
     assert_csv_shape(&parsed, "bench CSV");
     assert_eq!(parsed[1][0], "detect/smallbank-ec");
     assert_eq!(parsed[2][0], "detect, with commas", "quoted cells round-trip");
+    // The criterion shim's median lands between Min and Mean — part of the
+    // CSV contract since the shim learned to report it.
+    let header: Vec<&str> = parsed[0].iter().map(String::as_str).collect();
+    assert_eq!(header[1..4], ["Min (s)", "Median (s)", "Mean (s)"], "{header:?}");
+    assert_eq!(parsed[1][2], "0.001400000");
 
     // The same invariant table1 itself satisfies (the header is the
     // contract; the committed artifact lives under the gitignored
@@ -69,6 +76,7 @@ fn detect_stats_rows_match_their_header() {
     let mut t = Table::new(detect_stats_header());
     let stats = DetectStats {
         pairs: 25,
+        triples: 0,
         queries: 310,
         sat_queries: 120,
         memo_hits: 40,
@@ -104,23 +112,44 @@ fn repair_stats_rows_match_their_header() {
         atropos_detect::ConsistencyLevel::EventualConsistency,
     );
     let mut t = Table::new(repair_stats_header());
-    t.row(repair_stats_row("Counter", &report, 4, 0.5, report.seconds, 1.0));
+    t.row(repair_stats_row(
+        "Counter",
+        &report,
+        4,
+        atropos_core::DetectMode::Pairs,
+        0.5,
+        report.seconds,
+        1.0,
+    ));
+    t.row(repair_stats_row(
+        "Counter (triples)",
+        &report,
+        4,
+        atropos_core::DetectMode::Triples,
+        0.0,
+        report.seconds,
+        1.0,
+    ));
     let parsed = parse_csv(&t.to_csv());
     assert_csv_shape(&parsed, "repair-stats CSV");
     // The parallel-engine columns are part of the CSV contract: a thread
-    // count right after the benchmark name, and the session-shared
-    // ablation sweep's cross-run hit ratio before the timings.
+    // count right after the benchmark name, the detection mode next to it,
+    // and the session-shared ablation sweep's cross-run hit ratio before
+    // the timings.
     let header: Vec<&str> = parsed[0].iter().map(String::as_str).collect();
     assert_eq!(header[1], "Threads");
+    assert_eq!(header[2], "Mode");
     assert!(header.contains(&"Cross-run ratio"), "{header:?}");
     assert_eq!(parsed[1][0], "Counter");
     assert_eq!(parsed[1][1], "4");
+    assert_eq!(parsed[1][2], "pairs");
+    assert_eq!(parsed[2][2], "triples");
     let cross_idx = header.iter().position(|h| *h == "Cross-run ratio").unwrap();
     assert_eq!(parsed[1][cross_idx], "0.50");
     // Oracle passes = run + reused, and the speedup cell carries the `x`.
-    let passes: u64 = parsed[1][2].parse().unwrap();
-    let run: u64 = parsed[1][3].parse().unwrap();
-    let reused: u64 = parsed[1][4].parse().unwrap();
+    let passes: u64 = parsed[1][3].parse().unwrap();
+    let run: u64 = parsed[1][4].parse().unwrap();
+    let reused: u64 = parsed[1][5].parse().unwrap();
     assert_eq!(passes, run + reused);
     assert!(parsed[1].last().unwrap().ends_with('x'));
 
@@ -133,11 +162,48 @@ fn repair_stats_rows_match_their_header() {
             let rows = parse_csv(&text);
             assert_csv_shape(&rows, candidate);
             assert_eq!(rows[0][1], "Threads", "{candidate}");
+            assert_eq!(rows[0][2], "Mode", "{candidate}");
             assert!(
                 rows[0].iter().any(|h| h == "Cross-run ratio"),
                 "{candidate}: {:?}",
                 rows[0]
             );
+        }
+    }
+}
+
+#[test]
+fn triple_stats_rows_match_their_header() {
+    let mut t = Table::new(triple_stats_header());
+    t.row(triple_stats_row("Relay", "EC", 0, 1, 1, 0.001, 0.004));
+    let parsed = parse_csv(&t.to_csv());
+    assert_csv_shape(&parsed, "triple-stats CSV");
+    let header: Vec<&str> = parsed[0].iter().map(String::as_str).collect();
+    assert_eq!(
+        header,
+        [
+            "Benchmark",
+            "Level",
+            "Pair anomalies",
+            "Triple anomalies",
+            "Chain extras",
+            "Triples",
+            "Pair (s)",
+            "Triple (s)",
+        ]
+    );
+    // Chain extras = triple − pair, the subsystem's headline number.
+    assert_eq!(parsed[1][4], "1");
+
+    // Validate the generated artifact when a `table1` run produced it.
+    for candidate in [
+        "../../experiments/triple_stats.csv",
+        "experiments/triple_stats.csv",
+    ] {
+        if let Ok(text) = std::fs::read_to_string(candidate) {
+            let rows = parse_csv(&text);
+            assert_csv_shape(&rows, candidate);
+            assert_eq!(rows[0][4], "Chain extras", "{candidate}");
         }
     }
 }

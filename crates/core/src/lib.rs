@@ -58,6 +58,11 @@ pub use repair::{
     ablation_sweep, repair_program, repair_with_config, repair_with_config_scratch,
     repair_with_engine, RepairConfig, RepairIteration, RepairReport, RepairStats, RepairStep,
 };
+
+// The detection bound is part of the repair configuration surface
+// ([`RepairConfig::mode`]); re-exported so callers need not depend on
+// `atropos_detect` directly to opt into triple mode.
+pub use atropos_detect::DetectMode;
 pub use rewrite::{
     apply_logging, apply_logging_tracked, apply_redirect, apply_redirect_tracked,
     fresh_field_name,

@@ -6,8 +6,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
 use atropos_detect::{
-    detect_anomalies_with_stats, AccessPair, AnomalyKind, CacheStats, ConsistencyLevel,
-    DetectSession, DetectionEngine,
+    detect_anomalies_triples, detect_anomalies_with_stats, AccessPair, AnomalyKind, CacheStats,
+    ConsistencyLevel, DetectMode, DetectSession, DetectionEngine,
 };
 use atropos_dsl::{check_program, CmdLabel, Expr, Program, Stmt, Transaction, UpdateCmd};
 use atropos_semantics::{ThetaMap, ValueCorrespondence};
@@ -75,6 +75,14 @@ impl std::fmt::Display for RepairStep {
 pub struct RepairConfig {
     /// Consistency level the oracle assumes (EC in the paper's Table 1).
     pub level: ConsistencyLevel,
+    /// Detection bound the oracle grounds queries over. The default
+    /// [`DetectMode::Pairs`] is the paper's two-instance skeleton;
+    /// [`DetectMode::Triples`] additionally runs the bounded
+    /// three-instance chain templates, so the repair loop also sees (and
+    /// reports as `remaining` / [`RepairReport::unsafe_transactions`])
+    /// observer-chain violations no pair can witness. Opt-in: triple
+    /// detection costs extra solver work per pass.
+    pub mode: DetectMode,
     /// Enable command splitting in preprocessing.
     pub enable_split: bool,
     /// Enable the merge strategy.
@@ -93,6 +101,7 @@ impl Default for RepairConfig {
     fn default() -> Self {
         RepairConfig {
             level: ConsistencyLevel::EventualConsistency,
+            mode: DetectMode::Pairs,
             enable_split: true,
             enable_merge: true,
             enable_redirect: true,
@@ -364,11 +373,12 @@ impl Oracle<'_, '_> {
     }
 }
 
-/// Runs one detection pass (cached or scratch) and records its
-/// [`RepairIteration`] in `stats`.
+/// Runs one detection pass (cached or scratch) at the configuration's
+/// detection mode and records its [`RepairIteration`] in `stats`.
 fn run_detection(
     program: &Program,
     level: ConsistencyLevel,
+    mode: DetectMode,
     oracle: &mut Oracle<'_, '_>,
     stats: &mut RepairStats,
 ) -> Vec<AccessPair> {
@@ -376,7 +386,7 @@ fn run_detection(
     match oracle {
         Oracle::Engine { engine, session } => {
             let before = session.cache_stats();
-            let (pairs, d) = engine.detect(program, level, session);
+            let (pairs, d) = engine.detect_with_mode(program, level, mode, session);
             let after = session.cache_stats();
             stats.iterations.push(RepairIteration {
                 pairs: d.pairs,
@@ -389,7 +399,12 @@ fn run_detection(
             pairs
         }
         Oracle::Scratch => {
-            let (pairs, d) = detect_anomalies_with_stats(program, level);
+            // The Fig. 10 reference pays a full fresh oracle every pass —
+            // in triple mode that is a cold triple oracle per pass too.
+            let (pairs, d) = match mode {
+                DetectMode::Pairs => detect_anomalies_with_stats(program, level),
+                DetectMode::Triples => detect_anomalies_triples(program, level),
+            };
             stats.iterations.push(RepairIteration {
                 pairs: d.pairs,
                 pairs_reused: 0,
@@ -413,7 +428,7 @@ fn repair_core(
     let cached = oracle.is_cached();
     let mut stats = RepairStats::default();
 
-    let initial = run_detection(program, config.level, oracle, &mut stats);
+    let initial = run_detection(program, config.level, config.mode, oracle, &mut stats);
 
     let mut current = program.clone();
     let mut steps: Vec<RepairStep> = Vec::new();
@@ -442,7 +457,7 @@ fn repair_core(
                 stats.detections_skipped += 1;
                 p
             }
-            None => run_detection(&current, config.level, oracle, &mut stats),
+            None => run_detection(&current, config.level, config.mode, oracle, &mut stats),
         };
         // Repair lost updates (logging) before dirty/non-repeatable pairs
         // (merging): merging first would fuse updates into multi-assignment
@@ -495,7 +510,7 @@ fn repair_core(
             stats.detections_skipped += 1;
             p
         }
-        None => run_detection(&current, config.level, oracle, &mut stats),
+        None => run_detection(&current, config.level, config.mode, oracle, &mut stats),
     };
     // Canonical order: the carried-forward verdicts arrive in repair-rule
     // order while a fresh detection arrives in witness order, and the two
@@ -1301,6 +1316,56 @@ mod tests {
             .flat_map(|i| i.dirtied_txns.iter().map(String::as_str))
             .collect();
         assert!(dirtied.contains("getSt") || dirtied.contains("setSt"), "{dirtied:?}");
+    }
+
+    /// Triple mode threads through the repair loop: on the 3-hop relay the
+    /// pair-mode driver sees nothing, while the triple-mode driver surfaces
+    /// the observer chain as an (unrepairable-by-rules) remaining anomaly —
+    /// with all three chain transactions in the unsafe coordination set.
+    #[test]
+    fn triple_mode_surfaces_chain_anomalies_the_pair_driver_misses() {
+        // The timeline's reads flow into its result, so dead-select
+        // elimination cannot dissolve the chain in post-processing.
+        let p = parse(
+            "schema MSG { m_id: int key, m_body: int }
+             schema FEED { f_id: int key, f_body: int }
+             txn post(m: int, body: int) {
+                 @W1 update MSG set m_body = body where m_id = m;
+                 return 0;
+             }
+             txn relay(m: int, f: int) {
+                 @R2 x := select m_body from MSG where m_id = m;
+                 @W2 update FEED set f_body = x.m_body where f_id = f;
+                 return 0;
+             }
+             txn timeline(f: int, m: int) {
+                 @R3 y := select f_body from FEED where f_id = f;
+                 @R4 z := select m_body from MSG where m_id = m;
+                 return y.f_body + z.m_body;
+             }",
+        )
+        .unwrap();
+        let pair_report = repair_program(&p, ConsistencyLevel::EventualConsistency);
+        assert!(pair_report.initial.is_empty(), "{:?}", pair_report.initial);
+        assert!(pair_report.remaining.is_empty());
+
+        let config = RepairConfig {
+            mode: DetectMode::Triples,
+            ..RepairConfig::default()
+        };
+        let triple_report = repair_with_config(&p, &config);
+        assert_eq!(triple_report.initial.len(), 1, "{:?}", triple_report.initial);
+        assert_eq!(triple_report.initial[0].kind, AnomalyKind::ObserverChain);
+        assert_eq!(triple_report.remaining.len(), 1);
+        assert_eq!(
+            triple_report.unsafe_transactions(),
+            BTreeSet::from(["post".to_owned(), "relay".to_owned(), "timeline".to_owned()]),
+            "AT-SC must coordinate the whole chain, including the relay witness"
+        );
+        // The scratch reference agrees in triple mode too.
+        let scratch = repair_with_config_scratch(&p, &config);
+        assert_eq!(triple_report.remaining, scratch.remaining);
+        assert_eq!(triple_report.steps, scratch.steps);
     }
 
     #[test]

@@ -48,6 +48,19 @@
 //! concurrently without a global lock (retained solvers migrate freely
 //! between workers — [`PairState`] is `Send`).
 //!
+//! # Triple verdicts
+//!
+//! [`crate::DetectMode::Triples`] passes additionally memoize each
+//! transaction triple's chain-anomaly verdicts under the **canonical
+//! 3-fingerprint** — the three fingerprints in sorted order, so the entry
+//! is orientation-normalized (every role permutation is analysed inside
+//! one entry) — with their own retained [`crate::triple::TripleSolver`]s
+//! in a second sharded map. Triple entries follow the same contracts as
+//! pair entries: label renames remap them eagerly
+//! ([`VerdictCache::record_renames`]), liveness sweeps keep an entry only
+//! while all three fingerprints are live, and `invalidate_txns` evicts by
+//! any member transaction's name.
+//!
 //! # Multi-run lifetimes
 //!
 //! A cache may outlive one repair run: a [`crate::DetectSession`] shares it
@@ -72,6 +85,7 @@ use atropos_dsl::Program;
 use crate::detect::AccessPair;
 use crate::encode::{ConsistencyLevel, InstanceModel, PairSolver};
 use crate::model::{summarize_program, CmdSummary, KeySpec, TxnSummary};
+use crate::triple::TripleState;
 
 /// Canonical fingerprint of one transaction's command summaries: the exact
 /// information the pair encoding and the violation templates consume.
@@ -141,11 +155,18 @@ pub struct CacheStats {
     pub invalidated: u64,
     /// Lookups performed in any run after the session's first (see
     /// [`VerdictCache::advance_run`]); zero when the cache never crossed a
-    /// run boundary.
+    /// run boundary. Counts pair and triple lookups alike.
     pub cross_run_lookups: u64,
     /// Of those, lookups answered by an entry inserted in an *earlier* run —
     /// the warm verdicts one repair run hands the next.
     pub cross_run_hits: u64,
+    /// Triple-verdict lookups performed (one per unordered transaction
+    /// triple per [`crate::DetectMode::Triples`] detection pass).
+    pub triple_lookups: u64,
+    /// Triple lookups answered from the cache without touching a solver.
+    pub triple_hits: u64,
+    /// Triple lookups that had to re-analyse the triple.
+    pub triple_misses: u64,
 }
 
 impl CacheStats {
@@ -178,6 +199,9 @@ impl CacheStats {
             invalidated: self.invalidated - earlier.invalidated,
             cross_run_lookups: self.cross_run_lookups - earlier.cross_run_lookups,
             cross_run_hits: self.cross_run_hits - earlier.cross_run_hits,
+            triple_lookups: self.triple_lookups - earlier.triple_lookups,
+            triple_hits: self.triple_hits - earlier.triple_hits,
+            triple_misses: self.triple_misses - earlier.triple_misses,
         }
     }
 }
@@ -194,6 +218,22 @@ struct VerdictEntry {
     /// Run (see [`VerdictCache::advance_run`]) this entry was inserted in.
     run: u64,
     /// Raw `analyse_pair` output for this ordered pair (pre-deduplication).
+    pairs: Vec<AccessPair>,
+}
+
+/// Key of one triple-verdict entry: the **canonical 3-fingerprint** — the
+/// three transaction fingerprints in sorted order (orientation-normalized;
+/// every role permutation of the instances is analysed inside one entry,
+/// so the verdict is independent of which orientation grounded it) — plus
+/// the consistency level queried.
+pub(crate) type TripleVerdictKey = (u64, u64, u64, ConsistencyLevel);
+
+#[derive(Debug, Clone)]
+struct TripleEntry {
+    txns: [String; 3],
+    /// Run (see [`VerdictCache::advance_run`]) this entry was inserted in.
+    run: u64,
+    /// Raw `analyse_triple` output for this triple (pre-deduplication).
     pairs: Vec<AccessPair>,
 }
 
@@ -229,58 +269,67 @@ const _: () = {
     assert_send::<PairState>();
 };
 
-/// How many independently locked shards [`ShardedStateMap`] spreads the
-/// retained pair states over. Sixteen comfortably exceeds the engine's
-/// worker cap, so two workers rarely contend on one mutex.
+/// How many independently locked shards a [`ShardedMap`] spreads its
+/// retained states over. Sixteen comfortably exceeds the engine's worker
+/// cap, so two workers rarely contend on one mutex.
 const STATE_SHARDS: usize = 16;
 
-/// The solver-retention map: retained [`PairState`]s keyed by the ordered
-/// fingerprint pair, split over [`STATE_SHARDS`] mutex-guarded shards so
-/// parallel workers can `take`/`store` concurrently through a shared
-/// reference. Serial callers go through the same API (an uncontended mutex
-/// lock is a few nanoseconds), keeping one code path.
-pub(crate) struct ShardedStateMap {
-    shards: Vec<Mutex<HashMap<(u64, u64), PairState>>>,
+/// A solver-retention map: retained analysis states keyed by a fingerprint
+/// tuple, split over [`STATE_SHARDS`] mutex-guarded shards so parallel
+/// workers can `take`/`store` concurrently through a shared reference.
+/// Serial callers go through the same API (an uncontended mutex lock is a
+/// few nanoseconds), keeping one code path. Instantiated for pair states
+/// ([`ShardedStateMap`]) and triple states ([`ShardedTripleMap`]).
+pub(crate) struct ShardedMap<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
 }
 
-impl ShardedStateMap {
-    fn new() -> ShardedStateMap {
-        ShardedStateMap {
+/// Retained [`PairState`]s keyed by the ordered fingerprint pair.
+pub(crate) type ShardedStateMap = ShardedMap<(u64, u64), PairState>;
+
+/// Retained [`TripleState`]s keyed by the canonical (sorted) 3-fingerprint.
+pub(crate) type ShardedTripleMap = ShardedMap<(u64, u64, u64), TripleState>;
+
+impl<K: Eq + Hash, V> ShardedMap<K, V> {
+    fn new() -> ShardedMap<K, V> {
+        ShardedMap {
             shards: (0..STATE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
         }
     }
 
-    fn shard_of(key: (u64, u64)) -> usize {
-        // Cheap deterministic mix of both fingerprints; the keys are already
-        // high-entropy hashes, so xor-fold is distribution enough.
-        ((key.0 ^ key.1.rotate_left(17)) % STATE_SHARDS as u64) as usize
+    fn shard_of(key: &K) -> usize {
+        // The keys are tuples of high-entropy fingerprints; one SipHash
+        // round over them is deterministic and distribution enough.
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % STATE_SHARDS as u64) as usize
     }
 
-    /// Removes and returns the retained state for a pair, if any.
-    pub(crate) fn take(&self, key: (u64, u64)) -> Option<PairState> {
-        self.shards[Self::shard_of(key)]
+    /// Removes and returns the retained state for a key, if any.
+    pub(crate) fn take(&self, key: K) -> Option<V> {
+        self.shards[Self::shard_of(&key)]
             .lock()
             .expect("state shard poisoned")
             .remove(&key)
     }
 
-    /// Returns a pair's state to the map for later reuse.
-    pub(crate) fn store(&self, key: (u64, u64), state: PairState) {
-        self.shards[Self::shard_of(key)]
+    /// Returns a state to the map for later reuse.
+    pub(crate) fn store(&self, key: K, state: V) {
+        self.shards[Self::shard_of(&key)]
             .lock()
             .expect("state shard poisoned")
             .insert(key, state);
     }
 
     /// Keeps only the states satisfying `f` (exclusive access, no locking).
-    fn retain(&mut self, mut f: impl FnMut(&(u64, u64), &PairState) -> bool) {
+    fn retain(&mut self, mut f: impl FnMut(&K, &V) -> bool) {
         for shard in &mut self.shards {
             shard.get_mut().expect("state shard poisoned").retain(|k, s| f(k, s));
         }
     }
 
     /// Mutable visit of every retained state (exclusive access).
-    fn for_each_mut(&mut self, mut f: impl FnMut(&mut PairState)) {
+    fn for_each_mut(&mut self, mut f: impl FnMut(&mut V)) {
         for shard in &mut self.shards {
             for s in shard.get_mut().expect("state shard poisoned").values_mut() {
                 f(s);
@@ -300,6 +349,9 @@ impl ShardedStateMap {
 pub struct VerdictCache {
     verdicts: HashMap<VerdictKey, VerdictEntry>,
     states: ShardedStateMap,
+    /// Triple verdicts, keyed by the canonical (sorted) 3-fingerprint.
+    triples: HashMap<TripleVerdictKey, TripleEntry>,
+    triple_states: ShardedTripleMap,
     stats: CacheStats,
     /// Union of every live transaction fingerprint seen since construction
     /// or the last explicit [`VerdictCache::sweep`] — the liveness set the
@@ -321,6 +373,8 @@ impl VerdictCache {
         VerdictCache {
             verdicts: HashMap::new(),
             states: ShardedStateMap::new(),
+            triples: HashMap::new(),
+            triple_states: ShardedTripleMap::new(),
             stats: CacheStats::default(),
             session_live: BTreeSet::new(),
             run: 0,
@@ -348,6 +402,12 @@ impl VerdictCache {
         &self.states
     }
 
+    /// Shared handle to the sharded triple-state retention map, for the
+    /// engine's triple-phase workers.
+    pub(crate) fn triple_states(&self) -> &ShardedTripleMap {
+        &self.triple_states
+    }
+
     /// Mutable access to the lifetime counters, for the engine to merge
     /// worker-local statistics after a parallel pass.
     pub(crate) fn stats_mut(&mut self) -> &mut CacheStats {
@@ -359,14 +419,19 @@ impl VerdictCache {
         self.stats
     }
 
-    /// Number of verdict entries currently cached.
+    /// Number of pair-verdict entries currently cached.
     pub fn len(&self) -> usize {
         self.verdicts.len()
     }
 
-    /// True when no verdicts are cached.
+    /// Number of triple-verdict entries currently cached.
+    pub fn triple_len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True when no verdicts (pair or triple) are cached.
     pub fn is_empty(&self) -> bool {
-        self.verdicts.is_empty()
+        self.verdicts.is_empty() && self.triples.is_empty()
     }
 
     /// Records the label renames of one refactoring step that *did not*
@@ -392,8 +457,19 @@ impl VerdictCache {
                 remap(&mut p.cmd2.0);
             }
         }
+        for e in self.triples.values_mut() {
+            for p in &mut e.pairs {
+                remap(&mut p.cmd1.0);
+                remap(&mut p.cmd2.0);
+            }
+        }
         self.states.for_each_mut(|s| {
             for c in s.model.cmds.iter_mut() {
+                remap(&mut c.summary.label.0);
+            }
+        });
+        self.triple_states.for_each_mut(|s| {
+            for c in s.model.model.cmds.iter_mut() {
                 remap(&mut c.summary.label.0);
             }
         });
@@ -409,12 +485,16 @@ impl VerdictCache {
     /// survived the step. Content-addressed misses make both optional for
     /// soundness — they bound memory and keep [`CacheStats`] honest.
     pub fn invalidate_txns(&mut self, txns: &BTreeSet<String>) -> usize {
-        let before = self.verdicts.len();
+        let before = self.verdicts.len() + self.triples.len();
         self.verdicts
             .retain(|_, e| !txns.contains(&e.txn1) && !txns.contains(&e.txn2));
         self.states
             .retain(|_, s| !txns.contains(&s.txns.0) && !txns.contains(&s.txns.1));
-        let evicted = before - self.verdicts.len();
+        self.triples
+            .retain(|_, e| e.txns.iter().all(|t| !txns.contains(t)));
+        self.triple_states
+            .retain(|_, s| s.txns.iter().all(|t| !txns.contains(t)));
+        let evicted = before - self.verdicts.len() - self.triples.len();
         self.stats.invalidated += evicted as u64;
         evicted
     }
@@ -455,13 +535,17 @@ impl VerdictCache {
 
     fn retain_session_live(&mut self) -> usize {
         let live = std::mem::take(&mut self.session_live);
-        let before = self.verdicts.len();
+        let before = self.verdicts.len() + self.triples.len();
         self.verdicts
             .retain(|k, _| live.contains(&k.0) && live.contains(&k.1));
         self.states
             .retain(|k, _| live.contains(&k.0) && live.contains(&k.1));
+        self.triples
+            .retain(|k, _| live.contains(&k.0) && live.contains(&k.1) && live.contains(&k.2));
+        self.triple_states
+            .retain(|k, _| live.contains(&k.0) && live.contains(&k.1) && live.contains(&k.2));
         self.session_live = live;
-        let evicted = before - self.verdicts.len();
+        let evicted = before - self.verdicts.len() - self.triples.len();
         self.stats.invalidated += evicted as u64;
         evicted
     }
@@ -521,6 +605,280 @@ impl VerdictCache {
         );
     }
 
+    /// Looks up the cached verdicts for a transaction triple under its
+    /// canonical key (fingerprints sorted — see [`TripleVerdictKey`]).
+    /// Bumps the triple hit/miss statistics and, past the first run
+    /// boundary, the shared cross-run counters.
+    pub(crate) fn lookup_triple(&mut self, key: TripleVerdictKey) -> Option<Vec<AccessPair>> {
+        self.stats.triple_lookups += 1;
+        let cross = self.run >= 2;
+        if cross {
+            self.stats.cross_run_lookups += 1;
+        }
+        match self.triples.get(&key) {
+            Some(e) => {
+                self.stats.triple_hits += 1;
+                if cross && e.run < self.run {
+                    self.stats.cross_run_hits += 1;
+                }
+                Some(e.pairs.clone())
+            }
+            None => {
+                self.stats.triple_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts the raw verdicts of one triple analysis.
+    pub(crate) fn insert_triple(
+        &mut self,
+        key: TripleVerdictKey,
+        txns: [&TxnSummary; 3],
+        pairs: Vec<AccessPair>,
+    ) {
+        self.triples.insert(
+            key,
+            TripleEntry {
+                txns: [
+                    txns[0].name.clone(),
+                    txns[1].name.clone(),
+                    txns[2].name.clone(),
+                ],
+                run: self.run,
+                pairs,
+            },
+        );
+    }
+
+    /// Serializes every pair and triple verdict entry into the
+    /// `verdict_cache.v1` byte format (see [`persist`]); entries are
+    /// written in sorted key order so equal caches produce equal bytes.
+    /// Retained solvers are transient and not persisted. Returns the
+    /// number of entries written.
+    pub(crate) fn save_entries(&self, out: &mut Vec<u8>) -> usize {
+        out.extend_from_slice(persist::MAGIC);
+        let mut pair_keys: Vec<&VerdictKey> = self.verdicts.keys().collect();
+        pair_keys.sort();
+        persist::put_u64(out, pair_keys.len() as u64);
+        for k in &pair_keys {
+            let e = &self.verdicts[*k];
+            persist::put_u64(out, k.0);
+            persist::put_u64(out, k.1);
+            out.push(u8::from(k.2));
+            out.push(k.3.index() as u8);
+            persist::put_str(out, &e.txn1);
+            persist::put_str(out, &e.txn2);
+            persist::put_pairs(out, &e.pairs);
+        }
+        let mut triple_keys: Vec<&TripleVerdictKey> = self.triples.keys().collect();
+        triple_keys.sort();
+        persist::put_u64(out, triple_keys.len() as u64);
+        for k in &triple_keys {
+            let e = &self.triples[*k];
+            persist::put_u64(out, k.0);
+            persist::put_u64(out, k.1);
+            persist::put_u64(out, k.2);
+            out.push(k.3.index() as u8);
+            for t in &e.txns {
+                persist::put_str(out, t);
+            }
+            persist::put_pairs(out, &e.pairs);
+        }
+        pair_keys.len() + triple_keys.len()
+    }
+
+    /// Reconstructs a cache from [`VerdictCache::save_entries`] bytes.
+    /// Every entry loads into run 0, and the liveness union is seeded with
+    /// every fingerprint occurring in a key — so a later pass over *any*
+    /// of the programs the entries came from answers warm instead of
+    /// sweeping the rest away first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::ErrorKind::InvalidData`] on a bad magic, an
+    /// unknown tag, or a truncated buffer.
+    pub(crate) fn load_entries(bytes: &[u8]) -> std::io::Result<VerdictCache> {
+        let mut r = persist::Reader::new(bytes);
+        r.expect_magic()?;
+        let mut cache = VerdictCache::new();
+        let n_pairs = r.u64()?;
+        for _ in 0..n_pairs {
+            let fp1 = r.u64()?;
+            let fp2 = r.u64()?;
+            let symmetric = r.u8()? != 0;
+            let level = ConsistencyLevel::from_index(r.u8()? as usize)
+                .ok_or_else(|| persist::bad("unknown consistency-level tag"))?;
+            let txn1 = r.string()?;
+            let txn2 = r.string()?;
+            let pairs = r.pairs()?;
+            cache.verdicts.insert(
+                (fp1, fp2, symmetric, level),
+                VerdictEntry {
+                    txn1,
+                    txn2,
+                    run: 0,
+                    pairs,
+                },
+            );
+            cache.session_live.extend([fp1, fp2]);
+        }
+        let n_triples = r.u64()?;
+        for _ in 0..n_triples {
+            let fp1 = r.u64()?;
+            let fp2 = r.u64()?;
+            let fp3 = r.u64()?;
+            let level = ConsistencyLevel::from_index(r.u8()? as usize)
+                .ok_or_else(|| persist::bad("unknown consistency-level tag"))?;
+            let txns = [r.string()?, r.string()?, r.string()?];
+            let pairs = r.pairs()?;
+            cache.triples.insert(
+                (fp1, fp2, fp3, level),
+                TripleEntry {
+                    txns,
+                    run: 0,
+                    pairs,
+                },
+            );
+            cache.session_live.extend([fp1, fp2, fp3]);
+        }
+        Ok(cache)
+    }
+}
+
+/// The `verdict_cache.v1` on-disk byte format: a magic header, then the
+/// pair entries, then the triple entries, each section length-prefixed.
+/// Every integer is little-endian; strings are UTF-8 with a `u32` length
+/// prefix; string sets are a `u32` count followed by the strings in set
+/// order. No external dependency — the format is a few dozen lines of
+/// plain byte plumbing.
+mod persist {
+    use std::collections::BTreeSet;
+    use std::io;
+
+    use crate::detect::{AccessPair, AnomalyKind};
+
+    /// Magic + version header (`v1`).
+    pub(super) const MAGIC: &[u8; 8] = b"ATRVC\x01\0\0";
+
+    pub(super) fn bad(msg: &str) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, format!("verdict_cache.v1: {msg}"))
+    }
+
+    pub(super) fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(super) fn put_str(out: &mut Vec<u8>, s: &str) {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    }
+
+    fn put_set(out: &mut Vec<u8>, set: &BTreeSet<String>) {
+        out.extend_from_slice(&(set.len() as u32).to_le_bytes());
+        for s in set {
+            put_str(out, s);
+        }
+    }
+
+    pub(super) fn put_pairs(out: &mut Vec<u8>, pairs: &[AccessPair]) {
+        put_u64(out, pairs.len() as u64);
+        for p in pairs {
+            put_str(out, &p.cmd1.0);
+            put_set(out, &p.fields1);
+            put_str(out, &p.cmd2.0);
+            put_set(out, &p.fields2);
+            put_str(out, &p.txn1);
+            put_str(out, &p.txn2);
+            put_set(out, &p.witnesses);
+            out.push(p.kind.tag());
+        }
+    }
+
+    pub(super) struct Reader<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        pub(super) fn new(bytes: &'a [u8]) -> Reader<'a> {
+            Reader { bytes, pos: 0 }
+        }
+
+        fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+            let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+            let Some(end) = end else {
+                return Err(bad("truncated"));
+            };
+            let s = &self.bytes[self.pos..end];
+            self.pos = end;
+            Ok(s)
+        }
+
+        pub(super) fn expect_magic(&mut self) -> io::Result<()> {
+            if self.take(MAGIC.len())? != MAGIC {
+                return Err(bad("bad magic (not a verdict cache, or a future version)"));
+            }
+            Ok(())
+        }
+
+        pub(super) fn u8(&mut self) -> io::Result<u8> {
+            Ok(self.take(1)?[0])
+        }
+
+        pub(super) fn u64(&mut self) -> io::Result<u64> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        }
+
+        fn u32(&mut self) -> io::Result<u32> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        }
+
+        pub(super) fn string(&mut self) -> io::Result<String> {
+            let len = self.u32()? as usize;
+            let s = self.take(len)?;
+            String::from_utf8(s.to_vec()).map_err(|_| bad("non-UTF-8 string"))
+        }
+
+        fn set(&mut self) -> io::Result<BTreeSet<String>> {
+            let n = self.u32()? as usize;
+            let mut out = BTreeSet::new();
+            for _ in 0..n {
+                out.insert(self.string()?);
+            }
+            Ok(out)
+        }
+
+        /// Smallest possible encoded [`AccessPair`]: seven empty
+        /// strings/sets (4 length bytes each) plus the kind tag — bounds
+        /// how many entries a length prefix can honestly promise.
+        const MIN_ENCODED_PAIR: usize = 29;
+
+        pub(super) fn pairs(&mut self) -> io::Result<Vec<AccessPair>> {
+            let n = self.u64()? as usize;
+            // A length prefix can't promise more entries than bytes left —
+            // checked against the minimum encoding so a garbage count in a
+            // corrupt file fails here instead of sizing a huge allocation.
+            if n > self.bytes.len().saturating_sub(self.pos) / Self::MIN_ENCODED_PAIR {
+                return Err(bad("truncated"));
+            }
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(AccessPair {
+                    cmd1: atropos_dsl::CmdLabel(self.string()?),
+                    fields1: self.set()?,
+                    cmd2: atropos_dsl::CmdLabel(self.string()?),
+                    fields2: self.set()?,
+                    txn1: self.string()?,
+                    txn2: self.string()?,
+                    witnesses: self.set()?,
+                    kind: AnomalyKind::from_tag(self.u8()?)
+                        .ok_or_else(|| bad("unknown anomaly-kind tag"))?,
+                });
+            }
+            Ok(out)
+        }
+    }
 }
 
 #[cfg(test)]

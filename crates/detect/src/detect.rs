@@ -45,6 +45,47 @@ pub enum AnomalyKind {
     /// A transaction's later read loses sight of a foreign commit an
     /// earlier read observed.
     NonMonotonicRead,
+    /// A causality violation relayed through an observer chain: a third
+    /// transaction observes a relay's derived write while missing the
+    /// origin write the relay itself observed (triple mode only).
+    ObserverChain,
+    /// A circular write skew over three keys: each transaction's
+    /// read-modify-write misses the previous transaction's write, closing
+    /// a dependency cycle no pairwise schedule exhibits (triple mode only).
+    WriteSkewCycle,
+    /// A transaction's sibling writes observed fractured across a relay:
+    /// one half reaches the observer through a chain, the other half never
+    /// arrives (triple mode only).
+    FracturedRead,
+}
+
+impl AnomalyKind {
+    /// Stable serialization tag (the `verdict_cache.v1` on-disk format).
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            AnomalyKind::LostUpdate => 0,
+            AnomalyKind::DirtyRead => 1,
+            AnomalyKind::NonRepeatableRead => 2,
+            AnomalyKind::NonMonotonicRead => 3,
+            AnomalyKind::ObserverChain => 4,
+            AnomalyKind::WriteSkewCycle => 5,
+            AnomalyKind::FracturedRead => 6,
+        }
+    }
+
+    /// Inverse of [`AnomalyKind::tag`].
+    pub(crate) fn from_tag(tag: u8) -> Option<AnomalyKind> {
+        Some(match tag {
+            0 => AnomalyKind::LostUpdate,
+            1 => AnomalyKind::DirtyRead,
+            2 => AnomalyKind::NonRepeatableRead,
+            3 => AnomalyKind::NonMonotonicRead,
+            4 => AnomalyKind::ObserverChain,
+            5 => AnomalyKind::WriteSkewCycle,
+            6 => AnomalyKind::FracturedRead,
+            _ => return None,
+        })
+    }
 }
 
 impl std::fmt::Display for AnomalyKind {
@@ -54,6 +95,9 @@ impl std::fmt::Display for AnomalyKind {
             AnomalyKind::DirtyRead => "dirty-read",
             AnomalyKind::NonRepeatableRead => "non-repeatable-read",
             AnomalyKind::NonMonotonicRead => "non-monotonic-read",
+            AnomalyKind::ObserverChain => "observer-chain",
+            AnomalyKind::WriteSkewCycle => "write-skew-cycle",
+            AnomalyKind::FracturedRead => "fractured-read-chain",
         };
         f.write_str(s)
     }
@@ -65,6 +109,9 @@ impl std::fmt::Display for AnomalyKind {
 pub struct DetectStats {
     /// Ordered transaction pairs analysed.
     pub pairs: u64,
+    /// Unordered transaction triples analysed (zero outside
+    /// [`crate::DetectMode::Triples`] passes).
+    pub triples: u64,
     /// Satisfiability queries issued (post-memoization).
     pub queries: u64,
     /// Queries answered SAT (a realizable anomaly witness).
@@ -414,7 +461,64 @@ pub fn detect_anomalies_cached(
     level: ConsistencyLevel,
     cache: &mut VerdictCache,
 ) -> (Vec<AccessPair>, DetectStats) {
-    crate::engine::detect_with_cache(1, program, level, cache, None)
+    crate::engine::detect_with_cache(
+        1,
+        program,
+        level,
+        crate::DetectMode::Pairs,
+        cache,
+        None,
+    )
+}
+
+/// Detects every anomaly of `program` under `level` in the bounded
+/// **three-instance** mode ([`crate::DetectMode::Triples`]): the pair
+/// oracle's verdicts plus the chain templates of [`crate::triple`]. The
+/// result is a superset of [`detect_anomalies`] by construction.
+///
+/// # Examples
+///
+/// ```
+/// use atropos_detect::{detect_anomalies, detect_anomalies_triples, ConsistencyLevel};
+///
+/// // A 3-hop relay: post → relay → timeline. Pairwise clean, yet the
+/// // observer chain is realizable under eventual consistency.
+/// let p = atropos_dsl::parse(
+///     "schema MSG { m_id: int key, m_body: string }
+///      schema FEED { f_id: int key, f_body: string }
+///      txn post(m: int, body: string) {
+///          update MSG set m_body = body where m_id = m;
+///          return 0;
+///      }
+///      txn relay(m: int, f: int) {
+///          x := select m_body from MSG where m_id = m;
+///          update FEED set f_body = x.m_body where f_id = f;
+///          return 0;
+///      }
+///      txn timeline(f: int, m: int) {
+///          y := select f_body from FEED where f_id = f;
+///          z := select m_body from MSG where m_id = m;
+///          return 0;
+///      }",
+/// ).unwrap();
+/// let ec = ConsistencyLevel::EventualConsistency;
+/// assert!(detect_anomalies(&p, ec).is_empty());
+/// let (triples, _) = detect_anomalies_triples(&p, ec);
+/// assert_eq!(triples.len(), 1); // the relayed causality violation
+/// ```
+pub fn detect_anomalies_triples(
+    program: &Program,
+    level: ConsistencyLevel,
+) -> (Vec<AccessPair>, DetectStats) {
+    let mut cache = VerdictCache::new();
+    crate::engine::detect_with_cache(
+        1,
+        program,
+        level,
+        crate::DetectMode::Triples,
+        &mut cache,
+        None,
+    )
 }
 
 /// Analyses one dirty (cache-missed) ordered pair against its retained (or
@@ -475,7 +579,7 @@ fn pair_key(p: &AccessPair) -> (String, String, AnomalyKind) {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn make_pair(
+pub(crate) fn make_pair(
     t1: &TxnSummary,
     c1: &crate::model::CmdSummary,
     f1: BTreeSet<String>,

@@ -54,14 +54,20 @@ impl ConsistencyLevel {
         ConsistencyLevel::Serializable,
     ];
 
-    /// Dense index (position in [`ConsistencyLevel::ALL`]).
-    fn index(self) -> usize {
+    /// Dense index (position in [`ConsistencyLevel::ALL`]) — also the
+    /// stable serialization tag of the `verdict_cache.v1` format.
+    pub(crate) fn index(self) -> usize {
         match self {
             ConsistencyLevel::EventualConsistency => 0,
             ConsistencyLevel::CausalConsistency => 1,
             ConsistencyLevel::RepeatableRead => 2,
             ConsistencyLevel::Serializable => 3,
         }
+    }
+
+    /// Inverse of [`ConsistencyLevel::index`].
+    pub(crate) fn from_index(i: usize) -> Option<ConsistencyLevel> {
+        ConsistencyLevel::ALL.get(i).copied()
     }
 }
 
@@ -91,10 +97,11 @@ pub struct WitnessRecord {
     pub fresh: bool,
 }
 
-/// A command instance inside the two-instance model.
+/// A command instance inside the bounded multi-instance model.
 #[derive(Debug, Clone)]
 pub struct InstCmd {
-    /// 0 for the first instance, 1 for the second.
+    /// Index of the transaction instance this command belongs to (0 and 1
+    /// in the pair skeleton, 0–2 in the triple skeleton).
     pub instance: u8,
     /// The underlying static summary.
     pub summary: CmdSummary,
@@ -111,13 +118,19 @@ pub struct InstAtom {
     pub record: usize,
 }
 
-/// The grounded two-instance execution skeleton for a transaction pair.
+/// The grounded bounded execution skeleton for a tuple of transaction
+/// instances: two in the pair oracle ([`InstanceModel::new`]), three in the
+/// triple oracle ([`InstanceModel::new_multi`] via
+/// [`crate::triple::TripleModel`]).
 #[derive(Debug, Clone)]
 pub struct InstanceModel {
-    /// Command instances: instance 0's commands followed by instance 1's.
+    /// Command instances: instance 0's commands, then instance 1's, …
     pub cmds: Vec<InstCmd>,
     /// Number of commands in instance 0.
     pub n1: usize,
+    /// Command-index offset of each instance, plus the total command count
+    /// as a final sentinel (so instance `i` spans `starts[i]..starts[i+1]`).
+    pub starts: Vec<usize>,
     /// Witness records.
     pub records: Vec<WitnessRecord>,
     /// Atoms, one per (command, touched record).
@@ -126,23 +139,33 @@ pub struct InstanceModel {
 }
 
 impl InstanceModel {
-    /// Builds the model for instances of `t1` and `t2` (which may be the
+    /// Builds the two-instance model for `t1` and `t2` (which may be the
     /// same transaction, yielding two instances of it).
     pub fn new(t1: &TxnSummary, t2: &TxnSummary) -> InstanceModel {
-        // Witness records: one per (schema, canonical key) class across both
+        InstanceModel::new_multi(&[t1, t2])
+    }
+
+    /// Builds the bounded skeleton over an arbitrary tuple of transaction
+    /// instances (repetition allowed). The encoding and the per-level
+    /// axioms are instance-count generic; only the violation templates fix
+    /// a bound (two for the pair oracle, three for the triple oracle).
+    pub fn new_multi(ts: &[&TxnSummary]) -> InstanceModel {
+        assert!(
+            (1..=u8::MAX as usize).contains(&ts.len()),
+            "instance count out of range"
+        );
+        // Witness records: one per (schema, canonical key) class across all
         // instances, a scan placeholder per schema that is only scanned, and
         // one fresh record per fresh-keyed insert instance.
         let mut records: Vec<WitnessRecord> = Vec::new();
         let mut record_idx = HashMap::new();
-        let all = |t: &TxnSummary, inst: u8| {
-            t.commands
-                .iter()
-                .cloned()
-                .map(move |summary| (inst, summary))
-                .collect::<Vec<_>>()
-        };
-        let mut raw: Vec<(u8, CmdSummary)> = all(t1, 0);
-        raw.extend(all(t2, 1));
+        let mut raw: Vec<(u8, CmdSummary)> = Vec::new();
+        let mut starts = Vec::with_capacity(ts.len() + 1);
+        for (inst, t) in ts.iter().enumerate() {
+            starts.push(raw.len());
+            raw.extend(t.commands.iter().cloned().map(|s| (inst as u8, s)));
+        }
+        starts.push(raw.len());
 
         for (_, c) in &raw {
             if let KeySpec::Keyed { key: k, constant } = &c.key {
@@ -193,7 +216,7 @@ impl InstanceModel {
             }
         }
 
-        let n1 = t1.commands.len();
+        let n1 = starts.get(1).copied().unwrap_or(raw.len());
         let mut cmds = Vec::with_capacity(raw.len());
         for (i, (instance, summary)) in raw.into_iter().enumerate() {
             let recs: Vec<usize> = match &summary.key {
@@ -226,10 +249,22 @@ impl InstanceModel {
         InstanceModel {
             cmds,
             n1,
+            starts,
             records,
             atoms,
             atom_index,
         }
+    }
+
+    /// Number of transaction instances this model was grounded over.
+    pub fn instances(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Global command index of instance `inst`'s `local`-th command.
+    pub fn cmd_index(&self, inst: usize, local: usize) -> usize {
+        debug_assert!(local < self.starts[inst + 1] - self.starts[inst]);
+        self.starts[inst] + local
     }
 
     /// Index of the atom for command `cmd` on record `record`, if the
@@ -464,17 +499,35 @@ fn encode_level(
             }
         }
         ConsistencyLevel::Serializable => {
-            // Whole-transaction blocks: blk ⇔ instance 0 runs first.
-            let blk = fresh(s);
+            // Whole-transaction blocks: one literal per unordered instance
+            // pair {a < b}, blk[a][b] ⇔ instance a runs entirely before
+            // instance b. Ord transitivity makes the block relation a total
+            // order of the instances (a cyclic assignment of the blk
+            // literals forces a cyclic ord triangle, which is
+            // unsatisfiable), so for two instances this degenerates to the
+            // single "instance 0 runs first" literal of the pair encoding —
+            // same variable count, same clause stream.
+            let k = model.instances();
+            let mut blk = vec![vec![None; k]; k];
+            for a in 0..k {
+                for b in (a + 1)..k {
+                    blk[a][b] = Some(fresh(s));
+                }
+            }
             for i in 0..n {
                 for j in 0..n {
                     if i == j || model.same_instance(i, j) {
                         continue;
                     }
-                    let l = enc.ord(i, j);
-                    if model.cmds[i].instance == 0 {
-                        emit(s, guard, [!blk, l]);
-                        emit(s, guard, [blk, !l]);
+                    let (a, b) = (
+                        model.cmds[i].instance as usize,
+                        model.cmds[j].instance as usize,
+                    );
+                    if a < b {
+                        let g = blk[a][b].expect("a < b");
+                        let l = enc.ord(i, j);
+                        emit(s, guard, [!g, l]);
+                        emit(s, guard, [g, !l]);
                     }
                 }
             }
@@ -484,12 +537,18 @@ fn encode_level(
                         continue;
                     }
                     let l = enc.vis[ai][c];
-                    if model.cmds[atom.cmd].instance == 0 {
-                        emit(s, guard, [!blk, l]);
-                        emit(s, guard, [blk, !l]);
+                    let (pa, pc) = (
+                        model.cmds[atom.cmd].instance as usize,
+                        model.cmds[c].instance as usize,
+                    );
+                    if pa < pc {
+                        let g = blk[pa][pc].expect("pa < pc");
+                        emit(s, guard, [!g, l]);
+                        emit(s, guard, [g, !l]);
                     } else {
-                        emit(s, guard, [!blk, !l]);
-                        emit(s, guard, [blk, l]);
+                        let g = blk[pc][pa].expect("pc < pa");
+                        emit(s, guard, [!g, !l]);
+                        emit(s, guard, [g, l]);
                     }
                 }
             }

@@ -1,9 +1,10 @@
-//! The parallel detection engine: dirty-pair solving fanned out over a
-//! worker pool, deterministically merged.
+//! The parallel detection engine: dirty-pair (and dirty-triple) solving
+//! fanned out over a worker pool, deterministically merged.
 //!
 //! The paper's detection formulation makes every transaction pair an
 //! independent satisfiability query, so the re-solved ("dirty") pairs of a
-//! cached detection pass are embarrassingly parallel. A
+//! cached detection pass are embarrassingly parallel — and the bounded
+//! triples of [`DetectMode::Triples`] are just as independent. A
 //! [`DetectionEngine`] owns the parallelism policy — a worker count from
 //! [`DetectionEngine::new`], the `ATROPOS_THREADS` environment variable,
 //! or the machine's available parallelism — and runs each pass in three
@@ -12,19 +13,24 @@
 //! 1. **Plan** (serial): summarize the program, fingerprint every
 //!    transaction, sweep the cache's liveness union, and look every ordered
 //!    pair up in the verdict cache. Hits fill their result slots
-//!    immediately; misses form the dirty-pair work list.
-//! 2. **Solve** (parallel): `std::thread::scope` workers drain the work
-//!    list through an atomic cursor. Each worker takes the pair's retained
-//!    [`crate::cache::PairState`] from the sharded solver-retention map
-//!    (solvers migrate freely between workers — they are `Send`), solves
-//!    with the exact same per-pair routine as the serial oracle, and
-//!    returns the state to its shard.
+//!    immediately; misses form the dirty-pair work list. In triple mode the
+//!    same planning covers every unordered triple of distinct transactions:
+//!    hits replay, statically template-free triples cache an empty verdict
+//!    without ever grounding a model, and the remainder forms the
+//!    dirty-triple work list.
+//! 2. **Solve** (parallel): `std::thread::scope` workers drain each work
+//!    list through an atomic cursor. Each worker takes the item's retained
+//!    state ([`crate::cache::PairState`] / [`crate::triple::TripleState`])
+//!    from the sharded retention maps (states migrate freely between
+//!    workers — they are `Send`), solves with the exact same per-item
+//!    routine as the serial oracle, and returns the state to its shard.
 //! 3. **Merge** (serial, deterministic): verdicts are folded into the
-//!    result map and inserted into the cache **in the serial pair order**,
+//!    result map and inserted into the cache **in the serial work order**,
 //!    not in completion order, so the engine's output — verdicts, the
 //!    entire [`DetectStats`] except wall-clock seconds, and every
 //!    downstream repair decision — is byte-identical at any thread count
-//!    (pinned by `tests/parallel_determinism.rs` on all nine workloads).
+//!    (pinned by `tests/parallel_determinism.rs` and
+//!    `tests/triple_vs_pair.rs` on all nine workloads).
 //!
 //! With one thread the scope is skipped and phase 2 runs inline: the
 //! serial cached oracle ([`crate::detect_anomalies_cached`]) is literally
@@ -35,21 +41,50 @@ use std::time::Instant;
 
 use atropos_dsl::Program;
 
-use crate::cache::{txn_fingerprint, PairState, VerdictCache};
+use crate::cache::{
+    txn_fingerprint, PairState, ShardedTripleMap, TripleVerdictKey, VerdictCache,
+};
 use crate::detect::{accumulate, solve_pair_with_state, AccessPair, AnomalyKind, DetectStats};
 use crate::encode::ConsistencyLevel;
 use crate::model::{summarize_program, TxnSummary};
 use crate::session::DetectSession;
+use crate::triple::{has_candidates, solve_triple_with_state, TripleState};
+
+/// Which bounded execution skeleton a detection pass grounds its anomaly
+/// queries over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DetectMode {
+    /// The paper's **two-instance** bound: the four pair templates only.
+    /// The default — every existing oracle entry point runs here.
+    #[default]
+    Pairs,
+    /// The two-instance bound *plus* the bounded **three-instance** chain
+    /// templates of [`crate::triple`] (observer chain, circular write
+    /// skew, fractured-read chain). Verdicts are a superset of
+    /// [`DetectMode::Pairs`] by construction: the pair phase runs
+    /// unchanged and the triple phase only ever appends.
+    Triples,
+}
+
+impl std::fmt::Display for DetectMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DetectMode::Pairs => "pairs",
+            DetectMode::Triples => "triples",
+        })
+    }
+}
 
 /// Per-worker counters of one engine's lifetime, indexed by worker slot
 /// (worker 0 is also the inline path of a single-threaded pass).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WorkerStats {
-    /// Dirty pairs this worker re-solved.
+    /// Dirty work items (transaction pairs — and triples, in triple mode)
+    /// this worker re-solved.
     pub pairs_solved: u64,
-    /// SAT queries those pairs issued.
+    /// SAT queries those items issued.
     pub queries: u64,
-    /// Pairs that reused a retained solver taken from the sharded map.
+    /// Items that reused a retained solver taken from a sharded map.
     pub solver_reuses: u64,
     /// Wall-clock seconds this worker spent solving.
     pub seconds: f64,
@@ -128,25 +163,41 @@ impl DetectionEngine {
         self.threads
     }
 
-    /// One cached detection pass over `program` at `level`, answering
-    /// untouched pairs from the session's verdict cache and fanning the
-    /// dirty remainder out over this engine's workers.
-    ///
-    /// Verdict-identical to [`crate::detect_anomalies`] and to itself at
-    /// every thread count; see the module docs for the three-phase
-    /// structure and the determinism argument.
+    /// One cached detection pass over `program` at `level` under the
+    /// default [`DetectMode::Pairs`] bound; see
+    /// [`DetectionEngine::detect_with_mode`].
     pub fn detect(
         &self,
         program: &Program,
         level: ConsistencyLevel,
         session: &mut DetectSession,
     ) -> (Vec<AccessPair>, DetectStats) {
+        self.detect_with_mode(program, level, DetectMode::Pairs, session)
+    }
+
+    /// One cached detection pass over `program` at `level` under `mode`,
+    /// answering untouched pairs (and, in triple mode, triples) from the
+    /// session's verdict cache and fanning the dirty remainder out over
+    /// this engine's workers.
+    ///
+    /// In [`DetectMode::Pairs`] this is verdict-identical to
+    /// [`crate::detect_anomalies`]; in [`DetectMode::Triples`] the result
+    /// is a superset of the pair verdicts. Both are byte-identical to
+    /// themselves at every thread count; see the module docs for the
+    /// three-phase structure and the determinism argument.
+    pub fn detect_with_mode(
+        &self,
+        program: &Program,
+        level: ConsistencyLevel,
+        mode: DetectMode,
+        session: &mut DetectSession,
+    ) -> (Vec<AccessPair>, DetectStats) {
         let (cache, per_worker) = session.cache_and_workers();
-        detect_with_cache(self.threads, program, level, cache, Some(per_worker))
+        detect_with_cache(self.threads, program, level, mode, cache, Some(per_worker))
     }
 }
 
-/// Smallest dirty-pair batch worth one worker thread: below this, the
+/// Smallest dirty-item batch worth one worker thread: below this, the
 /// spawn/join overhead rivals the SAT work itself and the pass runs
 /// inline. Thread count never affects verdicts, so this is purely a
 /// scheduling knob.
@@ -169,9 +220,30 @@ struct Miss {
     symmetric: bool,
 }
 
-/// The outcome of solving one dirty pair, produced on whatever worker
+/// One dirty triple of the work list: its slot in the triple result
+/// vector, the transaction indices in **canonical (fingerprint-sorted)
+/// orientation** — the orientation the cache key, the grounded model, and
+/// any retained [`TripleState`] all share, so a state retained under one
+/// program is never replayed under a differently-ordered sibling — and
+/// the canonical cache key.
+struct TrioMiss {
+    slot: usize,
+    idx: [usize; 3],
+    key: TripleVerdictKey,
+}
+
+/// Reorders a triple of transaction indices into the canonical
+/// orientation: ascending by fingerprint (ties — only possible between
+/// identical summaries — broken by index, keeping the order total).
+fn canonical_trio(idx: [usize; 3], fps: &[u64]) -> [usize; 3] {
+    let mut c = idx;
+    c.sort_unstable_by_key(|&i| (fps[i], i));
+    c
+}
+
+/// The outcome of solving one dirty work item, produced on whatever worker
 /// claimed it and merged on the coordinating thread.
-struct MissOutcome {
+struct Outcome {
     pairs: Vec<AccessPair>,
     stats: DetectStats,
     solver_reused: bool,
@@ -183,27 +255,134 @@ fn solve_miss(
     level: ConsistencyLevel,
     states: &crate::cache::ShardedStateMap,
     m: &Miss,
-) -> MissOutcome {
+) -> Outcome {
     let (t1, t2) = (&summaries[m.i], &summaries[m.j]);
     let key = (fps[m.i], fps[m.j]);
     let mut state = states.take(key).unwrap_or_else(|| PairState::new(t1, t2));
     let solver_reused = state.solver.is_some();
     let (pairs, stats) = solve_pair_with_state(t1, t2, m.symmetric, level, &mut state);
     states.store(key, state);
-    MissOutcome {
+    Outcome {
         pairs,
         stats,
         solver_reused,
     }
 }
 
-/// The shared implementation behind [`DetectionEngine::detect`] and the
-/// serial [`crate::detect_anomalies_cached`]: plan serially, solve the
-/// misses on up to `threads` workers, merge deterministically.
+fn solve_trio(
+    summaries: &[TxnSummary],
+    fps: &[u64],
+    level: ConsistencyLevel,
+    states: &ShardedTripleMap,
+    m: &TrioMiss,
+) -> Outcome {
+    let ts = [
+        &summaries[m.idx[0]],
+        &summaries[m.idx[1]],
+        &summaries[m.idx[2]],
+    ];
+    let tfps = [fps[m.idx[0]], fps[m.idx[1]], fps[m.idx[2]]];
+    let key = (m.key.0, m.key.1, m.key.2);
+    let mut state = states.take(key).unwrap_or_else(|| TripleState::new(ts));
+    let solver_reused = state.solver.is_some();
+    let (pairs, stats) = solve_triple_with_state(ts, tfps, level, &mut state);
+    states.store(key, state);
+    Outcome {
+        pairs,
+        stats,
+        solver_reused,
+    }
+}
+
+/// Drains `items` through an atomic work cursor on up to `threads` scoped
+/// workers (inline when the batch is too small to feed more than one —
+/// incremental repair's later passes dirty a handful of items, and paying
+/// a spawn/join round-trip for them would hand the serial driver a
+/// regression). Returns the outcomes indexed like `items` plus per-worker
+/// counters. Outcome order is by item index, never completion order.
+fn run_pool<T: Sync>(
+    threads: usize,
+    items: &[T],
+    solve: impl Fn(&T) -> Outcome + Sync,
+) -> (Vec<Option<Outcome>>, Vec<WorkerStats>) {
+    let workers = threads.min(items.len() / MIN_PAIRS_PER_WORKER).max(1);
+    let mut outcomes: Vec<Option<Outcome>> = Vec::with_capacity(items.len());
+    outcomes.resize_with(items.len(), || None);
+    let mut worker_stats = vec![WorkerStats::default(); workers];
+    if workers <= 1 {
+        let w = &mut worker_stats[0];
+        let t0 = Instant::now();
+        for (k, item) in items.iter().enumerate() {
+            let o = solve(item);
+            w.pairs_solved += 1;
+            w.queries += o.stats.queries;
+            w.solver_reuses += u64::from(o.solver_reused);
+            outcomes[k] = Some(o);
+        }
+        w.seconds += t0.elapsed().as_secs_f64();
+    } else {
+        let next = AtomicUsize::new(0);
+        let solve = &solve;
+        let produced: Vec<(usize, WorkerStats, Vec<(usize, Outcome)>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let next = &next;
+                        scope.spawn(move || {
+                            let t0 = Instant::now();
+                            let mut ws = WorkerStats::default();
+                            let mut out = Vec::new();
+                            loop {
+                                let k = next.fetch_add(1, Ordering::Relaxed);
+                                if k >= items.len() {
+                                    break;
+                                }
+                                let o = solve(&items[k]);
+                                ws.pairs_solved += 1;
+                                ws.queries += o.stats.queries;
+                                ws.solver_reuses += u64::from(o.solver_reused);
+                                out.push((k, o));
+                            }
+                            ws.seconds = t0.elapsed().as_secs_f64();
+                            (w, ws, out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("detection worker panicked"))
+                    .collect()
+            });
+        for (w, ws, out) in produced {
+            worker_stats[w] = ws;
+            for (k, o) in out {
+                outcomes[k] = Some(o);
+            }
+        }
+    }
+    (outcomes, worker_stats)
+}
+
+/// Folds one solved outcome's counters into the pass statistics.
+fn merge_outcome_stats(stats: &mut DetectStats, o: &Outcome) {
+    stats.queries += o.stats.queries;
+    stats.sat_queries += o.stats.sat_queries;
+    stats.memo_hits += o.stats.memo_hits;
+    stats.clauses_encoded += o.stats.clauses_encoded;
+    stats.clauses_fresh_equivalent += o.stats.clauses_fresh_equivalent;
+    stats.conflicts += o.stats.conflicts;
+    stats.propagations += o.stats.propagations;
+    stats.decisions += o.stats.decisions;
+}
+
+/// The shared implementation behind [`DetectionEngine::detect_with_mode`]
+/// and the serial [`crate::detect_anomalies_cached`]: plan serially, solve
+/// the misses on up to `threads` workers, merge deterministically.
 pub(crate) fn detect_with_cache(
     threads: usize,
     program: &Program,
     level: ConsistencyLevel,
+    mode: DetectMode,
     cache: &mut VerdictCache,
     per_worker: Option<&mut Vec<WorkerStats>>,
 ) -> (Vec<AccessPair>, DetectStats) {
@@ -216,6 +395,15 @@ pub(crate) fn detect_with_cache(
     cache.sweep_live(&fps);
     let n = summaries.len();
     let mut stats = DetectStats::default();
+    let mut all_workers: Vec<WorkerStats> = Vec::new();
+    let absorb = |all: &mut Vec<WorkerStats>, ws: &[WorkerStats]| {
+        if all.len() < ws.len() {
+            all.resize(ws.len(), WorkerStats::default());
+        }
+        for (slot, w) in ws.iter().enumerate() {
+            all[slot].absorb(w);
+        }
+    };
 
     // Phase 1 (serial): verdict lookups. Hits fill their slots; misses
     // become the dirty-pair work list.
@@ -241,84 +429,18 @@ pub(crate) fn detect_with_cache(
         }
     }
 
-    // Phase 2: solve the dirty pairs. Spawning is only worth it when every
-    // worker gets a real batch: incremental repair's later passes dirty a
-    // handful of pairs, and paying a spawn/join round-trip for them would
-    // hand the serial driver a regression. A batch too small to feed
-    // multiple workers at MIN_PAIRS_PER_WORKER each (or a serial engine)
-    // solves inline as worker 0.
-    let workers = threads
-        .min(misses.len() / MIN_PAIRS_PER_WORKER)
-        .max(1);
-    let mut outcomes: Vec<Option<MissOutcome>> = Vec::with_capacity(misses.len());
-    outcomes.resize_with(misses.len(), || None);
-    let mut worker_stats = vec![WorkerStats::default(); workers];
-    if workers <= 1 {
-        let w = &mut worker_stats[0];
-        let t0 = Instant::now();
-        for (k, m) in misses.iter().enumerate() {
-            let o = solve_miss(&summaries, &fps, level, cache.states(), m);
-            w.pairs_solved += 1;
-            w.queries += o.stats.queries;
-            w.solver_reuses += u64::from(o.solver_reused);
-            outcomes[k] = Some(o);
-        }
-        w.seconds += t0.elapsed().as_secs_f64();
-    } else {
-        let next = AtomicUsize::new(0);
-        let states = cache.states();
-        let (summaries, fps, misses) = (&summaries, &fps, &misses);
-        let produced: Vec<(usize, WorkerStats, Vec<(usize, MissOutcome)>)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        let next = &next;
-                        scope.spawn(move || {
-                            let t0 = Instant::now();
-                            let mut ws = WorkerStats::default();
-                            let mut out = Vec::new();
-                            loop {
-                                let k = next.fetch_add(1, Ordering::Relaxed);
-                                if k >= misses.len() {
-                                    break;
-                                }
-                                let o = solve_miss(summaries, fps, level, states, &misses[k]);
-                                ws.pairs_solved += 1;
-                                ws.queries += o.stats.queries;
-                                ws.solver_reuses += u64::from(o.solver_reused);
-                                out.push((k, o));
-                            }
-                            ws.seconds = t0.elapsed().as_secs_f64();
-                            (w, ws, out)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("detection worker panicked"))
-                    .collect()
-            });
-        for (w, ws, out) in produced {
-            worker_stats[w] = ws;
-            for (k, o) in out {
-                outcomes[k] = Some(o);
-            }
-        }
-    }
+    // Phase 2: solve the dirty pairs on the pool.
+    let (outcomes, worker_stats) = run_pool(threads, &misses, |m| {
+        solve_miss(&summaries, &fps, level, cache.states(), m)
+    });
+    absorb(&mut all_workers, &worker_stats);
 
     // Phase 3 (serial, deterministic): insert verdicts and fold results in
     // the serial pair order, whatever order the workers finished in.
     for (m, o) in misses.iter().zip(outcomes) {
         let o = o.expect("every miss was solved");
         cache.stats_mut().solver_reuses += u64::from(o.solver_reused);
-        stats.queries += o.stats.queries;
-        stats.sat_queries += o.stats.sat_queries;
-        stats.memo_hits += o.stats.memo_hits;
-        stats.clauses_encoded += o.stats.clauses_encoded;
-        stats.clauses_fresh_equivalent += o.stats.clauses_fresh_equivalent;
-        stats.conflicts += o.stats.conflicts;
-        stats.propagations += o.stats.propagations;
-        stats.decisions += o.stats.decisions;
+        merge_outcome_stats(&mut stats, &o);
         cache.insert(
             fps[m.i],
             fps[m.j],
@@ -330,16 +452,75 @@ pub(crate) fn detect_with_cache(
         );
         slots[m.slot] = Some(o.pairs);
     }
+
+    // The triple phases: same plan/solve/merge shape over every unordered
+    // triple of distinct transactions. Statically template-free triples
+    // are settled during planning (an empty verdict, no model, no solver).
+    let mut trio_slots: Vec<Option<Vec<AccessPair>>> = Vec::new();
+    if mode == DetectMode::Triples {
+        let mut trio_misses: Vec<TrioMiss> = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for k in (j + 1)..n {
+                    stats.triples += 1;
+                    // Everything downstream — the cache key, the static
+                    // prefilter, the grounded model, retained states —
+                    // works in the one canonical orientation, so a state
+                    // keyed here can never be replayed against summaries
+                    // in a different instance order.
+                    let idx = canonical_trio([i, j, k], &fps);
+                    let key = (fps[idx[0]], fps[idx[1]], fps[idx[2]], level);
+                    let slot = trio_slots.len();
+                    match cache.lookup_triple(key) {
+                        Some(pairs) => trio_slots.push(Some(pairs)),
+                        None => {
+                            let ts =
+                                [&summaries[idx[0]], &summaries[idx[1]], &summaries[idx[2]]];
+                            if has_candidates(ts, [fps[idx[0]], fps[idx[1]], fps[idx[2]]]) {
+                                trio_slots.push(None);
+                                trio_misses.push(TrioMiss { slot, idx, key });
+                            } else {
+                                cache.insert_triple(key, ts, Vec::new());
+                                trio_slots.push(Some(Vec::new()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let (trio_outcomes, trio_workers) = run_pool(threads, &trio_misses, |m| {
+            solve_trio(&summaries, &fps, level, cache.triple_states(), m)
+        });
+        absorb(&mut all_workers, &trio_workers);
+
+        for (m, o) in trio_misses.iter().zip(trio_outcomes) {
+            let o = o.expect("every triple miss was solved");
+            cache.stats_mut().solver_reuses += u64::from(o.solver_reused);
+            merge_outcome_stats(&mut stats, &o);
+            cache.insert_triple(
+                m.key,
+                [
+                    &summaries[m.idx[0]],
+                    &summaries[m.idx[1]],
+                    &summaries[m.idx[2]],
+                ],
+                o.pairs.clone(),
+            );
+            trio_slots[m.slot] = Some(o.pairs);
+        }
+    }
+
     let mut found: std::collections::BTreeMap<(String, String, AnomalyKind), AccessPair> =
         std::collections::BTreeMap::new();
-    for pairs in slots {
+    for pairs in slots.into_iter().chain(trio_slots) {
         accumulate(&mut found, pairs.expect("every slot was filled"));
     }
     if let Some(pw) = per_worker {
-        if pw.len() < worker_stats.len() {
-            pw.resize(worker_stats.len(), WorkerStats::default());
+        if pw.len() < all_workers.len() {
+            pw.resize(all_workers.len(), WorkerStats::default());
         }
-        for (slot, ws) in worker_stats.iter().enumerate() {
+        for (slot, ws) in all_workers.iter().enumerate() {
             pw[slot].absorb(ws);
         }
     }
@@ -402,5 +583,99 @@ mod tests {
         assert_eq!(DetectionEngine::new(0).threads(), 1);
         assert_eq!(DetectionEngine::serial().threads(), 1);
         assert!(DetectionEngine::from_env().threads() >= 1);
+    }
+
+    /// The 3-hop relay program: pair mode reports it clean at EC, triple
+    /// mode surfaces the observer chain — and the triple verdicts cache.
+    const RELAY: &str = "schema MSG { m_id: int key, m_body: string }
+         schema FEED { f_id: int key, f_body: string }
+         txn post(m: int, body: string) {
+             @W1 update MSG set m_body = body where m_id = m;
+             return 0;
+         }
+         txn relay(m: int, f: int) {
+             @R2 x := select m_body from MSG where m_id = m;
+             @W2 update FEED set f_body = x.m_body where f_id = f;
+             return 0;
+         }
+         txn timeline(f: int, m: int) {
+             @R3 y := select f_body from FEED where f_id = f;
+             @R4 z := select m_body from MSG where m_id = m;
+             return 0;
+         }";
+
+    #[test]
+    fn triple_mode_extends_pair_mode_and_caches() {
+        let p = parse(RELAY).unwrap();
+        let ec = ConsistencyLevel::EventualConsistency;
+        let engine = DetectionEngine::serial();
+        let mut session = DetectSession::new();
+        let (pairs_only, _) = engine.detect(&p, ec, &mut session);
+        assert!(pairs_only.is_empty(), "pair oracle is blind here: {pairs_only:?}");
+        let (with_triples, stats) =
+            engine.detect_with_mode(&p, ec, DetectMode::Triples, &mut session);
+        assert_eq!(stats.triples, 1, "one unordered triple of 3 txns");
+        assert_eq!(with_triples.len(), 1);
+        assert_eq!(with_triples[0].kind, AnomalyKind::ObserverChain);
+        // Superset: every pair verdict survives in triple mode.
+        for p in &pairs_only {
+            assert!(with_triples.contains(p));
+        }
+        // Warm triple pass: the triple verdict replays without a query.
+        let (again, warm) = engine.detect_with_mode(&p, ec, DetectMode::Triples, &mut session);
+        assert_eq!(again, with_triples);
+        assert_eq!(warm.queries, 0);
+        assert!(session.cache_stats().triple_hits > 0);
+    }
+
+    /// A retained `TripleState` is keyed (and grounded) in the canonical
+    /// fingerprint orientation, so a session shared across two programs
+    /// that declare the same three transactions in *different order* must
+    /// replay the state correctly — not against reshuffled instance spans.
+    #[test]
+    fn retained_triple_states_survive_transaction_reordering() {
+        let forward = parse(RELAY).unwrap();
+        // The same three transactions, declared in reverse order.
+        let mut reversed = forward.clone();
+        reversed.transactions.reverse();
+        let engine = DetectionEngine::serial();
+        let mut session = DetectSession::new();
+        // Prime retained triple state via the forward program at EC…
+        let (ec_fwd, _) =
+            engine.detect_with_mode(&forward, ConsistencyLevel::EventualConsistency,
+                DetectMode::Triples, &mut session);
+        // …then query the reversed program at another level: the verdict
+        // cache misses (different level) and the retained state is reused.
+        let (cc_rev, _) = engine.detect_with_mode(&reversed,
+            ConsistencyLevel::CausalConsistency, DetectMode::Triples, &mut session);
+        let mut fresh = DetectSession::new();
+        let (cc_ref, _) = engine.detect_with_mode(&reversed,
+            ConsistencyLevel::CausalConsistency, DetectMode::Triples, &mut fresh);
+        assert_eq!(cc_rev, cc_ref);
+        // And the reversed program's EC pass replays the forward verdict.
+        let before = session.cache_stats();
+        let (ec_rev, stats) = engine.detect_with_mode(&reversed,
+            ConsistencyLevel::EventualConsistency, DetectMode::Triples, &mut session);
+        assert_eq!(ec_rev, ec_fwd);
+        assert_eq!(stats.queries, 0, "orientation-normalized entries replay");
+        assert!(session.cache_stats().since(&before).triple_hits > 0);
+    }
+
+    #[test]
+    fn triple_mode_is_thread_count_invariant_here() {
+        let p = parse(RELAY).unwrap();
+        for level in ConsistencyLevel::ALL {
+            let mut reference: Option<Vec<AccessPair>> = None;
+            for threads in [1, 2, 8] {
+                let engine = DetectionEngine::new(threads);
+                let mut session = DetectSession::new();
+                let (got, _) =
+                    engine.detect_with_mode(&p, level, DetectMode::Triples, &mut session);
+                match &reference {
+                    None => reference = Some(got),
+                    Some(exp) => assert_eq!(&got, exp, "{threads} threads @ {level}"),
+                }
+            }
+        }
     }
 }

@@ -53,14 +53,17 @@ pub mod encode;
 pub mod engine;
 pub mod model;
 pub mod session;
+pub mod triple;
 
 pub use cache::{cmd_fingerprint, txn_fingerprint, CacheStats, VerdictCache};
-pub use engine::{DetectionEngine, WorkerStats};
+pub use engine::{DetectMode, DetectionEngine, WorkerStats};
 pub use session::DetectSession;
 pub use detect::{
     detect_anomalies, detect_anomalies_at_levels, detect_anomalies_cached,
-    detect_anomalies_fresh, detect_anomalies_marked, detect_anomalies_with_stats,
-    detect_differential, AccessPair, AnomalyKind, DetectStats, DifferentialReport,
+    detect_anomalies_fresh, detect_anomalies_marked, detect_anomalies_triples,
+    detect_anomalies_with_stats, detect_differential, AccessPair, AnomalyKind, DetectStats,
+    DifferentialReport,
 };
 pub use encode::{pattern_satisfiable, ConsistencyLevel, InstanceModel, PairSolver};
 pub use model::{summarize_program, summarize_txn, CmdKind, CmdSummary, KeySpec, TxnSummary};
+pub use triple::{TripleModel, TripleSolver};

@@ -15,6 +15,8 @@
 
 use atropos_dsl::Program;
 use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
 
 use crate::cache::{CacheStats, VerdictCache};
 use crate::engine::WorkerStats;
@@ -77,9 +79,14 @@ impl DetectSession {
         self.cache.stats()
     }
 
-    /// Cached verdict entries currently held.
+    /// Cached pair-verdict entries currently held.
     pub fn len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Cached triple-verdict entries currently held.
+    pub fn triple_len(&self) -> usize {
+        self.cache.triple_len()
     }
 
     /// True when no verdicts are cached yet.
@@ -109,5 +116,102 @@ impl DetectSession {
     /// Split borrow for the engine: the cache and the per-worker counters.
     pub(crate) fn cache_and_workers(&mut self) -> (&mut VerdictCache, &mut Vec<WorkerStats>) {
         (&mut self.cache, &mut self.per_worker)
+    }
+
+    /// Serializes every pair and triple verdict entry to `path` in the
+    /// simple length-prefixed `verdict_cache.v1` binary format
+    /// (conventionally `experiments/verdict_cache.v1`; the bench bins wire
+    /// this behind the `ATROPOS_CACHE_FILE` environment variable), so a
+    /// later process can warm-start from this session's verdicts via
+    /// [`DetectSession::load_from`]. Retained solvers are transient and
+    /// not persisted — a loaded session re-encodes on its first miss but
+    /// never re-solves a persisted verdict. Returns the number of entries
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing `path`.
+    pub fn save_to(&self, path: impl AsRef<Path>) -> io::Result<usize> {
+        let mut bytes = Vec::new();
+        let entries = self.cache.save_entries(&mut bytes);
+        std::fs::write(path, bytes)?;
+        Ok(entries)
+    }
+
+    /// Reconstructs a session from a [`DetectSession::save_to`] file: all
+    /// entries load into run 0 (warm for every following run), and the
+    /// liveness union is seeded with every persisted fingerprint so a pass
+    /// over one program does not sweep away another program's entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; returns
+    /// [`std::io::ErrorKind::InvalidData`] on a malformed or
+    /// version-incompatible file.
+    pub fn load_from(path: impl AsRef<Path>) -> io::Result<DetectSession> {
+        let bytes = std::fs::read(path)?;
+        Ok(DetectSession {
+            cache: VerdictCache::load_entries(&bytes)?,
+            per_worker: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{DetectMode, DetectionEngine};
+    use crate::ConsistencyLevel;
+
+    const RELAY: &str = "schema MSG { m_id: int key, m_body: string }
+         schema FEED { f_id: int key, f_body: string }
+         txn post(m: int, body: string) {
+             @W1 update MSG set m_body = body where m_id = m;
+             return 0;
+         }
+         txn relay(m: int, f: int) {
+             @R2 x := select m_body from MSG where m_id = m;
+             @W2 update FEED set f_body = x.m_body where f_id = f;
+             return 0;
+         }
+         txn timeline(f: int, m: int) {
+             @R3 y := select f_body from FEED where f_id = f;
+             @R4 z := select m_body from MSG where m_id = m;
+             return 0;
+         }";
+
+    #[test]
+    fn verdicts_roundtrip_across_processes() {
+        let p = atropos_dsl::parse(RELAY).unwrap();
+        let engine = DetectionEngine::serial();
+        let ec = ConsistencyLevel::EventualConsistency;
+
+        // "Process one": detect in both modes and persist.
+        let mut first = DetectSession::new();
+        let (pairs, _) = engine.detect(&p, ec, &mut first);
+        let (triples, _) = engine.detect_with_mode(&p, ec, DetectMode::Triples, &mut first);
+        let path = std::env::temp_dir().join(format!(
+            "atropos_verdict_cache_{}.v1",
+            std::process::id()
+        ));
+        let entries = first.save_to(&path).expect("save");
+        assert!(entries > 0);
+
+        // "Process two": load and re-detect — same verdicts, zero queries.
+        let mut second = DetectSession::load_from(&path).expect("load");
+        let before = second.cache_stats();
+        let (again_pairs, sp) = engine.detect(&p, ec, &mut second);
+        let (again_triples, st) =
+            engine.detect_with_mode(&p, ec, DetectMode::Triples, &mut second);
+        assert_eq!(again_pairs, pairs);
+        assert_eq!(again_triples, triples);
+        assert_eq!(sp.queries + st.queries, 0, "persisted verdicts must replay");
+        let delta = second.cache_stats().since(&before);
+        assert_eq!(delta.misses + delta.triple_misses, 0, "{delta:?}");
+
+        // Corrupt data is refused, not misread.
+        std::fs::write(&path, b"not a verdict cache").expect("overwrite");
+        assert!(DetectSession::load_from(&path).is_err());
+        let _ = std::fs::remove_file(&path);
     }
 }

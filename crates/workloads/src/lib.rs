@@ -31,6 +31,7 @@ pub mod fmke;
 pub mod killrchat;
 pub mod profiles;
 pub mod registry;
+pub mod relay;
 pub mod seats;
 pub mod sibench;
 pub mod smallbank;
@@ -39,4 +40,4 @@ pub mod twitter;
 pub mod wikipedia;
 
 pub use profiles::{derive_workload, TableSpec};
-pub use registry::{all_benchmarks, benchmark, Benchmark};
+pub use registry::{all_benchmarks, benchmark, chain_scenarios, Benchmark};

@@ -1,6 +1,7 @@
 //! Thread-count determinism harness for the parallel detection engine: on
 //! **all nine workloads**, running detection and the whole engine-driven
-//! repair at 1, 2, and 8 worker threads must produce byte-identical
+//! repair — in the default pair mode *and* the bounded three-instance
+//! triple mode — at 1, 2, and 8 worker threads must produce byte-identical
 //! verdicts, byte-identical repaired programs, and identical `RepairStats`
 //! (modulo wall-clock seconds, the one field that legitimately varies).
 //!
@@ -12,7 +13,9 @@
 //! cached driver, itself proven equal to the from-scratch Fig. 10
 //! reference by `tests/repair_incremental_vs_scratch.rs`.
 
-use atropos::detect::{detect_anomalies, ConsistencyLevel, DetectSession, DetectionEngine};
+use atropos::detect::{
+    detect_anomalies, ConsistencyLevel, DetectMode, DetectSession, DetectionEngine,
+};
 use atropos::repair::{repair_with_engine, RepairConfig, RepairReport, RepairStats};
 use atropos::workloads::benchmark;
 use atropos_dsl::print_program;
@@ -51,6 +54,17 @@ fn assert_thread_count_invariant(workload: &str) {
         // Whole repair run: identical verdicts, program, steps, and stats.
         let mut session = DetectSession::new();
         let report = repair_with_engine(&b.program, &config, &engine, &mut session);
+        // And the same invariant for the triple-mode repair loop: the
+        // engine's triple phase merges in the serial triple order, so the
+        // chain verdicts (and everything downstream) are equally
+        // thread-count blind.
+        let triple_config = RepairConfig {
+            mode: DetectMode::Triples,
+            ..RepairConfig::default()
+        };
+        let mut triple_session = DetectSession::new();
+        let triple_report =
+            repair_with_engine(&b.program, &triple_config, &engine, &mut triple_session);
         let projection = vec![
             format!("{:?}", report.initial),
             format!("{:?}", report.remaining),
@@ -59,6 +73,10 @@ fn assert_thread_count_invariant(workload: &str) {
             format!("{:?}", report.post),
             print_program(&report.repaired),
             stats_fingerprint(&report.stats),
+            format!("{:?}", triple_report.initial),
+            format!("{:?}", triple_report.remaining),
+            print_program(&triple_report.repaired),
+            stats_fingerprint(&triple_report.stats),
         ];
         match &reference {
             None => reference = Some((projection, report)),
@@ -71,6 +89,10 @@ fn assert_thread_count_invariant(workload: &str) {
                     "post-processing",
                     "repaired program",
                     "repair stats",
+                    "triple-mode initial anomalies",
+                    "triple-mode remaining anomalies",
+                    "triple-mode repaired program",
+                    "triple-mode repair stats",
                 ];
                 for ((exp, got), field) in expected.iter().zip(&projection).zip(fields) {
                     assert_eq!(

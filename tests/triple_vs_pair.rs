@@ -1,0 +1,160 @@
+//! Differential harness for the bounded three-instance detection mode: on
+//! **all nine workloads × every consistency level**, triple-mode verdicts
+//! must be a strict superset of pair-mode verdicts — the pair phase runs
+//! unchanged inside the triple pass, so every pair anomaly survives and
+//! the non-chain projection of the triple verdicts equals the pair oracle
+//! exactly — and the whole triple pass must be **byte-identical at 1, 2,
+//! and 8 worker threads** (the same serial-merge determinism contract
+//! `tests/parallel_determinism.rs` pins for the pair engine).
+//!
+//! The harness also pins the subsystem's proof of value: the `Relay`
+//! chain scenario (`atropos_workloads::relay`) is reported clean by the
+//! pair oracle at *every* consistency level, while triple mode finds the
+//! relayed causality violation at EC — and correctly refutes it at CC,
+//! where the causal-closure axioms seal the observer chain.
+//!
+//! `ATROPOS_THIN=1` (CI's release rerun with `ATROPOS_THREADS=2`) thins
+//! the level sweep to EC + CC; the default run — the tier-1 suite —
+//! covers all four levels.
+
+use atropos::detect::{
+    detect_anomalies, AnomalyKind, ConsistencyLevel, DetectMode, DetectSession, DetectionEngine,
+};
+use atropos::workloads::benchmark;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Chain kinds only the triple templates can produce.
+fn is_chain(kind: AnomalyKind) -> bool {
+    matches!(
+        kind,
+        AnomalyKind::ObserverChain | AnomalyKind::WriteSkewCycle | AnomalyKind::FracturedRead
+    )
+}
+
+/// The level sweep: all four by default, EC + CC under `ATROPOS_THIN`.
+fn levels() -> Vec<ConsistencyLevel> {
+    let thin = std::env::var_os("ATROPOS_THIN").is_some_and(|v| v != "0" && !v.is_empty());
+    if thin {
+        vec![
+            ConsistencyLevel::EventualConsistency,
+            ConsistencyLevel::CausalConsistency,
+        ]
+    } else {
+        ConsistencyLevel::ALL.to_vec()
+    }
+}
+
+fn assert_superset_and_thread_invariance(workload: &str) {
+    let b = benchmark(workload).expect("registered benchmark");
+    let mut reference: Option<Vec<String>> = None;
+    for threads in THREAD_COUNTS {
+        let engine = DetectionEngine::new(threads);
+        let mut session = DetectSession::new();
+        let mut projection = Vec::new();
+        for level in levels() {
+            let (triple, stats) =
+                engine.detect_with_mode(&b.program, level, DetectMode::Triples, &mut session);
+            if threads == THREAD_COUNTS[0] {
+                // (a) Superset: every pair verdict survives in triple mode,
+                // and the non-chain projection is *exactly* the pair oracle
+                // (the triple phase only ever appends chain kinds).
+                let pair = detect_anomalies(&b.program, level);
+                for p in &pair {
+                    assert!(
+                        triple.contains(p),
+                        "{workload} @ {level}: pair verdict lost in triple mode: {p}"
+                    );
+                }
+                let non_chain: Vec<_> =
+                    triple.iter().filter(|p| !is_chain(p.kind)).cloned().collect();
+                assert_eq!(
+                    non_chain, pair,
+                    "{workload} @ {level}: non-chain triple verdicts diverged from the pair oracle"
+                );
+                let n = b.program.transactions.len() as u64;
+                assert_eq!(
+                    stats.triples,
+                    n * n.saturating_sub(1) * n.saturating_sub(2) / 6,
+                    "{workload} @ {level}: every unordered triple of distinct txns is analysed"
+                );
+            }
+            projection.push(format!("{level}: {triple:?}"));
+        }
+        // (b) Determinism: the whole triple pass is byte-identical at
+        // every thread count.
+        match &reference {
+            None => reference = Some(projection),
+            Some(expected) => {
+                for (exp, got) in expected.iter().zip(&projection) {
+                    assert_eq!(
+                        exp, got,
+                        "{workload}: triple verdicts diverged at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+macro_rules! triple_vs_pair {
+    ($($test:ident => $name:literal),+ $(,)?) => {$(
+        #[test]
+        fn $test() {
+            assert_superset_and_thread_invariance($name);
+        }
+    )+};
+}
+
+// One test per workload so the suite parallelizes across test threads.
+triple_vs_pair! {
+    tpcc_triples_superset_pairs => "TPC-C",
+    seats_triples_superset_pairs => "SEATS",
+    courseware_triples_superset_pairs => "Courseware",
+    smallbank_triples_superset_pairs => "SmallBank",
+    twitter_triples_superset_pairs => "Twitter",
+    fmke_triples_superset_pairs => "FMKe",
+    sibench_triples_superset_pairs => "SIBench",
+    wikipedia_triples_superset_pairs => "Wikipedia",
+    killrchat_triples_superset_pairs => "Killrchat",
+}
+
+/// The proof-of-value regression: a genuine anomaly found in triple mode
+/// on a workload the pair oracle reports clean at the same level.
+#[test]
+fn relay_scenario_is_pair_clean_but_triple_dirty_at_ec() {
+    let b = benchmark("Relay").expect("chain scenario registered");
+    // Pair mode: clean at every level — the program has no pairwise
+    // template instance at all.
+    for level in ConsistencyLevel::ALL {
+        assert!(
+            detect_anomalies(&b.program, level).is_empty(),
+            "the pair oracle must be blind to the 3-hop chain at {level}"
+        );
+    }
+    let engine = DetectionEngine::serial();
+    let mut session = DetectSession::new();
+    // Triple mode at the same level (EC): the observer chain is realizable.
+    let (ec, _) = engine.detect_with_mode(
+        &b.program,
+        ConsistencyLevel::EventualConsistency,
+        DetectMode::Triples,
+        &mut session,
+    );
+    assert_eq!(ec.len(), 1, "{ec:?}");
+    assert_eq!(ec[0].kind, AnomalyKind::ObserverChain);
+    assert!(
+        ec[0].witnesses.contains("relay"),
+        "the relaying transaction is the chain's witness: {:?}",
+        ec[0]
+    );
+    // Causal consistency closes visibility through the chain: the same
+    // triple oracle proves the anomaly unrealizable one level up.
+    let (cc, _) = engine.detect_with_mode(
+        &b.program,
+        ConsistencyLevel::CausalConsistency,
+        DetectMode::Triples,
+        &mut session,
+    );
+    assert!(cc.is_empty(), "CC seals the observer chain: {cc:?}");
+}

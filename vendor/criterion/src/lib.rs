@@ -1,0 +1,342 @@
+//! Offline, dependency-free subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no crates.io access, so this shim supports the
+//! workspace's `[[bench]] harness = false` targets with the core surface:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size` and `finish`), [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — per sample it runs a timed batch and
+//! reports min / median / mean / max of the per-iteration wall-clock time
+//! (the median is the robust location estimate real criterion centres its
+//! report on, so the shim's headline number survives scheduler outliers the
+//! way users expect). There is no
+//! statistical analysis, HTML report, or `target/criterion` output; numbers
+//! land on stdout. Benches written against this shim compile unchanged
+//! against real criterion.
+//!
+//! Cargo invokes bench binaries with `--bench` under `cargo bench` and with
+//! `--test` under `cargo test --benches`; in test mode each benchmark body
+//! runs exactly once so CI can smoke-test benches cheaply.
+//!
+//! Beyond real criterion's surface, the shim records every measurement in a
+//! process-wide registry ([`take_results`]) so bench binaries can also emit
+//! their numbers through the workspace's CSV reporting. Test mode records
+//! nothing (no timings are taken), so smoke runs never overwrite real data.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One completed measurement, in seconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark id (`group/function`).
+    pub id: String,
+    /// Fastest sample.
+    pub min: f64,
+    /// Median over samples (midpoint average for even sample counts) —
+    /// the outlier-robust headline statistic.
+    pub median: f64,
+    /// Mean over samples.
+    pub mean: f64,
+    /// Slowest sample.
+    pub max: f64,
+    /// Samples measured.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded since the last call (bench mode only;
+/// empty after test-mode runs).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().expect("results registry"))
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Full (but quick) measurement — `cargo bench`.
+    Bench,
+    /// Run each body once and report nothing — `cargo test --benches`.
+    Test,
+}
+
+fn mode_from_args() -> Mode {
+    if std::env::args().any(|a| a == "--test") {
+        Mode::Test
+    } else {
+        Mode::Bench
+    }
+}
+
+/// Top-level benchmark driver, handed to every `criterion_group!` function.
+pub struct Criterion {
+    mode: Mode,
+    /// Target number of measured samples per benchmark.
+    sample_size: usize,
+    /// Soft cap on total measurement time per benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: mode_from_args(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.mode, self.sample_size, self.measurement_time, id, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_owned(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+}
+
+/// Benchmarks that share a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            self.parent.mode,
+            self.sample_size.unwrap_or(self.parent.sample_size),
+            self.measurement_time
+                .unwrap_or(self.parent.measurement_time),
+            &full,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` does the actual timing.
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.mode == Mode::Test {
+            black_box(routine());
+            self.iters = 1;
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(mode: Mode, sample_size: usize, budget: Duration, id: &str, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if mode == Mode::Test {
+        let mut b = Bencher {
+            mode,
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        return;
+    }
+
+    // Calibrate: find an iteration count that takes ≥ ~1ms per sample so
+    // Instant resolution doesn't dominate.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            mode,
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    let started = Instant::now();
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            mode,
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+        if started.elapsed() > budget {
+            break;
+        }
+    }
+
+    let n = per_iter.len() as f64;
+    let mean = per_iter.iter().sum::<f64>() / n;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+    let median = median_of(&per_iter);
+    println!(
+        "{id:<50} time: [{} {} {} {}]  ({} samples × {iters} iters, min med mean max)",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean),
+        fmt_time(max),
+        per_iter.len(),
+    );
+    RESULTS.lock().expect("results registry").push(BenchResult {
+        id: id.to_owned(),
+        min,
+        median,
+        mean,
+        max,
+        samples: per_iter.len(),
+        iters,
+    });
+}
+
+/// Median of the samples: middle element for odd counts, midpoint average
+/// for even counts (0.0 for an empty slice, which `run_one` never passes).
+fn median_of(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Declares a group-runner function, mirroring real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            ..Criterion::default()
+        };
+        let mut hits = 0u32;
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_function("inner", |b| b.iter(|| hits += 1));
+        g.finish();
+        assert_eq!(hits, 1, "test mode runs each body exactly once");
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        assert_eq!(median_of(&[1.0, 2.0, 100.0]), 2.0);
+        assert_eq!(median_of(&[1.0, 2.0, 3.0, 100.0]), 2.5);
+        assert_eq!(median_of(&[7.0]), 7.0);
+        assert_eq!(median_of(&[]), 0.0);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2e-9), "2.00 ns");
+        assert_eq!(fmt_time(3.5e-6), "3.50 µs");
+        assert_eq!(fmt_time(1.2e-3), "1.20 ms");
+        assert_eq!(fmt_time(2.0), "2.00 s");
+    }
+}
