@@ -293,7 +293,9 @@ pub fn repair_stats_row(
 /// Header of the pair-vs-triple detection table emitted by `table1`
 /// (`experiments/triple_stats.csv`): per benchmark, the anomaly counts of
 /// the two bounds at one level, how many are chain-only extras, the
-/// triples analysed, and both passes' wall times.
+/// triples analysed, the fraction of triple-mode anomalies the repair
+/// loop (pair rules plus the `.T` chain rules) eliminates, and both
+/// detection passes' wall times.
 pub fn triple_stats_header() -> Vec<String> {
     [
         "Benchmark",
@@ -302,6 +304,7 @@ pub fn triple_stats_header() -> Vec<String> {
         "Triple anomalies",
         "Chain extras",
         "Triples",
+        "Repaired ratio",
         "Pair (s)",
         "Triple (s)",
     ]
@@ -309,7 +312,10 @@ pub fn triple_stats_header() -> Vec<String> {
     .to_vec()
 }
 
-/// One row of the pair-vs-triple detection table.
+/// One row of the pair-vs-triple detection table. `repaired_ratio` is
+/// [`atropos_core::RepairReport::repair_ratio`] of a triple-mode repair
+/// run: eliminated anomalies over initial anomalies, 1.0 when detection
+/// was already clean.
 #[allow(clippy::too_many_arguments)]
 pub fn triple_stats_row(
     name: &str,
@@ -317,6 +323,7 @@ pub fn triple_stats_row(
     pair_anomalies: usize,
     triple_anomalies: usize,
     triples: u64,
+    repaired_ratio: f64,
     pair_seconds: f64,
     triple_seconds: f64,
 ) -> Vec<String> {
@@ -327,6 +334,7 @@ pub fn triple_stats_row(
         format!("{triple_anomalies}"),
         format!("{}", triple_anomalies.saturating_sub(pair_anomalies)),
         format!("{triples}"),
+        format!("{repaired_ratio:.2}"),
         format!("{pair_seconds:.3}"),
         format!("{triple_seconds:.3}"),
     ]

@@ -175,7 +175,7 @@ fn repair_stats_rows_match_their_header() {
 #[test]
 fn triple_stats_rows_match_their_header() {
     let mut t = Table::new(triple_stats_header());
-    t.row(triple_stats_row("Relay", "EC", 0, 1, 1, 0.001, 0.004));
+    t.row(triple_stats_row("Relay", "EC", 0, 1, 1, 1.0, 0.001, 0.004));
     let parsed = parse_csv(&t.to_csv());
     assert_csv_shape(&parsed, "triple-stats CSV");
     let header: Vec<&str> = parsed[0].iter().map(String::as_str).collect();
@@ -188,12 +188,17 @@ fn triple_stats_rows_match_their_header() {
             "Triple anomalies",
             "Chain extras",
             "Triples",
+            "Repaired ratio",
             "Pair (s)",
             "Triple (s)",
         ]
     );
     // Chain extras = triple − pair, the subsystem's headline number.
     assert_eq!(parsed[1][4], "1");
+    // The repaired-ratio column sits between the triple count and the
+    // timings, rendered to two decimals: the chain rules' success metric
+    // (Relay repairs to clean, so its row reads 1.00).
+    assert_eq!(parsed[1][6], "1.00");
 
     // Validate the generated artifact when a `table1` run produced it.
     for candidate in [
@@ -204,6 +209,7 @@ fn triple_stats_rows_match_their_header() {
             let rows = parse_csv(&text);
             assert_csv_shape(&rows, candidate);
             assert_eq!(rows[0][4], "Chain extras", "{candidate}");
+            assert_eq!(rows[0][6], "Repaired ratio", "{candidate}");
         }
     }
 }

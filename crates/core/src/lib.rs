@@ -10,6 +10,8 @@
 //! * [`rewrite`] — the `⟦·⟧_v` rewrite function: the **redirect** and
 //!   **logger** rule instantiations of `intro v`;
 //! * [`merge`] — `try_merging`: fusing commands into single-row atomic ops;
+//! * [`chain`] — the `.T` chain rules for triple-mode anomalies:
+//!   **relay materialization** and the **chain-cut merge**;
 //! * [`dce`] — post-processing (dead selects, final merges, obsolete
 //!   tables);
 //! * [`repair`] — the Fig. 10 driver made near-incremental and parallel:
@@ -44,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod chain;
 pub mod dce;
 pub mod merge;
 pub mod random_search;
@@ -51,6 +54,7 @@ pub mod repair;
 pub mod rewrite;
 
 pub use analysis::{dirty_between, DirtySet};
+pub use chain::{chain_cut, materialize_relay};
 pub use dce::{post_process, post_process_tracked, PostProcessReport};
 pub use merge::{try_merging, try_merging_tracked};
 pub use random_search::{random_refactor, random_refactor_with_session, RandomSearchOutcome};

@@ -52,6 +52,28 @@ pub enum RepairStep {
         /// New logging schema name.
         log: String,
     },
+    /// A relayed derivation was materialized onto the origin row
+    /// ([`crate::chain::materialize_relay`], triple mode).
+    Materialize {
+        /// Schema the derived copy lived on.
+        src: String,
+        /// Origin schema it moved to.
+        dst: String,
+        /// Derived field (its name on `src`).
+        field: String,
+        /// Its minted name on `dst`.
+        into: String,
+    },
+    /// A chain's middle hop was fused into the transaction feeding it
+    /// ([`crate::chain::chain_cut`], triple mode).
+    ChainCut {
+        /// The relay transaction the hop was cut from.
+        relay: String,
+        /// The transaction the hop was fused into.
+        host: String,
+        /// Labels of the moved commands (minted under `.T`).
+        moved: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for RepairStep {
@@ -64,6 +86,12 @@ impl std::fmt::Display for RepairStep {
             }
             RepairStep::Logging { schema, field, log } => {
                 write!(f, "log {schema}.{field} into {log}")
+            }
+            RepairStep::Materialize { src, dst, field, into } => {
+                write!(f, "materialize {src}.{field} into {dst}.{into}")
+            }
+            RepairStep::ChainCut { relay, host, moved } => {
+                write!(f, "cut chain: fuse {relay}'s {moved:?} into {host}")
             }
         }
     }
@@ -91,6 +119,14 @@ pub struct RepairConfig {
     pub enable_redirect: bool,
     /// Enable the logger rule.
     pub enable_logging: bool,
+    /// Enable relay materialization (the `.T` chain rule consuming
+    /// [`AnomalyKind::ObserverChain`] witnesses; only reachable in
+    /// [`DetectMode::Triples`]).
+    pub enable_materialize: bool,
+    /// Enable the chain-cut merge (the `.T` chain rule consuming
+    /// fractured-read / write-skew / residual observer-chain witnesses;
+    /// only reachable in [`DetectMode::Triples`]).
+    pub enable_chain_cut: bool,
     /// Run the post-processing pipeline (DCE, final merges, table drops).
     pub enable_postprocess: bool,
     /// Safety cap on repair iterations.
@@ -106,6 +142,8 @@ impl Default for RepairConfig {
             enable_merge: true,
             enable_redirect: true,
             enable_logging: true,
+            enable_materialize: true,
+            enable_chain_cut: true,
             enable_postprocess: true,
             max_iterations: 64,
         }
@@ -124,6 +162,8 @@ impl RepairConfig {
             ("no-merge", RepairConfig { enable_merge: false, ..base.clone() }),
             ("no-redirect", RepairConfig { enable_redirect: false, ..base.clone() }),
             ("no-logging", RepairConfig { enable_logging: false, ..base.clone() }),
+            ("no-materialize", RepairConfig { enable_materialize: false, ..base.clone() }),
+            ("no-chain-cut", RepairConfig { enable_chain_cut: false, ..base.clone() }),
             ("no-postprocess", RepairConfig { enable_postprocess: false, ..base }),
         ]
     }
@@ -215,11 +255,19 @@ pub struct RepairReport {
 
 impl RepairReport {
     /// Fraction of initial anomalies eliminated (1.0 when all were fixed).
+    ///
+    /// `initial` and `remaining` are both reported by the *configured*
+    /// detection mode, so pair and triple anomalies count consistently in
+    /// numerator and denominator. The ratio is clamped to `[0, 1]`: a
+    /// repair that surfaces anomalies absent from `initial` (e.g. a chain
+    /// cut trading a fractured read for a pair-visible dirty read) reports
+    /// zero progress, never a negative ratio.
     pub fn repair_ratio(&self) -> f64 {
         if self.initial.is_empty() {
-            return 1.0;
+            return if self.remaining.is_empty() { 1.0 } else { 0.0 };
         }
-        1.0 - self.remaining.len() as f64 / self.initial.len() as f64
+        let eliminated = self.initial.len().saturating_sub(self.remaining.len());
+        eliminated as f64 / self.initial.len() as f64
     }
 
     /// Names of transactions still involved in at least one anomaly; running
@@ -824,10 +872,30 @@ fn split_safe(
 
 type RepairOutcome = (Program, Vec<ValueCorrespondence>, Vec<RepairStep>, DirtySet);
 
-/// `try_repair` (Fig. 10): merge, redirect+merge, or logging. Besides the
-/// rewritten program, every successful branch returns the union of the
+/// `try_repair` (Fig. 10): merge, redirect+merge, or logging — extended
+/// with the `.T` chain rules for the triple-mode anomaly kinds. Besides
+/// the rewritten program, every successful branch returns the union of the
 /// applied rules' [`DirtySet`]s for the driver's verdict cache.
 fn try_repair(program: &Program, pair: &AccessPair, config: &RepairConfig) -> Option<RepairOutcome> {
+    // Chain anomalies carry their relay in `witnesses` and never fit the
+    // pair rules' (c1, c2) shapes — dispatch them to the chain rules.
+    if matches!(
+        pair.kind,
+        AnomalyKind::ObserverChain | AnomalyKind::FracturedRead | AnomalyKind::WriteSkewCycle
+    ) {
+        if config.enable_materialize {
+            if let Some(out) = crate::chain::materialize_relay(program, pair, config.enable_merge) {
+                return Some(out);
+            }
+        }
+        if config.enable_chain_cut {
+            if let Some(out) = crate::chain::chain_cut(program, pair) {
+                return Some(out);
+            }
+        }
+        return None;
+    }
+
     let (t1, c1) = find_command(program, &pair.cmd1)?;
     let (t2, c2) = find_command(program, &pair.cmd2)?;
     let same_kind = matches!(
@@ -1320,13 +1388,74 @@ mod tests {
 
     /// Triple mode threads through the repair loop: on the 3-hop relay the
     /// pair-mode driver sees nothing, while the triple-mode driver surfaces
-    /// the observer chain as an (unrepairable-by-rules) remaining anomaly —
-    /// with all three chain transactions in the unsafe coordination set.
+    /// the observer chain — and, with the chain rules enabled, repairs it
+    /// to clean via relay materialization (`repair_ratio == 1.0`).
     #[test]
-    fn triple_mode_surfaces_chain_anomalies_the_pair_driver_misses() {
-        // The timeline's reads flow into its result, so dead-select
-        // elimination cannot dissolve the chain in post-processing.
-        let p = parse(
+    fn triple_mode_repairs_the_relay_chain_to_clean() {
+        let p = atropos_workloads_relay();
+        let pair_report = repair_program(&p, ConsistencyLevel::EventualConsistency);
+        assert!(pair_report.initial.is_empty(), "{:?}", pair_report.initial);
+        assert!(pair_report.remaining.is_empty());
+
+        let config = RepairConfig {
+            mode: DetectMode::Triples,
+            ..RepairConfig::default()
+        };
+        let triple_report = repair_with_config(&p, &config);
+        assert_eq!(triple_report.initial.len(), 1, "{:?}", triple_report.initial);
+        assert_eq!(triple_report.initial[0].kind, AnomalyKind::ObserverChain);
+        assert!(triple_report.remaining.is_empty(), "{:?}", triple_report.remaining);
+        assert!(triple_report.unsafe_transactions().is_empty());
+        assert!(
+            triple_report
+                .steps
+                .iter()
+                .any(|s| matches!(s, RepairStep::Materialize { .. })),
+            "{:?}",
+            triple_report.steps
+        );
+        assert!((triple_report.repair_ratio() - 1.0).abs() < 1e-12);
+        // The scratch reference agrees in triple mode too.
+        let scratch = repair_with_config_scratch(&p, &config);
+        assert_eq!(triple_report.remaining, scratch.remaining);
+        assert_eq!(triple_report.steps, scratch.steps);
+        assert_eq!(
+            print_program(&triple_report.repaired),
+            print_program(&scratch.repaired)
+        );
+    }
+
+    /// With both chain rules ablated, triple mode degrades to PR 5
+    /// behaviour: the observer chain is surfaced but not repaired, and the
+    /// unsafe coordination set names the whole chain (the AT-SC fallback).
+    #[test]
+    fn triple_mode_without_chain_rules_surfaces_the_chain_unrepaired() {
+        let p = atropos_workloads_relay();
+        let config = RepairConfig {
+            mode: DetectMode::Triples,
+            enable_materialize: false,
+            enable_chain_cut: false,
+            ..RepairConfig::default()
+        };
+        let triple_report = repair_with_config(&p, &config);
+        assert_eq!(triple_report.initial.len(), 1);
+        assert_eq!(triple_report.remaining.len(), 1);
+        assert_eq!(
+            triple_report.unsafe_transactions(),
+            BTreeSet::from(["post".to_owned(), "relay".to_owned(), "timeline".to_owned()]),
+            "AT-SC must coordinate the whole chain, including the relay witness"
+        );
+        // Surfacing without repairing is zero progress, never negative.
+        assert_eq!(triple_report.repair_ratio(), 0.0);
+    }
+
+    /// The relay-shaped program shared by the triple-mode repair tests
+    /// (`atropos_workloads::relay`, inlined — the workloads crate depends
+    /// on this one). The timeline's reads flow into its result, so
+    /// dead-select elimination cannot dissolve the chain in
+    /// post-processing.
+    fn atropos_workloads_relay() -> Program {
+        parse(
             "schema MSG { m_id: int key, m_body: int }
              schema FEED { f_id: int key, f_body: int }
              txn post(m: int, body: int) {
@@ -1344,28 +1473,7 @@ mod tests {
                  return y.f_body + z.m_body;
              }",
         )
-        .unwrap();
-        let pair_report = repair_program(&p, ConsistencyLevel::EventualConsistency);
-        assert!(pair_report.initial.is_empty(), "{:?}", pair_report.initial);
-        assert!(pair_report.remaining.is_empty());
-
-        let config = RepairConfig {
-            mode: DetectMode::Triples,
-            ..RepairConfig::default()
-        };
-        let triple_report = repair_with_config(&p, &config);
-        assert_eq!(triple_report.initial.len(), 1, "{:?}", triple_report.initial);
-        assert_eq!(triple_report.initial[0].kind, AnomalyKind::ObserverChain);
-        assert_eq!(triple_report.remaining.len(), 1);
-        assert_eq!(
-            triple_report.unsafe_transactions(),
-            BTreeSet::from(["post".to_owned(), "relay".to_owned(), "timeline".to_owned()]),
-            "AT-SC must coordinate the whole chain, including the relay witness"
-        );
-        // The scratch reference agrees in triple mode too.
-        let scratch = repair_with_config_scratch(&p, &config);
-        assert_eq!(triple_report.remaining, scratch.remaining);
-        assert_eq!(triple_report.steps, scratch.steps);
+        .unwrap()
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub fn fresh_field_name(dst: &Schema, src_field: &str) -> String {
 /// Is `w` a *well-formed* filter on `schema` (§4.2.1): a conjunction of
 /// equality constraints on primary-key fields only? Returns the pinned
 /// `(pk field, expr)` pairs in key order.
-fn well_formed_key_filter<'w>(
+pub(crate) fn well_formed_key_filter<'w>(
     schema: &Schema,
     w: &'w Where,
 ) -> Option<Vec<(String, &'w Expr)>> {

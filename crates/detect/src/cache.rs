@@ -658,6 +658,7 @@ impl VerdictCache {
     /// number of entries written.
     pub(crate) fn save_entries(&self, out: &mut Vec<u8>) -> usize {
         out.extend_from_slice(persist::MAGIC);
+        persist::put_u32(out, persist::ENCODER_REVISION);
         let mut pair_keys: Vec<&VerdictKey> = self.verdicts.keys().collect();
         pair_keys.sort();
         persist::put_u64(out, pair_keys.len() as u64);
@@ -697,10 +698,11 @@ impl VerdictCache {
     /// # Errors
     ///
     /// Returns [`std::io::ErrorKind::InvalidData`] on a bad magic, an
-    /// unknown tag, or a truncated buffer.
+    /// encoder-revision mismatch, an unknown tag, or a truncated buffer.
     pub(crate) fn load_entries(bytes: &[u8]) -> std::io::Result<VerdictCache> {
         let mut r = persist::Reader::new(bytes);
         r.expect_magic()?;
+        r.expect_revision()?;
         let mut cache = VerdictCache::new();
         let n_pairs = r.u64()?;
         for _ in 0..n_pairs {
@@ -746,8 +748,9 @@ impl VerdictCache {
     }
 }
 
-/// The `verdict_cache.v1` on-disk byte format: a magic header, then the
-/// pair entries, then the triple entries, each section length-prefixed.
+/// The `verdict_cache.v1` on-disk byte format: a magic header, the encoder
+/// revision, then the pair entries, then the triple entries, each section
+/// length-prefixed.
 /// Every integer is little-endian; strings are UTF-8 with a `u32` length
 /// prefix; string sets are a `u32` count followed by the strings in set
 /// order. No external dependency — the format is a few dozen lines of
@@ -761,11 +764,27 @@ mod persist {
     /// Magic + version header (`v1`).
     pub(super) const MAGIC: &[u8; 8] = b"ATRVC\x01\0\0";
 
+    /// Revision of the *encoder* that produced the file, written right
+    /// after the magic. The format version (`v1`, in the magic) names the
+    /// byte layout; the encoder revision names the semantics of what the
+    /// verdicts *mean* — bump it whenever the fingerprint function, the
+    /// violation templates, or the anomaly vocabulary changes, so a cache
+    /// persisted by an older build is refused instead of silently trusted
+    /// (stale verdicts would bypass re-detection; ROADMAP item 4's proof
+    /// certificates are the long-term fix). The value is high-entropy on
+    /// purpose: pre-revision files carry a small entry count in these
+    /// bytes, which can never collide with it.
+    pub(super) const ENCODER_REVISION: u32 = 0xA750_0001;
+
     pub(super) fn bad(msg: &str) -> io::Error {
         io::Error::new(io::ErrorKind::InvalidData, format!("verdict_cache.v1: {msg}"))
     }
 
     pub(super) fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(super) fn put_u32(out: &mut Vec<u8>, v: u32) {
         out.extend_from_slice(&v.to_le_bytes());
     }
 
@@ -818,6 +837,18 @@ mod persist {
         pub(super) fn expect_magic(&mut self) -> io::Result<()> {
             if self.take(MAGIC.len())? != MAGIC {
                 return Err(bad("bad magic (not a verdict cache, or a future version)"));
+            }
+            Ok(())
+        }
+
+        pub(super) fn expect_revision(&mut self) -> io::Result<()> {
+            let got = self.u32()?;
+            if got != ENCODER_REVISION {
+                return Err(bad(&format!(
+                    "encoder revision mismatch: file was written by encoder {got:#010x}, \
+                     this build expects {ENCODER_REVISION:#010x} — the cached verdicts may \
+                     not mean what this build thinks; delete the cache file and regenerate it"
+                )));
             }
             Ok(())
         }
@@ -1066,5 +1097,95 @@ mod tests {
         assert!(cache
             .lookup(fp, fp, true, ConsistencyLevel::EventualConsistency)
             .is_none());
+    }
+
+    /// The 3-hop relay chain (the `Relay` workload's shape), used by the
+    /// triple-eviction tests below.
+    const CHAIN: &str = "schema MSG { m_id: int key, m_body: int }
+         schema FEED { f_id: int key, f_body: int }
+         txn post(m: int, body: int) {
+             @W1 update MSG set m_body = body where m_id = m;
+             return 0;
+         }
+         txn relay(m: int, f: int) {
+             @R2 x := select m_body from MSG where m_id = m;
+             @W2 update FEED set f_body = x.m_body where f_id = f;
+             return 0;
+         }
+         txn timeline(f: int, m: int) {
+             @R3 y := select f_body from FEED where f_id = f;
+             @R4 z := select m_body from MSG where m_id = m;
+             return y.f_body + z.m_body;
+         }";
+
+    #[test]
+    fn invalidation_evicts_triples_by_any_member_name() {
+        let ts = summaries(CHAIN);
+        // The canonical triple key sorts fingerprints, so the invalidated
+        // transaction can land in any of the key's three slots — name-keyed
+        // eviction must reach all of them.
+        let mut fps: Vec<(u64, &TxnSummary)> =
+            ts.iter().map(|t| (txn_fingerprint(t), t)).collect();
+        fps.sort_by_key(|(fp, _)| *fp);
+        let key = (fps[0].0, fps[1].0, fps[2].0, ConsistencyLevel::EventualConsistency);
+        for victim in ["post", "relay", "timeline"] {
+            let mut cache = VerdictCache::new();
+            cache.insert_triple(key, [fps[0].1, fps[1].1, fps[2].1], vec![]);
+            assert_eq!(cache.triple_len(), 1);
+            assert_eq!(cache.invalidate_txns(&BTreeSet::from(["other".to_owned()])), 0);
+            assert_eq!(
+                cache.invalidate_txns(&BTreeSet::from([victim.to_owned()])),
+                1,
+                "stale triple verdict survived invalidating `{victim}`"
+            );
+            assert_eq!(cache.triple_len(), 0);
+            assert!(cache.lookup_triple(key).is_none());
+        }
+    }
+
+    /// A chain-rule edit dirties all three chain transactions; name-keyed
+    /// invalidation must evict their stale triple verdicts so re-detection
+    /// over the rewritten program equals a cold oracle (a stale hit here
+    /// would silently replay pre-edit verdicts).
+    #[test]
+    fn chain_rule_edit_evicts_stale_triple_verdicts() {
+        use crate::engine::{detect_with_cache, DetectMode};
+        let ec = ConsistencyLevel::EventualConsistency;
+        let before = parse(CHAIN).unwrap();
+        // The relay materialization's output shape: the derived field lives
+        // on the origin row, written and read under `.T` labels.
+        let after = parse(
+            "schema MSG { m_id: int key, m_body: int, m_f_body: int }
+             schema FEED { f_id: int key, f_body: int }
+             txn post(m: int, body: int) {
+                 @W1 update MSG set m_body = body where m_id = m;
+                 return 0;
+             }
+             txn relay(m: int, f: int) {
+                 @R2 x := select m_body from MSG where m_id = m;
+                 @W2.T update MSG set m_f_body = x.m_body where m_id = m;
+                 return 0;
+             }
+             txn timeline(f: int, m: int) {
+                 @R3.T y := select m_f_body, m_body from MSG where m_id = m;
+                 return y.m_f_body + y.m_body;
+             }",
+        )
+        .unwrap();
+
+        let mut cache = VerdictCache::new();
+        let (dirty, _) = detect_with_cache(1, &before, ec, DetectMode::Triples, &mut cache, None);
+        assert_eq!(dirty.len(), 1, "{dirty:?}");
+        assert!(cache.triple_len() > 0);
+
+        let edited = BTreeSet::from(["post", "relay", "timeline"].map(str::to_owned));
+        assert!(cache.invalidate_txns(&edited) > 0);
+        assert_eq!(cache.triple_len(), 0, "stale triple verdicts survived the edit");
+
+        let (warm, _) = detect_with_cache(1, &after, ec, DetectMode::Triples, &mut cache, None);
+        let (cold, _) =
+            detect_with_cache(1, &after, ec, DetectMode::Triples, &mut VerdictCache::new(), None);
+        assert_eq!(warm, cold, "invalidated cache must agree with a cold oracle");
+        assert!(warm.is_empty(), "{warm:?}");
     }
 }

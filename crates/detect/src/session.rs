@@ -214,4 +214,35 @@ mod tests {
         assert!(DetectSession::load_from(&path).is_err());
         let _ = std::fs::remove_file(&path);
     }
+
+    /// A cache persisted by a different encoder revision must be refused
+    /// with a clear error, not silently trusted: its verdicts may not mean
+    /// what this build thinks (stale-verdict replay would bypass
+    /// re-detection entirely).
+    #[test]
+    fn stale_encoder_revision_is_refused() {
+        let p = atropos_dsl::parse(RELAY).unwrap();
+        let engine = DetectionEngine::serial();
+        let mut session = DetectSession::new();
+        engine.detect(&p, ConsistencyLevel::EventualConsistency, &mut session);
+        let path = std::env::temp_dir().join(format!(
+            "atropos_stale_revision_{}.v1",
+            std::process::id()
+        ));
+        session.save_to(&path).expect("save");
+
+        // Rewind the encoder-revision field (the 4 bytes after the magic)
+        // to a foreign value, leaving everything else byte-identical.
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&path, &bytes).expect("write");
+
+        let err = match DetectSession::load_from(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("stale revision accepted"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("encoder revision"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
 }

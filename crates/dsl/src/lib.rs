@@ -31,10 +31,11 @@
 //! the command it refactors: splitting `@S1` appends a 1-based part index
 //! (`@S1.1`, `@S1.2`, …) and logging rewrites append the literal `L`
 //! segment (`@S1.L`). Within that reserved namespace the literal `T`
-//! segment (`@S1.T`) is additionally **reserved for the triple detection
-//! mode**: the three-instance chain templates report anomalies through
-//! existing command labels today, and any future triple-derived rewrite
-//! will mint its labels under `.T` — so neither hand-written programs nor
+//! segment (`@S1.T`) belongs to the **triple detection mode's chain
+//! rules**: relay materialization and chain-cut merge
+//! (`atropos_core::chain`) mint their rewritten commands under `.T`
+//! (`@W2.T`, `@R3.T`) so a repaired program records which commands the
+//! three-instance pass produced — neither hand-written programs nor
 //! pair-mode rewrites may use it. Hand-written programs should therefore
 //! use dot-free labels; derived labels survive a print/parse round trip
 //! like any other.

@@ -210,6 +210,29 @@ mod tests {
         assert_eq!(p1, p2, "printed program:\n{text}");
     }
 
+    /// `.T` labels — minted by the triple mode's chain rules
+    /// (`atropos_core::chain`) when they materialize or fuse commands —
+    /// must survive a print/parse round trip like every other derived
+    /// label, or a repaired program would lose its chain-rule provenance
+    /// the first time it is persisted.
+    #[test]
+    fn round_trips_chain_rule_labels() {
+        let p1 = parse(
+            "schema MSG { m_id: int key, m_body: int, m_f_body: int }
+             txn relay(m: int, x_v: int) {
+                 @W2.T update MSG set m_f_body = x_v where m_id = m;
+                 @R3.T y := select m_f_body from MSG where m_id = m;
+                 return y.m_f_body;
+             }",
+        )
+        .unwrap();
+        let text = print_program(&p1);
+        assert!(text.contains("@W2.T"), "printed program:\n{text}");
+        assert!(text.contains("@R3.T"), "printed program:\n{text}");
+        let p2 = parse(&text).unwrap();
+        assert_eq!(p1, p2, "printed program:\n{text}");
+    }
+
     #[test]
     fn prints_field_access_without_index_zero() {
         assert_eq!(print_expr(&Expr::field("x", "f")), "x.f");

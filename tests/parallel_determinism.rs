@@ -75,6 +75,8 @@ fn assert_thread_count_invariant(workload: &str) {
             stats_fingerprint(&report.stats),
             format!("{:?}", triple_report.initial),
             format!("{:?}", triple_report.remaining),
+            format!("{:?}", triple_report.steps),
+            format!("{:?}", triple_report.vcs),
             print_program(&triple_report.repaired),
             stats_fingerprint(&triple_report.stats),
         ];
@@ -91,6 +93,8 @@ fn assert_thread_count_invariant(workload: &str) {
                     "repair stats",
                     "triple-mode initial anomalies",
                     "triple-mode remaining anomalies",
+                    "triple-mode steps",
+                    "triple-mode value correspondences",
                     "triple-mode repaired program",
                     "triple-mode repair stats",
                 ];

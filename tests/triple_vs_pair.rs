@@ -13,14 +13,23 @@
 //! relayed causality violation at EC — and correctly refutes it at CC,
 //! where the causal-closure axioms seal the observer chain.
 //!
+//! With the `.T` chain rules in the loop, the harness also carries the
+//! **triple-mode repair differential**: on all nine workloads + Relay,
+//! the verdict-cached triple-mode repair driver must equal the
+//! from-scratch Fig. 10 reference under the default configuration and
+//! each chain-rule ablation — and `Relay` must repair to clean at EC
+//! (the chain subsystem's success metric).
+//!
 //! `ATROPOS_THIN=1` (CI's release rerun with `ATROPOS_THREADS=2`) thins
-//! the level sweep to EC + CC; the default run — the tier-1 suite —
-//! covers all four levels.
+//! the level sweep to EC + CC and the repair ablations to the per-rule
+//! rows; the default run — the tier-1 suite — covers all four levels.
 
 use atropos::detect::{
     detect_anomalies, AnomalyKind, ConsistencyLevel, DetectMode, DetectSession, DetectionEngine,
 };
+use atropos::repair::{repair_with_config, repair_with_config_scratch, RepairConfig, RepairStep};
 use atropos::workloads::benchmark;
+use atropos_dsl::print_program;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -117,6 +126,133 @@ triple_vs_pair! {
     sibench_triples_superset_pairs => "SIBench",
     wikipedia_triples_superset_pairs => "Wikipedia",
     killrchat_triples_superset_pairs => "Killrchat",
+}
+
+/// The triple-mode repair ablation rows: the default configuration plus
+/// one row per chain rule (so each rule's absence is individually pinned),
+/// plus `no-merge` — which gates the materialization's collapsing merge —
+/// in the full tier-1 run. `ATROPOS_THIN` keeps the per-rule rows and
+/// drops only the `no-merge` extra.
+fn triple_repair_ablations() -> Vec<(&'static str, RepairConfig)> {
+    let thin = std::env::var_os("ATROPOS_THIN").is_some_and(|v| v != "0" && !v.is_empty());
+    let rows: &[&str] = if thin {
+        &["default", "no-materialize", "no-chain-cut"]
+    } else {
+        &["default", "no-merge", "no-materialize", "no-chain-cut"]
+    };
+    RepairConfig::ablations()
+        .into_iter()
+        .filter(|(name, _)| rows.contains(name))
+        .map(|(name, mut config)| {
+            config.mode = DetectMode::Triples;
+            (name, config)
+        })
+        .collect()
+}
+
+/// The repair-level sibling of the detection superset harness: with the
+/// chain rules enabled, the verdict-cached **triple-mode** repair driver
+/// must produce exactly the same repair as the from-scratch Fig. 10
+/// reference — same steps, same remaining anomalies, same value
+/// correspondences, same ratio, byte-identical repaired program — under
+/// the default configuration and each chain-rule ablation.
+fn assert_triple_repair_cached_equals_scratch(workload: &str) {
+    let b = benchmark(workload).expect("registered benchmark");
+    for (config_name, config) in triple_repair_ablations() {
+        let cached = repair_with_config(&b.program, &config);
+        let scratch = repair_with_config_scratch(&b.program, &config);
+        let ctx = format!("{workload} [triples/{config_name}]");
+        assert_eq!(cached.initial, scratch.initial, "{ctx}: initial anomalies");
+        assert_eq!(cached.steps, scratch.steps, "{ctx}: applied steps");
+        assert_eq!(cached.remaining, scratch.remaining, "{ctx}: remaining anomalies");
+        assert_eq!(cached.vcs, scratch.vcs, "{ctx}: value correspondences");
+        assert_eq!(cached.post, scratch.post, "{ctx}: post-processing report");
+        assert!(
+            (cached.repair_ratio() - scratch.repair_ratio()).abs() < 1e-12,
+            "{ctx}: repair ratio {} vs {}",
+            cached.repair_ratio(),
+            scratch.repair_ratio()
+        );
+        assert_eq!(
+            print_program(&cached.repaired),
+            print_program(&scratch.repaired),
+            "{ctx}: repaired programs diverge"
+        );
+        assert_eq!(scratch.stats.pairs_reused(), 0, "{ctx}");
+        assert_eq!(scratch.stats.detections_skipped, 0, "{ctx}");
+    }
+}
+
+macro_rules! triple_repair_differential {
+    ($($test:ident => $name:literal),+ $(,)?) => {$(
+        #[test]
+        fn $test() {
+            assert_triple_repair_cached_equals_scratch($name);
+        }
+    )+};
+}
+
+// One test per workload (plus Relay below) so the suite parallelizes.
+triple_repair_differential! {
+    tpcc_triple_repair_matches_scratch => "TPC-C",
+    seats_triple_repair_matches_scratch => "SEATS",
+    courseware_triple_repair_matches_scratch => "Courseware",
+    smallbank_triple_repair_matches_scratch => "SmallBank",
+    twitter_triple_repair_matches_scratch => "Twitter",
+    fmke_triple_repair_matches_scratch => "FMKe",
+    sibench_triple_repair_matches_scratch => "SIBench",
+    wikipedia_triple_repair_matches_scratch => "Wikipedia",
+    killrchat_triple_repair_matches_scratch => "Killrchat",
+    relay_triple_repair_matches_scratch => "Relay",
+}
+
+/// The tentpole's success metric, end to end on the registered workload:
+/// relay materialization repairs `Relay` to clean in triple mode at EC —
+/// `repair_ratio == 1.0` under the corrected (clamped, mode-consistent)
+/// ratio semantics — while ablating the rule leaves the chain surfaced
+/// but unrepaired at ratio 0.
+#[test]
+fn relay_repairs_to_clean_in_triple_mode_at_ec() {
+    let b = benchmark("Relay").expect("chain scenario registered");
+    let config = RepairConfig {
+        mode: DetectMode::Triples,
+        ..RepairConfig::default()
+    };
+    let report = repair_with_config(&b.program, &config);
+    assert_eq!(report.initial.len(), 1, "{:?}", report.initial);
+    assert_eq!(report.initial[0].kind, AnomalyKind::ObserverChain);
+    assert!(report.remaining.is_empty(), "{:?}", report.remaining);
+    assert!((report.repair_ratio() - 1.0).abs() < 1e-12, "{}", report.repair_ratio());
+    assert!(
+        report.steps.iter().any(|s| matches!(s, RepairStep::Materialize { .. })),
+        "{:?}",
+        report.steps
+    );
+    // The repaired program is clean for *both* oracles at EC.
+    assert!(detect_anomalies(&report.repaired, ConsistencyLevel::EventualConsistency).is_empty());
+    let engine = DetectionEngine::serial();
+    let mut session = DetectSession::new();
+    let (triples, _) = engine.detect_with_mode(
+        &report.repaired,
+        ConsistencyLevel::EventualConsistency,
+        DetectMode::Triples,
+        &mut session,
+    );
+    assert!(triples.is_empty(), "{triples:?}");
+
+    // Ablation row: without the materialization (and with the chain-cut
+    // also off), triple mode degrades to PR 5 — surfaced, not repaired,
+    // and the clamped ratio reports zero progress instead of going
+    // negative.
+    let ablated = RepairConfig {
+        mode: DetectMode::Triples,
+        enable_materialize: false,
+        enable_chain_cut: false,
+        ..RepairConfig::default()
+    };
+    let stalled = repair_with_config(&b.program, &ablated);
+    assert_eq!(stalled.remaining.len(), 1);
+    assert_eq!(stalled.repair_ratio(), 0.0);
 }
 
 /// The proof-of-value regression: a genuine anomaly found in triple mode
