@@ -12,7 +12,10 @@
 //! plus a fourth, pair-vs-triple table (`experiments/triple_stats.csv`):
 //! anomaly counts and timing of the bounded three-instance mode
 //! ([`atropos_detect::DetectMode::Triples`]) against the pair bound on
-//! every benchmark and chain scenario.
+//! every benchmark and chain scenario — and a fifth, witness-replay table
+//! (`experiments/replay_stats.csv`): for every repair run, how many of the
+//! initial dirty verdicts decoded into concrete schedules that manifested
+//! on the simulated cluster, and how many survived the repair.
 //!
 //! One [`atropos_detect::DetectionEngine`] (from `--threads` /
 //! `ATROPOS_THREADS`, default: available parallelism) serves the whole
@@ -25,7 +28,7 @@
 
 use atropos_bench::reporting::{
     detect_stats_header, detect_stats_row, repair_stats_header, repair_stats_row,
-    triple_stats_header, triple_stats_row,
+    replay_stats_header, replay_stats_row, triple_stats_header, triple_stats_row,
 };
 use atropos_bench::{engine_from_args, persist_session_from_env, session_from_env, write_csv, Table};
 use atropos_core::{
@@ -74,6 +77,7 @@ fn main() {
     ]);
     let mut stats_table = Table::new(detect_stats_header());
     let mut repair_table = Table::new(repair_stats_header());
+    let mut replay_table = Table::new(replay_stats_header());
     let mut total_ec = 0usize;
     let mut total_fixed = 0usize;
     let mut cc_below_ec = 0usize;
@@ -101,6 +105,17 @@ fn main() {
         }
 
         let (report, cached_seconds) = best_cached(&b, &engine, if thin { 1 } else { 3 });
+        // Witness replay (pair mode): the EC row reuses the repair above;
+        // the CC row runs its own repair so the Level column carries both
+        // consistency levels the thin-sliced CI harness exercises.
+        replay_table.row(replay_stats_row(b.name, DetectMode::Pairs, "EC", &report));
+        let cc_config = RepairConfig {
+            level: ConsistencyLevel::CausalConsistency,
+            ..RepairConfig::default()
+        };
+        let mut cc_session = DetectSession::new();
+        let cc_report = repair_with_engine(&b.program, &cc_config, &engine, &mut cc_session);
+        replay_table.row(replay_stats_row(b.name, DetectMode::Pairs, "CC", &cc_report));
         if !thin {
             // From-scratch reference repair, for the repair-loop speedup.
             // Both drivers are timed as the best of three runs so one
@@ -187,6 +202,12 @@ fn main() {
         let mut repair_session = DetectSession::new();
         let triple_report =
             repair_with_engine(&b.program, &triple_config, &engine, &mut repair_session);
+        replay_table.row(replay_stats_row(
+            b.name,
+            DetectMode::Triples,
+            "EC",
+            &triple_report,
+        ));
         triple_table.row(triple_stats_row(
             b.name,
             "EC",
@@ -206,7 +227,14 @@ fn main() {
     );
     persist_session_from_env(&triple_session);
 
-    let mut outputs = vec![("table1", &table), ("triple_stats", &triple_table)];
+    println!("\nWitness replay (dirty verdicts decoded to concrete schedules on the sim):");
+    println!("{}", replay_table.render());
+
+    let mut outputs = vec![
+        ("table1", &table),
+        ("triple_stats", &triple_table),
+        ("replay_stats", &replay_table),
+    ];
     if thin {
         println!("(thin slice: fresh-solver and from-scratch-repair reference runs skipped)");
     } else {

@@ -340,6 +340,49 @@ pub fn triple_stats_row(
     ]
 }
 
+/// Header of the witness-replay table emitted by `table1`
+/// (`experiments/replay_stats.csv`): per benchmark, mode, and level, how
+/// many initial dirty verdicts decoded into schedules that manifested
+/// their anomaly on the simulated cluster, how many failed to
+/// (detector/replay divergences, expected zero), how many the repaired
+/// program suppressed, and how many survived repair (expected zero).
+pub fn replay_stats_header() -> Vec<String> {
+    [
+        "Benchmark",
+        "Mode",
+        "Level",
+        "Initial",
+        "Manifested",
+        "Failed",
+        "Suppressed",
+        "Surviving",
+    ]
+    .map(str::to_owned)
+    .to_vec()
+}
+
+/// One row of the witness-replay table, from the replay counters a
+/// [`atropos_core::repair_with_engine`] run recorded in its
+/// [`atropos_core::RepairStats`].
+pub fn replay_stats_row(
+    name: &str,
+    mode: atropos_core::DetectMode,
+    level: &str,
+    report: &RepairReport,
+) -> Vec<String> {
+    let s = &report.stats;
+    vec![
+        name.to_owned(),
+        format!("{mode}"),
+        level.to_owned(),
+        format!("{}", report.initial.len()),
+        format!("{}", s.replay_manifested),
+        format!("{}", s.replay_failed),
+        format!("{}", s.replay_suppressed),
+        format!("{}", s.replay_surviving),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

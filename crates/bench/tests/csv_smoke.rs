@@ -6,7 +6,8 @@
 
 use atropos_bench::reporting::{
     bench_results_table, detect_stats_header, detect_stats_row, parse_csv, repair_stats_header,
-    repair_stats_row, triple_stats_header, triple_stats_row, write_bench_csv,
+    repair_stats_row, replay_stats_header, replay_stats_row, triple_stats_header,
+    triple_stats_row, write_bench_csv,
 };
 use atropos_bench::Table;
 use atropos_detect::DetectStats;
@@ -210,6 +211,74 @@ fn triple_stats_rows_match_their_header() {
             assert_csv_shape(&rows, candidate);
             assert_eq!(rows[0][4], "Chain extras", "{candidate}");
             assert_eq!(rows[0][6], "Repaired ratio", "{candidate}");
+        }
+    }
+}
+
+#[test]
+fn replay_stats_rows_match_their_header() {
+    // A real (tiny) repair run provides the replay counters: the lost
+    // update's one verdict decodes, manifests on the sim, and is
+    // suppressed by the repair — so the row reads 1/1/0/1/0.
+    let p = atropos_dsl::parse(
+        "schema C { id: int key, cnt: int }
+         txn bump(k: int) {
+             x := select cnt from C where id = k;
+             update C set cnt = x.cnt + 1 where id = k;
+             return 0;
+         }",
+    )
+    .unwrap();
+    let report = atropos_core::repair_program(
+        &p,
+        atropos_detect::ConsistencyLevel::EventualConsistency,
+    );
+    let mut t = Table::new(replay_stats_header());
+    t.row(replay_stats_row(
+        "Counter",
+        atropos_core::DetectMode::Pairs,
+        "EC",
+        &report,
+    ));
+    let parsed = parse_csv(&t.to_csv());
+    assert_csv_shape(&parsed, "replay-stats CSV");
+    let header: Vec<&str> = parsed[0].iter().map(String::as_str).collect();
+    assert_eq!(
+        header,
+        [
+            "Benchmark",
+            "Mode",
+            "Level",
+            "Initial",
+            "Manifested",
+            "Failed",
+            "Suppressed",
+            "Surviving",
+        ]
+    );
+    assert_eq!(parsed[1], ["Counter", "pairs", "EC", "1", "1", "0", "1", "0"]);
+
+    // Validate the generated artifact when a `table1` run produced it: the
+    // Mode column must carry both detection modes and the Level column
+    // both consistency levels, and no row may report failed or surviving
+    // replays — the harness `tests/replay_validates_verdicts.rs` proves
+    // per-verdict what these totals summarize.
+    for candidate in [
+        "../../experiments/replay_stats.csv",
+        "experiments/replay_stats.csv",
+    ] {
+        if let Ok(text) = std::fs::read_to_string(candidate) {
+            let rows = parse_csv(&text);
+            assert_csv_shape(&rows, candidate);
+            assert_eq!(rows[0][1], "Mode", "{candidate}");
+            assert_eq!(rows[0][2], "Level", "{candidate}");
+            assert!(rows[1..].iter().any(|r| r[1] == "pairs"), "{candidate}");
+            assert!(rows[1..].iter().any(|r| r[1] == "triples"), "{candidate}");
+            assert!(rows[1..].iter().any(|r| r[2] == "CC"), "{candidate}");
+            for (i, r) in rows[1..].iter().enumerate() {
+                assert_eq!(r[5], "0", "{candidate}: row {i} reports failed replays");
+                assert_eq!(r[7], "0", "{candidate}: row {i} reports surviving replays");
+            }
         }
     }
 }

@@ -206,6 +206,20 @@ pub struct RepairStats {
     pub detections_skipped: u64,
     /// Verdict-cache counters (all zero on the scratch path).
     pub cache: CacheStats,
+    /// Initial dirty verdicts whose decoded witness schedule manifested
+    /// its anomaly on the simulated cluster (witness replay; engine path
+    /// only, zero on the scratch path).
+    pub replay_manifested: u64,
+    /// Initial verdicts that failed to decode or manifest on the original
+    /// program — a detector/replay divergence, expected to stay zero.
+    pub replay_failed: u64,
+    /// Initial verdicts with no realizable (or no manifesting) witness
+    /// left on the repaired program under the AT-SC marked set: the
+    /// anomaly is suppressed.
+    pub replay_suppressed: u64,
+    /// Initial verdicts that still manifest on the repaired program —
+    /// expected to stay zero after a successful repair.
+    pub replay_surviving: u64,
 }
 
 impl RepairStats {
@@ -366,7 +380,42 @@ pub fn repair_with_engine(
     let before = session.cache_stats();
     let mut report = repair_core(program, config, &mut Oracle::Engine { engine, session });
     report.stats.cache = session.cache_stats().since(&before);
+    replay_initial_verdicts(program, config, &mut report);
     report
+}
+
+/// Witness replay: proves each initial dirty verdict on the cluster and
+/// checks the repair killed it. Every verdict of `report.initial` is
+/// decoded ([`atropos_detect::decode_witness`]) into a concrete schedule
+/// and run on the simulated replica set against the original program
+/// (counting [`RepairStats::replay_manifested`] /
+/// [`RepairStats::replay_failed`]); then the *repaired* program is
+/// searched for a surviving witness of the same anomaly — loosely
+/// anchored, since repair rewrites command labels, and with
+/// [`RepairReport::unsafe_transactions`] as the AT-SC marked set
+/// (counting [`RepairStats::replay_suppressed`] /
+/// [`RepairStats::replay_surviving`]). Replay is deterministic, so these
+/// counters are independent of the engine's thread count.
+fn replay_initial_verdicts(program: &Program, config: &RepairConfig, report: &mut RepairReport) {
+    let marked = report.unsafe_transactions();
+    for verdict in &report.initial {
+        match atropos_detect::replay_verdict(program, verdict, config.level) {
+            Some(outcome) if outcome.manifested => report.stats.replay_manifested += 1,
+            _ => report.stats.replay_failed += 1,
+        }
+        let surviving = atropos_detect::decode_witness_marked(
+            &report.repaired,
+            verdict,
+            config.level,
+            &marked,
+        )
+        .is_some_and(|s| atropos_sim::run_schedule(&s).manifested);
+        if surviving {
+            report.stats.replay_surviving += 1;
+        } else {
+            report.stats.replay_suppressed += 1;
+        }
+    }
 }
 
 /// The from-scratch reference driver, verbatim Fig. 10: the full anomaly
@@ -1261,6 +1310,32 @@ mod tests {
         let report = repair_program(&p, ConsistencyLevel::EventualConsistency);
         assert!(!report.remaining.is_empty());
         assert!(report.unsafe_transactions().contains("bump"));
+        // Witness replay still closes the loop: every initial verdict
+        // manifests on the original program, and the AT-SC marked set
+        // suppresses the leftovers on the (unchanged) repaired program.
+        assert_eq!(
+            report.stats.replay_manifested,
+            report.initial.len() as u64,
+            "{:?}",
+            report.stats
+        );
+        assert_eq!(report.stats.replay_failed, 0, "{:?}", report.stats);
+        assert_eq!(report.stats.replay_surviving, 0, "{:?}", report.stats);
+    }
+
+    /// A fully repaired program suppresses every initial verdict's witness
+    /// without needing any AT-SC marking.
+    #[test]
+    fn replay_counters_close_on_full_repair() {
+        let p = parse(COURSEWARE).unwrap();
+        let report = repair_program(&p, ConsistencyLevel::EventualConsistency);
+        assert!(report.remaining.is_empty());
+        assert!(!report.initial.is_empty());
+        let n = report.initial.len() as u64;
+        assert_eq!(report.stats.replay_manifested, n, "{:?}", report.stats);
+        assert_eq!(report.stats.replay_failed, 0, "{:?}", report.stats);
+        assert_eq!(report.stats.replay_suppressed, n, "{:?}", report.stats);
+        assert_eq!(report.stats.replay_surviving, 0, "{:?}", report.stats);
     }
 
     #[test]

@@ -827,7 +827,12 @@ mod persist {
         fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
             let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
             let Some(end) = end else {
-                return Err(bad("truncated"));
+                return Err(bad(&format!(
+                    "truncated: need {n} more bytes at offset {}, file ends after {} \
+                     (clean EOF inside a length-prefixed record)",
+                    self.pos,
+                    self.bytes.len()
+                )));
             };
             let s = &self.bytes[self.pos..end];
             self.pos = end;
@@ -835,6 +840,11 @@ mod persist {
         }
 
         pub(super) fn expect_magic(&mut self) -> io::Result<()> {
+            // An empty file is the common crash-before-first-write case;
+            // name it instead of reporting a generic truncation.
+            if self.bytes.is_empty() {
+                return Err(bad("empty file (zero bytes; was the cache ever written?)"));
+            }
             if self.take(MAGIC.len())? != MAGIC {
                 return Err(bad("bad magic (not a verdict cache, or a future version)"));
             }

@@ -569,7 +569,11 @@ pub(crate) fn solve_pair_with_state(
     (pairs, stats)
 }
 
-fn pair_key(p: &AccessPair) -> (String, String, AnomalyKind) {
+/// Canonical dedup key of one verdict: labels in sorted order plus the
+/// template. The replay pipeline ([`crate::replay`]) anchors its targeted
+/// witness searches on this key, so it must stay in lock-step with
+/// [`accumulate`]'s merging.
+pub(crate) fn pair_key(p: &AccessPair) -> (String, String, AnomalyKind) {
     let (a, b) = if p.cmd1.0 <= p.cmd2.0 {
         (p.cmd1.0.clone(), p.cmd2.0.clone())
     } else {

@@ -305,6 +305,27 @@ impl InstanceModel {
 /// and required polarity.
 pub type VisRequirement = (usize, usize, bool);
 
+/// The decoded truth assignment of one satisfying anomaly witness: the
+/// complete arbitration order and visibility relation the solver's model
+/// assigns to a dirty query. This is the static schedule the replay
+/// pipeline ([`crate::replay`]) turns into a concrete simulator run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessTruth {
+    /// `ord[i][j]`: command instance `i` is arbitrated before `j` (the
+    /// diagonal reads `false`). Total and transitive by the base encoding.
+    pub ord: Vec<Vec<bool>>,
+    /// `vis[a][c]`: atom `a` is visible to command `c`.
+    pub vis: Vec<Vec<bool>>,
+}
+
+impl WitnessTruth {
+    /// Position of command `c` in the arbitration total order: the number
+    /// of commands arbitrated before it.
+    pub fn arbitration_position(&self, c: usize) -> usize {
+        (0..self.ord.len()).filter(|&j| self.ord[j][c]).count()
+    }
+}
+
 /// The ord/vis literal layout produced by [`encode_base`].
 struct PairEncoding {
     /// `ord[i][j]`: "command i is arbitrated before command j" (None on the
@@ -671,6 +692,21 @@ impl PairSolver {
         requirements: &[VisRequirement],
     ) -> bool {
         self.ensure_level(model, level);
+        let assumptions = self.assumptions(level, requirements);
+        self.solver
+            .solve_with_assumptions(&assumptions)
+            .is_sat()
+    }
+
+    /// The assumption vector of one pattern query: the queried level's
+    /// guard on, every other installed guard off, then the requirement
+    /// literals — shared verbatim by [`PairSolver::satisfiable`] and
+    /// [`PairSolver::witness`] so both decide the exact same query.
+    fn assumptions(
+        &self,
+        level: ConsistencyLevel,
+        requirements: &[VisRequirement],
+    ) -> Vec<Lit> {
         let mut assumptions = Vec::with_capacity(requirements.len() + 4);
         for other in ConsistencyLevel::ALL {
             if let Some(g) = self.guards[other.index()] {
@@ -681,9 +717,40 @@ impl PairSolver {
             let l = self.enc.vis[a][c];
             assumptions.push(if polarity { l } else { !l });
         }
-        self.solver
-            .solve_with_assumptions(&assumptions)
-            .is_sat()
+        assumptions
+    }
+
+    /// Decides the same query as [`PairSolver::satisfiable`] but, when it
+    /// is satisfiable, decodes the solver's model into the full
+    /// [`WitnessTruth`] — every `ord` and `vis` literal evaluated under the
+    /// satisfying assignment. Returns `None` on UNSAT. The solver is
+    /// deterministic, so identical queries decode identical witnesses.
+    pub fn witness(
+        &mut self,
+        model: &InstanceModel,
+        level: ConsistencyLevel,
+        requirements: &[VisRequirement],
+    ) -> Option<WitnessTruth> {
+        self.ensure_level(model, level);
+        let assumptions = self.assumptions(level, requirements);
+        let result = self.solver.solve_with_assumptions(&assumptions);
+        let m = result.model()?;
+        let value = |l: Lit| m[l.var().index()] == l.is_positive();
+        let n = self.enc.ord.len();
+        let ord = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| self.enc.ord[i][j].map(&value).unwrap_or(false))
+                    .collect()
+            })
+            .collect();
+        let vis = self
+            .enc
+            .vis
+            .iter()
+            .map(|row| row.iter().map(|&l| value(l)).collect())
+            .collect();
+        Some(WitnessTruth { ord, vis })
     }
 
     /// Clauses this pair's shared encoding holds (excluding learnt ones).
@@ -840,6 +907,37 @@ mod tests {
         assert!(pattern_satisfiable(&m, ConsistencyLevel::EventualConsistency, &reqs));
         assert!(!pattern_satisfiable(&m, ConsistencyLevel::RepeatableRead, &reqs));
         assert!(!pattern_satisfiable(&m, ConsistencyLevel::Serializable, &reqs));
+    }
+
+    #[test]
+    fn witness_decodes_a_consistent_model() {
+        let m = model_for(COUNTER, "bump", "bump");
+        let r = 0;
+        let a_w1 = m.atom(1, r).unwrap();
+        let a_w2 = m.atom(3, r).unwrap();
+        let reqs = [(a_w2, 0, false), (a_w1, 2, false)];
+        let mut s = PairSolver::new(&m);
+        let w = s
+            .witness(&m, ConsistencyLevel::EventualConsistency, &reqs)
+            .expect("lost update is EC-satisfiable");
+        // The decoded vis honours the query's requirements…
+        assert!(!w.vis[a_w2][0]);
+        assert!(!w.vis[a_w1][2]);
+        // …and the decoded ord is a valid total order: the arbitration
+        // positions form a permutation and agree with program order.
+        let mut pos: Vec<usize> = (0..m.cmds.len())
+            .map(|c| w.arbitration_position(c))
+            .collect();
+        assert!(w.ord[0][1] && w.ord[2][3], "program order embedded");
+        pos.sort_unstable();
+        assert_eq!(pos, vec![0, 1, 2, 3]);
+        // Decoding twice yields the same witness (solver determinism), and
+        // the same solver still answers plain queries afterwards.
+        let again = s.witness(&m, ConsistencyLevel::EventualConsistency, &reqs);
+        assert_eq!(again.as_ref(), Some(&w));
+        assert!(s.satisfiable(&m, ConsistencyLevel::EventualConsistency, &reqs));
+        // UNSAT queries decode to no witness.
+        assert!(s.witness(&m, ConsistencyLevel::Serializable, &reqs).is_none());
     }
 
     #[test]

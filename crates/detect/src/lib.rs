@@ -26,7 +26,12 @@
 //!   (`ATROPOS_THREADS`-controlled) and merged deterministically;
 //! * [`session`] — the [`DetectSession`]: a verdict cache with a session
 //!   lifetime, shared across repair runs so common transaction shapes hit
-//!   warm verdicts (cross-run counters in [`CacheStats`]).
+//!   warm verdicts (cross-run counters in [`CacheStats`]);
+//! * [`replay`] — witness replay: the satisfying assignment behind a dirty
+//!   verdict is decoded ([`decode_witness`]) into a concrete
+//!   [`atropos_sim::ConcreteSchedule`] and executed deterministically on
+//!   the simulated cluster, proving the anomaly observable (and, after
+//!   repair, suppressed).
 //!
 //! # Examples
 //!
@@ -52,6 +57,7 @@ pub mod detect;
 pub mod encode;
 pub mod engine;
 pub mod model;
+pub mod replay;
 pub mod session;
 pub mod triple;
 
@@ -64,6 +70,7 @@ pub use detect::{
     detect_anomalies_with_stats, detect_differential, AccessPair, AnomalyKind, DetectStats,
     DifferentialReport,
 };
-pub use encode::{pattern_satisfiable, ConsistencyLevel, InstanceModel, PairSolver};
+pub use encode::{pattern_satisfiable, ConsistencyLevel, InstanceModel, PairSolver, WitnessTruth};
+pub use replay::{decode_witness, decode_witness_marked, replay_verdict};
 pub use model::{summarize_program, summarize_txn, CmdKind, CmdSummary, KeySpec, TxnSummary};
 pub use triple::{TripleModel, TripleSolver};

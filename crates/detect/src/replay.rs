@@ -1,0 +1,878 @@
+//! Witness replay: decoding dirty SAT verdicts into concrete schedules.
+//!
+//! The detector reports an anomaly as an [`AccessPair`] — two command
+//! labels, a template, and the witnessing transactions — established by a
+//! satisfiable pattern query. The satisfying assignment behind that verdict
+//! is a full bounded execution (an arbitration order over every command
+//! instance and a visibility relation over every atom), which this module
+//! extracts ([`PairSolver::witness`] / [`TripleSolver::witness`]) and
+//! decodes into an [`atropos_sim::ConcreteSchedule`]: a total order of
+//! per-instance commands with session and replica placement, explicit
+//! replication steps realizing the model's read-from edges, and the
+//! anomaly's observable predicate as visibility checks. Running the
+//! schedule on the simulator ([`atropos_sim::run_schedule`]) then *proves*
+//! the verdict: the anomaly manifests as concrete reads observing (or
+//! missing) concrete writes on a cluster whose executor enforces honest
+//! weak-store semantics.
+//!
+//! Verdicts do not store their requirement vectors (they travel through
+//! the verdict cache and across processes), so the decoder re-derives
+//! them: it re-enumerates exactly the template candidates the detector
+//! enumerates, keeps those whose reported pair matches the verdict's
+//! canonical key, and asks the solver for a witness of the first
+//! realizable one. The solver is deterministic, so the same verdict always
+//! decodes to the byte-identical schedule.
+//!
+//! Two anchoring modes serve the two ends of a repair run:
+//!
+//! * **strict** ([`decode_witness`]) — the candidate must reproduce the
+//!   verdict's exact command labels; used on the *original* program, where
+//!   every initial dirty verdict must decode and manifest;
+//! * **loose** ([`decode_witness_marked`]) — any candidate of the
+//!   verdict's template over the same transaction roles counts; used on
+//!   the *repaired* program, whose refactored statements carry fresh
+//!   labels. Transactions in the marked set are analysed under
+//!   [`ConsistencyLevel::Serializable`] when every participant is marked
+//!   (the AT-SC rule of the detector), so a verdict whose participants the
+//!   repair left to runtime coordination counts as suppressed. `None`
+//!   means *suppressed*: no realizable witness of the anomaly survives.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use atropos_dsl::Program;
+use atropos_sim::{
+    run_schedule, ConcreteSchedule, RecordAccess, ScheduleEvent, ScheduleOutcome, ScheduledOp,
+    VisibilityCheck,
+};
+
+use crate::cache::txn_fingerprint;
+use crate::detect::{pair_key, AccessPair, AnomalyKind};
+use crate::encode::{ConsistencyLevel, InstanceModel, PairSolver, VisRequirement, WitnessTruth};
+use crate::model::{summarize_program, CmdKind, TxnSummary};
+use crate::triple::{
+    anomaly as triple_anomaly, collect_candidates, requirements as triple_requirements,
+    TripleModel, TripleSolver,
+};
+
+/// A realizable witness found for a verdict: the grounded model, the
+/// instance-to-transaction assignment, the requirement vector that was
+/// satisfiable, and the decoded truth assignment.
+struct Found {
+    model: InstanceModel,
+    txns: Vec<String>,
+    reqs: Vec<VisRequirement>,
+    truth: WitnessTruth,
+}
+
+/// One template candidate of a pair search: the queries to try in template
+/// order (first satisfiable one wins) and the verdict(s) the detector
+/// would report for it.
+struct PairCandidate {
+    queries: Vec<Vec<VisRequirement>>,
+    pairs: Vec<AccessPair>,
+}
+
+/// Decodes `verdict` into a concrete schedule on `program`, strictly
+/// anchored: the witness search only accepts template candidates that
+/// reproduce the verdict's exact command labels. Returns `None` when no
+/// such candidate is realizable under `level` — which, for a verdict the
+/// detector just reported at that level, indicates a detector/replay
+/// divergence (the differential harness asserts it never happens).
+///
+/// # Examples
+///
+/// ```
+/// use atropos_detect::{detect_anomalies, replay_verdict, ConsistencyLevel};
+///
+/// let p = atropos_dsl::parse(
+///     "schema T { id: int key, v: int }
+///      txn bump(k: int) {
+///          x := select v from T where id = k;
+///          update T set v = x.v + 1 where id = k;
+///          return 0;
+///      }",
+/// ).unwrap();
+/// let ec = ConsistencyLevel::EventualConsistency;
+/// let verdicts = detect_anomalies(&p, ec);
+/// let outcome = replay_verdict(&p, &verdicts[0], ec).expect("decodes");
+/// assert!(outcome.manifested); // the lost update is observable on the cluster
+/// ```
+pub fn decode_witness(
+    program: &Program,
+    verdict: &AccessPair,
+    level: ConsistencyLevel,
+) -> Option<ConcreteSchedule> {
+    decode(program, verdict, level, &BTreeSet::new(), true)
+}
+
+/// Decodes `verdict` against a (typically repaired) program, loosely
+/// anchored: any realizable candidate of the verdict's template over the
+/// same transaction roles counts, regardless of command labels (repair
+/// rewrites statements, so labels do not survive). Transaction tuples
+/// entirely inside `marked` are queried under
+/// [`ConsistencyLevel::Serializable`] — the detector's AT-SC rule for
+/// transactions the repair left to runtime coordination. Returns `None`
+/// when the anomaly is **suppressed**: no realizable witness exists.
+pub fn decode_witness_marked(
+    program: &Program,
+    verdict: &AccessPair,
+    level: ConsistencyLevel,
+    marked: &BTreeSet<String>,
+) -> Option<ConcreteSchedule> {
+    decode(program, verdict, level, marked, false)
+}
+
+/// Strictly decodes `verdict` ([`decode_witness`]) and runs the schedule
+/// on the simulated cluster, returning what the run observed.
+pub fn replay_verdict(
+    program: &Program,
+    verdict: &AccessPair,
+    level: ConsistencyLevel,
+) -> Option<ScheduleOutcome> {
+    Some(run_schedule(&decode_witness(program, verdict, level)?))
+}
+
+fn decode(
+    program: &Program,
+    verdict: &AccessPair,
+    level: ConsistencyLevel,
+    marked: &BTreeSet<String>,
+    strict: bool,
+) -> Option<ConcreteSchedule> {
+    let summaries = summarize_program(program);
+    let found = match verdict.kind {
+        AnomalyKind::LostUpdate
+        | AnomalyKind::DirtyRead
+        | AnomalyKind::NonRepeatableRead
+        | AnomalyKind::NonMonotonicRead => {
+            find_pair_witness(&summaries, verdict, level, marked, strict)
+        }
+        AnomalyKind::ObserverChain
+        | AnomalyKind::WriteSkewCycle
+        | AnomalyKind::FracturedRead => {
+            find_triple_witness(&summaries, verdict, level, marked, strict)
+        }
+    }?;
+    Some(build_schedule(found, verdict.kind))
+}
+
+/// The detector's AT-SC rule: a tuple whose instances are all marked runs
+/// under serializability; anything else runs at the base level.
+fn effective_level(
+    level: ConsistencyLevel,
+    marked: &BTreeSet<String>,
+    participants: &[&str],
+) -> ConsistencyLevel {
+    if !marked.is_empty() && participants.iter().all(|t| marked.contains(*t)) {
+        ConsistencyLevel::Serializable
+    } else {
+        level
+    }
+}
+
+/// Does a candidate's reported pair satisfy the anchor?
+fn anchored(verdict: &AccessPair, produced: &AccessPair, strict: bool) -> bool {
+    if strict {
+        pair_key(produced) == pair_key(verdict)
+    } else {
+        produced.kind == verdict.kind
+    }
+}
+
+fn find_pair_witness(
+    summaries: &[TxnSummary],
+    verdict: &AccessPair,
+    level: ConsistencyLevel,
+    marked: &BTreeSet<String>,
+    strict: bool,
+) -> Option<Found> {
+    let by_name = |n: &str| summaries.iter().find(|s| s.name == n);
+    // The (instance 0, instance 1) assignments the detector could have
+    // analysed this verdict under: lost update anchors its pair across the
+    // two instances (either orientation), the read-instability templates
+    // put both anchor commands in instance 0 and the interfering
+    // transaction — recorded as a witness — in instance 1.
+    let orderings: Vec<(&TxnSummary, &TxnSummary)> = match verdict.kind {
+        AnomalyKind::LostUpdate => {
+            let s1 = by_name(&verdict.txn1)?;
+            let s2 = by_name(&verdict.txn2)?;
+            if verdict.txn1 == verdict.txn2 {
+                vec![(s1, s2)]
+            } else {
+                vec![(s1, s2), (s2, s1)]
+            }
+        }
+        _ => {
+            let s1 = by_name(&verdict.txn1)?;
+            verdict
+                .witnesses
+                .iter()
+                .filter_map(|w| Some((s1, by_name(w)?)))
+                .collect()
+        }
+    };
+    for (t1, t2) in orderings {
+        let model = InstanceModel::new(t1, t2);
+        let eff = effective_level(level, marked, &[&t1.name, &t2.name]);
+        let mut solver = PairSolver::new(&model);
+        for cand in pair_candidates(verdict.kind, t1, t2, &model) {
+            if !cand.pairs.iter().any(|p| anchored(verdict, p, strict)) {
+                continue;
+            }
+            for reqs in cand.queries {
+                if let Some(truth) = solver.witness(&model, eff, &reqs) {
+                    return Some(Found {
+                        model,
+                        txns: vec![t1.name.clone(), t2.name.clone()],
+                        reqs,
+                        truth,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Re-enumerates the pair template candidates of one kind, mirroring the
+/// enumeration order of the detector's `analyse_pair` — without the
+/// first-hit breaks (anchor matching replaces them) and without issuing
+/// queries (the caller solves the matching candidates).
+fn pair_candidates(
+    kind: AnomalyKind,
+    t1: &TxnSummary,
+    t2: &TxnSummary,
+    model: &InstanceModel,
+) -> Vec<PairCandidate> {
+    let n1 = model.n1;
+    let mut out = Vec::new();
+
+    let cmd_records = |range: std::ops::Range<usize>| -> Vec<(usize, usize)> {
+        range
+            .flat_map(|c| {
+                model.cmds[c]
+                    .records
+                    .iter()
+                    .map(move |&r| (c, r))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+
+    match kind {
+        AnomalyKind::LostUpdate => {
+            for &(r1, w1, ref f) in &t1.rmw_pairs() {
+                for &(r2, w2, ref f2) in &t2.rmw_pairs() {
+                    if f != f2 || t1.commands[w1].schema != t2.commands[w2].schema {
+                        continue;
+                    }
+                    let (c1, cw1, c2, cw2) = (r1, w1, n1 + r2, n1 + w2);
+                    let rec1 = model.cmds[c1]
+                        .records
+                        .iter()
+                        .copied()
+                        .find(|r| model.cmds[cw1].records.contains(r));
+                    let rec2 = model.cmds[c2]
+                        .records
+                        .iter()
+                        .copied()
+                        .find(|r| model.cmds[cw2].records.contains(r));
+                    let (Some(rec1), Some(rec2)) = (rec1, rec2) else { continue };
+                    if !model.may_alias_records(rec1, rec2) {
+                        continue;
+                    }
+                    let (Some(a_w1), Some(a_w2)) =
+                        (model.atom(cw1, rec1), model.atom(cw2, rec2))
+                    else {
+                        continue;
+                    };
+                    let fs = BTreeSet::from([f.clone()]);
+                    out.push(PairCandidate {
+                        queries: vec![vec![(a_w2, c1, false), (a_w1, c2, false)]],
+                        pairs: vec![
+                            crate::detect::make_pair(
+                                t1,
+                                &t1.commands[r1],
+                                fs.clone(),
+                                t2,
+                                &t2.commands[w2],
+                                fs.clone(),
+                                BTreeSet::new(),
+                                AnomalyKind::LostUpdate,
+                            ),
+                            crate::detect::make_pair(
+                                t2,
+                                &t2.commands[r2],
+                                fs.clone(),
+                                t1,
+                                &t1.commands[w1],
+                                fs,
+                                BTreeSet::new(),
+                                AnomalyKind::LostUpdate,
+                            ),
+                        ],
+                    });
+                }
+            }
+        }
+        AnomalyKind::DirtyRead => {
+            let writes1: Vec<(usize, usize)> = cmd_records(0..n1)
+                .into_iter()
+                .filter(|&(c, _)| !model.cmds[c].summary.writes.is_empty())
+                .collect();
+            let reads2: Vec<(usize, usize)> = cmd_records(n1..model.cmds.len())
+                .into_iter()
+                .filter(|&(c, _)| model.cmds[c].summary.kind == CmdKind::Select)
+                .collect();
+            for (wi, &(w1, r1)) in writes1.iter().enumerate() {
+                for &(w2, r2) in &writes1[wi + 1..] {
+                    for &(d1, dr1) in &reads2 {
+                        if !model.may_alias_records(dr1, r1) {
+                            continue;
+                        }
+                        let f1: BTreeSet<String> = model.cmds[w1]
+                            .summary
+                            .writes
+                            .intersection(&model.cmds[d1].summary.reads)
+                            .cloned()
+                            .collect();
+                        if f1.is_empty() {
+                            continue;
+                        }
+                        for &(d2, dr2) in &reads2 {
+                            if !model.may_alias_records(dr2, r2) {
+                                continue;
+                            }
+                            let f2: BTreeSet<String> = model.cmds[w2]
+                                .summary
+                                .writes
+                                .intersection(&model.cmds[d2].summary.reads)
+                                .cloned()
+                                .collect();
+                            if f2.is_empty() {
+                                continue;
+                            }
+                            let (Some(a1), Some(a2)) =
+                                (model.atom(w1, r1), model.atom(w2, r2))
+                            else {
+                                continue;
+                            };
+                            out.push(PairCandidate {
+                                queries: vec![
+                                    vec![(a1, d1, true), (a2, d2, false)],
+                                    vec![(a2, d2, true), (a1, d1, false)],
+                                ],
+                                pairs: vec![crate::detect::make_pair(
+                                    t1,
+                                    &model.cmds[w1].summary,
+                                    f1.clone(),
+                                    t1,
+                                    &model.cmds[w2].summary,
+                                    f2,
+                                    BTreeSet::from([t2.name.clone()]),
+                                    AnomalyKind::DirtyRead,
+                                )],
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        AnomalyKind::NonRepeatableRead | AnomalyKind::NonMonotonicRead => {
+            let reads1: Vec<(usize, usize)> = cmd_records(0..n1)
+                .into_iter()
+                .filter(|&(c, _)| model.cmds[c].summary.kind == CmdKind::Select)
+                .collect();
+            let writes2: Vec<(usize, usize)> = cmd_records(n1..model.cmds.len())
+                .into_iter()
+                .filter(|&(c, _)| !model.cmds[c].summary.writes.is_empty())
+                .collect();
+            // Two-writes instability (non-repeatable read only).
+            if kind == AnomalyKind::NonRepeatableRead {
+                for (ri, &(c1, r1)) in reads1.iter().enumerate() {
+                    for &(c2, r2) in &reads1[ri..] {
+                        if c1 == c2 && r1 == r2 {
+                            continue;
+                        }
+                        for &(d1, dr1) in &writes2 {
+                            if !model.may_alias_records(dr1, r1) {
+                                continue;
+                            }
+                            let f1: BTreeSet<String> = model.cmds[d1]
+                                .summary
+                                .writes
+                                .intersection(&model.cmds[c1].summary.reads)
+                                .cloned()
+                                .collect();
+                            if f1.is_empty() {
+                                continue;
+                            }
+                            for &(d2, dr2) in &writes2 {
+                                if !model.may_alias_records(dr2, r2) {
+                                    continue;
+                                }
+                                if d1 == d2 && dr1 == dr2 {
+                                    continue;
+                                }
+                                let f2: BTreeSet<String> = model.cmds[d2]
+                                    .summary
+                                    .writes
+                                    .intersection(&model.cmds[c2].summary.reads)
+                                    .cloned()
+                                    .collect();
+                                if f2.is_empty() {
+                                    continue;
+                                }
+                                let (Some(a1), Some(a2)) =
+                                    (model.atom(d1, r1), model.atom(d2, r2))
+                                else {
+                                    continue;
+                                };
+                                out.push(PairCandidate {
+                                    queries: vec![
+                                        vec![(a2, c2, true), (a1, c1, false)],
+                                        vec![(a1, c1, true), (a2, c2, false)],
+                                    ],
+                                    pairs: vec![crate::detect::make_pair(
+                                        t1,
+                                        &model.cmds[c1].summary,
+                                        f1.clone(),
+                                        t1,
+                                        &model.cmds[c2].summary,
+                                        f2,
+                                        BTreeSet::from([t2.name.clone()]),
+                                        AnomalyKind::NonRepeatableRead,
+                                    )],
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            // Single-write instability: the seen-late orientation is a
+            // non-repeatable read, the seen-then-lost orientation a
+            // non-monotonic read.
+            for (ri, &(c1, r1)) in reads1.iter().enumerate() {
+                for &(c2, r2) in &reads1[ri + 1..] {
+                    if !model.prog_before(c1, c2) {
+                        continue;
+                    }
+                    for &(d, dr) in &writes2 {
+                        if !model.may_alias_records(dr, r1) || !model.may_alias_records(dr, r2)
+                        {
+                            continue;
+                        }
+                        let f1: BTreeSet<String> = model.cmds[d]
+                            .summary
+                            .writes
+                            .intersection(&model.cmds[c1].summary.reads)
+                            .cloned()
+                            .collect();
+                        if f1.is_empty() {
+                            continue;
+                        }
+                        let f2: BTreeSet<String> = model.cmds[d]
+                            .summary
+                            .writes
+                            .intersection(&model.cmds[c2].summary.reads)
+                            .cloned()
+                            .collect();
+                        if f2.is_empty() {
+                            continue;
+                        }
+                        let Some(a) = model.atom(d, dr) else { continue };
+                        let query = if kind == AnomalyKind::NonRepeatableRead {
+                            vec![(a, c2, true), (a, c1, false)]
+                        } else {
+                            vec![(a, c1, true), (a, c2, false)]
+                        };
+                        out.push(PairCandidate {
+                            queries: vec![query],
+                            pairs: vec![crate::detect::make_pair(
+                                t1,
+                                &model.cmds[c1].summary,
+                                f1,
+                                t1,
+                                &model.cmds[c2].summary,
+                                f2,
+                                BTreeSet::from([t2.name.clone()]),
+                                kind,
+                            )],
+                        });
+                    }
+                }
+            }
+        }
+        _ => unreachable!("triple kinds are handled by find_triple_witness"),
+    }
+    out
+}
+
+fn find_triple_witness(
+    summaries: &[TxnSummary],
+    verdict: &AccessPair,
+    level: ConsistencyLevel,
+    marked: &BTreeSet<String>,
+    strict: bool,
+) -> Option<Found> {
+    for w in &verdict.witnesses {
+        let names = BTreeSet::from([
+            verdict.txn1.as_str(),
+            verdict.txn2.as_str(),
+            w.as_str(),
+        ]);
+        if names.len() != 3 {
+            continue;
+        }
+        // Summaries in program order, matching the engine's enumeration.
+        let trio: Vec<&TxnSummary> = summaries
+            .iter()
+            .filter(|s| names.contains(s.name.as_str()))
+            .collect();
+        if trio.len() != 3 {
+            continue;
+        }
+        // All three rotations of the trio: the write-skew enumeration pins
+        // the cycle's first role to instance 0 (rotations of a cycle are
+        // deduplicated), so the engine's reported `txn1` depends on which
+        // transaction its canonical orientation put first — rotating here
+        // guarantees every transaction gets a turn at instance 0 and the
+        // anchor can match whatever orientation produced the verdict.
+        for rot in 0..3 {
+            let ts = [trio[rot], trio[(rot + 1) % 3], trio[(rot + 2) % 3]];
+            let fps = [
+                txn_fingerprint(ts[0]),
+                txn_fingerprint(ts[1]),
+                txn_fingerprint(ts[2]),
+            ];
+            let eff = effective_level(
+                level,
+                marked,
+                &[&ts[0].name, &ts[1].name, &ts[2].name],
+            );
+            let mut state: Option<(TripleModel, TripleSolver)> = None;
+            for (_, cand) in collect_candidates(ts, fps, usize::MAX) {
+                let produced = triple_anomaly(ts, &cand);
+                if !anchored(verdict, &produced, strict) {
+                    continue;
+                }
+                let (tm, solver) = state.get_or_insert_with(|| {
+                    let tm = TripleModel::new(ts[0], ts[1], ts[2]);
+                    let solver = TripleSolver::new(&tm);
+                    (tm, solver)
+                });
+                let Some(reqs) = triple_requirements(tm, &cand) else { continue };
+                if let Some(truth) = solver.witness(tm, eff, &reqs) {
+                    let model = state.expect("state grounded above").0.model;
+                    return Some(Found {
+                        model,
+                        txns: ts.iter().map(|t| t.name.clone()).collect(),
+                        reqs,
+                        truth,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Union-find over witness-record indices: requirement-involved record
+/// pairs are unified so the reads and writes of the anomaly predicate land
+/// on the same *concrete* record in the schedule.
+struct RecordUnion {
+    parent: Vec<usize>,
+}
+
+impl RecordUnion {
+    fn new(n: usize) -> RecordUnion {
+        RecordUnion {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut r = x;
+        while self.parent[r] != r {
+            r = self.parent[r];
+        }
+        let mut c = x;
+        while self.parent[c] != r {
+            let next = self.parent[c];
+            self.parent[c] = r;
+            c = next;
+        }
+        r
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        // Deterministic representative: the smaller index wins.
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi] = lo;
+    }
+}
+
+/// Decodes one found witness into a concrete schedule.
+///
+/// * **Sessions**: one per transaction instance; a session's commands are
+///   its ops in program order (the `cmds` vector is already grouped that
+///   way).
+/// * **Replicas**: one home replica per session, where its writes apply,
+///   plus one dedicated serving replica per read — the freedom that lets
+///   an eventually consistent read observe any prefix of the write history
+///   (and two reads of one session observe *different* prefixes).
+/// * **Events**: invocations in the model's arbitration order; before each
+///   read's invocation, every write the truth assignment makes visible to
+///   it is replicated to its serving replica (visibility implies
+///   arbitration, so the write is always already invoked).
+/// * **Checks**: the satisfied requirement vector verbatim — each `(atom,
+///   command, polarity)` becomes "read *command* must (not) have observed
+///   the atom's producer".
+fn build_schedule(found: Found, kind: AnomalyKind) -> ConcreteSchedule {
+    let model = &found.model;
+    let n = model.cmds.len();
+    let sessions = model.instances();
+
+    // Concretize records: unify each requirement atom's record with the
+    // observing command's first aliasing record, then hand every class a
+    // dense id.
+    let mut uf = RecordUnion::new(model.records.len());
+    for &(a, c, _) in &found.reqs {
+        let ar = model.atoms[a].record;
+        if model.cmds[c].records.contains(&ar) {
+            continue;
+        }
+        if let Some(&r) = model.cmds[c]
+            .records
+            .iter()
+            .find(|&&r| model.may_alias_records(ar, r))
+        {
+            uf.union(ar, r);
+        }
+    }
+    let mut ids: BTreeMap<usize, u64> = BTreeMap::new();
+    for r in 0..model.records.len() {
+        let root = uf.find(r);
+        let next = ids.len() as u64;
+        ids.entry(root).or_insert(next);
+    }
+
+    let mut ops = Vec::with_capacity(n);
+    let mut read_count = 0usize;
+    for cmd in &model.cmds {
+        let is_write = cmd.summary.kind != CmdKind::Select;
+        let replica = if is_write {
+            cmd.instance as usize
+        } else {
+            let r = sessions + read_count;
+            read_count += 1;
+            r
+        };
+        let fields = if is_write {
+            &cmd.summary.writes
+        } else {
+            &cmd.summary.reads
+        };
+        let accesses = cmd
+            .records
+            .iter()
+            .map(|&r| RecordAccess {
+                table: model.records[r].schema.clone(),
+                record: ids[&uf.find(r)],
+                fields: fields.clone(),
+            })
+            .collect();
+        ops.push(ScheduledOp {
+            session: cmd.instance as usize,
+            txn: found.txns[cmd.instance as usize].clone(),
+            label: cmd.summary.label.0.clone(),
+            is_write,
+            replica,
+            accesses,
+        });
+    }
+    let replicas = sessions + read_count;
+
+    // A negative requirement pins "read c does not observe the atom's
+    // producer": never replicate that producer to c's serving replica,
+    // even if another of its atoms is model-visible to c.
+    let mut banned: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for &(a, c, polarity) in &found.reqs {
+        if !polarity {
+            banned.entry(c).or_default().insert(model.atoms[a].cmd);
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&c| found.truth.arbitration_position(c));
+
+    let mut events = Vec::new();
+    for &c in &order {
+        if !ops[c].is_write {
+            let ban = banned.get(&c);
+            let mut replicated: BTreeSet<usize> = BTreeSet::new();
+            for (ai, atom) in model.atoms.iter().enumerate() {
+                let w = atom.cmd;
+                if !ops[w].is_write || !found.truth.vis[ai][c] {
+                    continue;
+                }
+                if ban.is_some_and(|b| b.contains(&w)) {
+                    continue;
+                }
+                if replicated.insert(w) {
+                    events.push(ScheduleEvent::Replicate {
+                        op: w,
+                        to: ops[c].replica,
+                    });
+                }
+            }
+        }
+        events.push(ScheduleEvent::Invoke(c));
+    }
+
+    let checks = found
+        .reqs
+        .iter()
+        .map(|&(a, c, polarity)| VisibilityCheck {
+            read: c,
+            write: model.atoms[a].cmd,
+            expect_seen: polarity,
+        })
+        .collect();
+
+    ConcreteSchedule {
+        anomaly: kind.to_string(),
+        sessions,
+        replicas,
+        ops,
+        events,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{detect_anomalies, detect_anomalies_triples};
+    use atropos_dsl::parse;
+
+    const COUNTER: &str = "schema T { id: int key, v: int }
+         txn bump(k: int) {
+             @R x := select v from T where id = k;
+             @W update T set v = x.v + 1 where id = k;
+             return 0;
+         }";
+
+    const RELAY: &str = "schema MSG { m_id: int key, m_body: string }
+         schema FEED { f_id: int key, f_body: string }
+         txn post(m: int, body: string) {
+             @W1 update MSG set m_body = body where m_id = m;
+             return 0;
+         }
+         txn relay(m: int, f: int) {
+             @R2 x := select m_body from MSG where m_id = m;
+             @W2 update FEED set f_body = x.m_body where f_id = f;
+             return 0;
+         }
+         txn timeline(f: int, m: int) {
+             @R3 y := select f_body from FEED where f_id = f;
+             @R4 z := select m_body from MSG where m_id = m;
+             return 0;
+         }";
+
+    #[test]
+    fn lost_update_decodes_and_manifests() {
+        let p = parse(COUNTER).unwrap();
+        let ec = ConsistencyLevel::EventualConsistency;
+        let verdicts = detect_anomalies(&p, ec);
+        assert_eq!(verdicts.len(), 1);
+        let s = decode_witness(&p, &verdicts[0], ec).expect("decodes");
+        assert_eq!(s.anomaly, "lost-update");
+        assert_eq!(s.sessions, 2);
+        // Two RMW instances: 2 writes at home replicas, 2 reads on
+        // dedicated serving replicas.
+        assert_eq!(s.replicas, 4);
+        let out = run_schedule(&s);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.manifested, "{out:?}");
+    }
+
+    #[test]
+    fn serializability_yields_no_witness() {
+        let p = parse(COUNTER).unwrap();
+        let ec = ConsistencyLevel::EventualConsistency;
+        let verdicts = detect_anomalies(&p, ec);
+        assert!(decode_witness(&p, &verdicts[0], ConsistencyLevel::Serializable).is_none());
+    }
+
+    #[test]
+    fn marking_every_participant_suppresses_the_witness() {
+        let p = parse(COUNTER).unwrap();
+        let ec = ConsistencyLevel::EventualConsistency;
+        let verdicts = detect_anomalies(&p, ec);
+        let marked = BTreeSet::from(["bump".to_owned()]);
+        assert!(decode_witness_marked(&p, &verdicts[0], ec, &marked).is_none());
+        // An unrelated marked set leaves the anomaly realizable.
+        let other = BTreeSet::from(["other".to_owned()]);
+        assert!(decode_witness_marked(&p, &verdicts[0], ec, &other).is_some());
+    }
+
+    #[test]
+    fn observer_chain_decodes_and_manifests() {
+        let p = parse(RELAY).unwrap();
+        let ec = ConsistencyLevel::EventualConsistency;
+        let (verdicts, _) = detect_anomalies_triples(&p, ec);
+        let chain = verdicts
+            .iter()
+            .find(|v| v.kind == AnomalyKind::ObserverChain)
+            .expect("relay chain detected");
+        let s = decode_witness(&p, chain, ec).expect("decodes");
+        assert_eq!(s.anomaly, "observer-chain");
+        assert_eq!(s.sessions, 3);
+        let out = run_schedule(&s);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.manifested, "{out:?}");
+        // Causal consistency refutes the chain: no witness decodes.
+        assert!(decode_witness(&p, chain, ConsistencyLevel::CausalConsistency).is_none());
+    }
+
+    #[test]
+    fn decoding_is_deterministic() {
+        let p = parse(RELAY).unwrap();
+        let ec = ConsistencyLevel::EventualConsistency;
+        let (verdicts, _) = detect_anomalies_triples(&p, ec);
+        for v in &verdicts {
+            assert_eq!(
+                decode_witness(&p, v, ec),
+                decode_witness(&p, v, ec),
+                "{v}"
+            );
+        }
+    }
+
+    /// Every pair-mode verdict of a program with dirty reads and
+    /// non-repeatable reads decodes into a schedule that manifests.
+    #[test]
+    fn mixed_pair_verdicts_all_replay() {
+        let src = "schema A { id: int key, x: int, y: int }
+             txn wr(k: int) {
+                 @WX update A set x = 1 where id = k;
+                 @WY update A set y = 2 where id = k;
+                 return 0;
+             }
+             txn rd(k: int) {
+                 @RX a := select x from A where id = k;
+                 @RY b := select x, y from A where id = k;
+                 return 0;
+             }";
+        let p = parse(src).unwrap();
+        let ec = ConsistencyLevel::EventualConsistency;
+        let verdicts = detect_anomalies(&p, ec);
+        assert!(!verdicts.is_empty());
+        for v in &verdicts {
+            let out = replay_verdict(&p, v, ec).unwrap_or_else(|| panic!("{v} must decode"));
+            assert!(out.manifested, "{v}: {out:?}");
+        }
+    }
+}

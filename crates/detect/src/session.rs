@@ -215,6 +215,58 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
+    /// A zero-length cache file (crash before the first write, or an
+    /// `ATROPOS_CACHE_FILE` created by `touch`) must be refused with a
+    /// clear `InvalidData` error, not misread as an empty cache.
+    #[test]
+    fn zero_length_cache_file_is_refused() {
+        let path = std::env::temp_dir().join(format!(
+            "atropos_zero_length_{}.v1",
+            std::process::id()
+        ));
+        std::fs::write(&path, b"").expect("write");
+        let err = match DetectSession::load_from(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("zero-length file accepted"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("empty file"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A file cut off *inside* a length-prefixed record — valid magic,
+    /// valid revision, clean EOF mid-entry (a partial write or copy) —
+    /// must be refused with a clear `InvalidData` error rather than loading
+    /// a silently incomplete cache.
+    #[test]
+    fn mid_record_truncation_is_refused() {
+        let p = atropos_dsl::parse(RELAY).unwrap();
+        let engine = DetectionEngine::serial();
+        let mut session = DetectSession::new();
+        engine.detect(&p, ConsistencyLevel::EventualConsistency, &mut session);
+        let path = std::env::temp_dir().join(format!(
+            "atropos_truncated_{}.v1",
+            std::process::id()
+        ));
+        session.save_to(&path).expect("save");
+
+        let bytes = std::fs::read(&path).expect("read");
+        // Cut off mid-record at several depths: just past the header (the
+        // entry count promises records the bytes can't hold), and a few
+        // bytes short of the end (EOF inside the final record).
+        for cut in [13, bytes.len() - 5, bytes.len() - 1] {
+            assert!(cut < bytes.len(), "fixture large enough");
+            std::fs::write(&path, &bytes[..cut]).expect("write");
+            let err = match DetectSession::load_from(&path) {
+                Err(e) => e,
+                Ok(_) => panic!("file truncated at {cut} accepted"),
+            };
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "cut at {cut}");
+            assert!(err.to_string().contains("truncated"), "cut at {cut}: {err}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
     /// A cache persisted by a different encoder revision must be refused
     /// with a clear error, not silently trusted: its verdicts may not mean
     /// what this build thinks (stale-verdict replay would bypass

@@ -129,6 +129,18 @@ impl TripleSolver {
         self.inner.satisfiable(&tm.model, level, requirements)
     }
 
+    /// Decides the same query as [`TripleSolver::satisfiable`] and, when
+    /// satisfiable, decodes the solver's model into the three-instance
+    /// [`crate::encode::WitnessTruth`] (see [`PairSolver::witness`]).
+    pub fn witness(
+        &mut self,
+        tm: &TripleModel,
+        level: ConsistencyLevel,
+        requirements: &[VisRequirement],
+    ) -> Option<crate::encode::WitnessTruth> {
+        self.inner.witness(&tm.model, level, requirements)
+    }
+
     /// Clauses this triple's shared encoding holds (excluding learnt ones).
     pub fn encoded_clauses(&self) -> usize {
         self.inner.encoded_clauses()
@@ -156,7 +168,7 @@ const _: () = {
 /// A command addressed as (instance, local index) — local index doubles as
 /// the program position, so `a.local < b.local` is program order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Cmd {
+pub(crate) struct Cmd {
     inst: usize,
     local: usize,
 }
@@ -164,7 +176,7 @@ struct Cmd {
 /// One statically enumerated chain-template candidate, with its commands
 /// bound to model instances by the role permutation that produced it.
 #[derive(Debug, Clone, Copy)]
-enum Candidate {
+pub(crate) enum Candidate {
     /// Observer chain: origin write, relay read, relay write, observer's
     /// chain read, observer's missing read.
     Chain { w1: Cmd, r2: Cmd, w2: Cmd, r3a: Cmd, r3b: Cmd },
@@ -239,7 +251,7 @@ fn dep_pairs(t: &TxnSummary, inst: usize) -> Vec<(Cmd, Cmd)> {
 /// prefilter passes `cap = 1` to decide whether the triple is worth
 /// grounding at all. Role permutations equivalent under equal fingerprints
 /// are visited once.
-fn collect_candidates(
+pub(crate) fn collect_candidates(
     ts: [&TxnSummary; 3],
     fps: [u64; 3],
     cap: usize,
@@ -387,7 +399,7 @@ pub(crate) fn has_candidates(ts: [&TxnSummary; 3], fps: [u64; 3]) -> bool {
 
 /// The visibility requirements of one candidate, or `None` when a required
 /// witness record pair does not alias in the grounded model.
-fn requirements(tm: &TripleModel, cand: &Candidate) -> Option<Vec<VisRequirement>> {
+pub(crate) fn requirements(tm: &TripleModel, cand: &Candidate) -> Option<Vec<VisRequirement>> {
     Some(match *cand {
         Candidate::Chain { w1, r2, w2, r3a, r3b } => vec![
             (tm.write_atom(w1, r2)?, tm.cmd(r2), true),
@@ -411,7 +423,7 @@ fn requirements(tm: &TripleModel, cand: &Candidate) -> Option<Vec<VisRequirement
 /// broken edge's (write, missing read) commands, with the relaying
 /// transaction(s) as witnesses — so [`crate::AccessPair::witnesses`] names
 /// exactly the coordination set a repair would have to cover.
-fn anomaly(ts: [&TxnSummary; 3], cand: &Candidate) -> AccessPair {
+pub(crate) fn anomaly(ts: [&TxnSummary; 3], cand: &Candidate) -> AccessPair {
     let cmd = |c: Cmd| -> &CmdSummary { &ts[c.inst].commands[c.local] };
     let shared = |w: &CmdSummary, r: &CmdSummary| -> BTreeSet<String> {
         w.writes.intersection(&r.reads).cloned().collect()

@@ -14,6 +14,17 @@
 //! See `DESIGN.md` for the substitution argument (simulator vs. the paper's
 //! AWS testbed).
 //!
+//! The simulator has two execution modes:
+//!
+//! * **closed-loop** ([`run_simulation`]) — the throughput/latency mode:
+//!   random workload transactions driven by a client population until the
+//!   configured duration elapses;
+//! * **scheduled** ([`run_schedule`]) — the witness-replay mode: a
+//!   [`ConcreteSchedule`] decoded from a detector SAT witness is executed
+//!   deterministically (explicit invocations and replication steps, no
+//!   randomness, no clock) and the anomaly's observable predicate is
+//!   checked against what each read actually saw.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,11 +49,16 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod schedule;
 pub mod sim;
 pub mod stats;
 pub mod workload;
 
 pub use cluster::ClusterConfig;
+pub use schedule::{
+    run_schedule, ConcreteSchedule, RecordAccess, ScheduleEvent, ScheduleOutcome, ScheduledOp,
+    VisibilityCheck,
+};
 pub use sim::{run_simulation, CostModel, SimConfig};
 pub use stats::RunStats;
 pub use workload::{ConcreteTxn, KeyDist, OpKind, OpProfile, TxnProfile, Workload};

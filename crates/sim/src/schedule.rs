@@ -1,0 +1,413 @@
+//! Scheduled execution: replaying a concrete witness schedule on the
+//! replicated store.
+//!
+//! The closed-loop mode ([`crate::run_simulation`]) drives random
+//! workloads for throughput/latency figures; this module is the *other*
+//! execution mode: a [`ConcreteSchedule`] — decoded from a detector
+//! witness (a SAT model's arbitration order, replica placement, and
+//! read-from edges) — is run **deterministically** on a simulated cluster
+//! of replicas, and the anomaly's observable predicate is checked against
+//! what each read actually observed.
+//!
+//! The store model is deliberately the weak half of the simulator's
+//! semantics: writes apply at their session's home replica, replication is
+//! explicit ([`ScheduleEvent::Replicate`]), and a read observes exactly
+//! the writes applied at its serving replica when it is invoked. The
+//! executor enforces the invariants every real weak store grants — a
+//! write replicates only after it is invoked (causality), sessions invoke
+//! their operations in program order, and a read sees its own session's
+//! prior writes (read-your-writes) — so a schedule that "manifests" an
+//! anomaly did so under honest store semantics, not by fiat.
+
+use std::collections::BTreeSet;
+
+/// One record a scheduled operation touches: table, concrete record id,
+/// and the fields read or written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordAccess {
+    /// Table (schema) name.
+    pub table: String,
+    /// Concrete record identifier within the table.
+    pub record: u64,
+    /// Fields accessed.
+    pub fields: BTreeSet<String>,
+}
+
+impl RecordAccess {
+    /// Do two accesses touch the same record with at least one shared
+    /// field?
+    pub fn overlaps(&self, other: &RecordAccess) -> bool {
+        self.table == other.table
+            && self.record == other.record
+            && self.fields.intersection(&other.fields).next().is_some()
+    }
+}
+
+/// One operation of the schedule: a command instance pinned to a session
+/// and a replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledOp {
+    /// Session (transaction instance) index, `0..sessions`.
+    pub session: usize,
+    /// Transaction name the command belongs to.
+    pub txn: String,
+    /// Command label within the transaction.
+    pub label: String,
+    /// True for writes (update/insert/delete events), false for reads.
+    pub is_write: bool,
+    /// Replica the operation executes at: the session's home replica for
+    /// writes, the serving replica for reads (weak reads may be served by
+    /// any replica — that freedom is what realizes non-monotonic reads).
+    pub replica: usize,
+    /// Records the operation touches.
+    pub accesses: Vec<RecordAccess>,
+}
+
+/// One step of the schedule's total order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleEvent {
+    /// Invoke operation `ops[i]` at its replica: a write applies there, a
+    /// read observes the writes applied there.
+    Invoke(usize),
+    /// Asynchronously apply the effects of (already invoked) write op
+    /// `op` at replica `to`.
+    Replicate {
+        /// Index of the write operation being replicated.
+        op: usize,
+        /// Destination replica.
+        to: usize,
+    },
+}
+
+/// One clause of the anomaly's observable predicate: after the run, read
+/// op `read` must (or must not) have observed write op `write`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VisibilityCheck {
+    /// Index of the read operation.
+    pub read: usize,
+    /// Index of the write operation.
+    pub write: usize,
+    /// Required outcome: `true` = the read saw the write.
+    pub expect_seen: bool,
+}
+
+/// A decoded witness: a total order of per-instance commands with session
+/// and replica placement, plus the visibility predicate that makes the
+/// execution anomalous.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcreteSchedule {
+    /// Anomaly kind this schedule witnesses (display string, e.g.
+    /// `"lost-update"`).
+    pub anomaly: String,
+    /// Number of sessions (transaction instances).
+    pub sessions: usize,
+    /// Number of replicas in the simulated cluster.
+    pub replicas: usize,
+    /// The operations, grouped by session in program order.
+    pub ops: Vec<ScheduledOp>,
+    /// The schedule itself: invocations and replication steps in
+    /// arbitration order.
+    pub events: Vec<ScheduleEvent>,
+    /// The anomaly's observable predicate over the reads.
+    pub checks: Vec<VisibilityCheck>,
+}
+
+/// What a scheduled run observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleOutcome {
+    /// True when the run was well-formed (no store-invariant violations)
+    /// and every [`VisibilityCheck`] held — i.e., the anomaly's observable
+    /// predicate manifested on the cluster.
+    pub manifested: bool,
+    /// Checks that held.
+    pub checks_passed: usize,
+    /// Total checks.
+    pub checks_total: usize,
+    /// Store-invariant violations (empty for a well-formed schedule).
+    pub violations: Vec<String>,
+}
+
+/// Runs a [`ConcreteSchedule`] deterministically on a simulated replica
+/// set and evaluates its anomaly predicate.
+///
+/// Each replica holds the set of write operations applied to it; an
+/// [`ScheduleEvent::Invoke`] of a write applies it at its home replica, a
+/// [`ScheduleEvent::Replicate`] applies an already-invoked write at
+/// another replica, and an invoke of a read records the applied writes
+/// overlapping its accesses at its serving replica. The executor enforces
+/// weak-store invariants (causal replication, per-session program order,
+/// read-your-writes) and reports any breach as a violation; the outcome
+/// `manifested` only when the run is violation-free **and** every
+/// [`VisibilityCheck`] holds.
+pub fn run_schedule(schedule: &ConcreteSchedule) -> ScheduleOutcome {
+    let mut violations: Vec<String> = Vec::new();
+    let n = schedule.ops.len();
+    for (i, op) in schedule.ops.iter().enumerate() {
+        if op.session >= schedule.sessions {
+            violations.push(format!("op {i}: session {} out of range", op.session));
+        }
+        if op.replica >= schedule.replicas {
+            violations.push(format!("op {i}: replica {} out of range", op.replica));
+        }
+    }
+
+    // applied[r]: indices of write ops whose effects replica r holds.
+    let mut applied: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); schedule.replicas];
+    let mut invoked = vec![false; n];
+    // observed[i]: for read op i, the write ops it saw at invocation.
+    let mut observed: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    // Last invoked op index per session, for program-order enforcement.
+    let mut last_of_session: Vec<Option<usize>> = vec![None; schedule.sessions];
+
+    for (step, ev) in schedule.events.iter().enumerate() {
+        match *ev {
+            ScheduleEvent::Invoke(i) => {
+                let Some(op) = schedule.ops.get(i) else {
+                    violations.push(format!("step {step}: invoke of unknown op {i}"));
+                    continue;
+                };
+                if std::mem::replace(&mut invoked[i], true) {
+                    violations.push(format!("step {step}: op {i} invoked twice"));
+                    continue;
+                }
+                if op.session < schedule.sessions {
+                    // Sessions issue their commands in program order; the
+                    // ops vector lists each session's commands in that
+                    // order, so invocations per session must be increasing.
+                    if let Some(prev) = last_of_session[op.session] {
+                        if prev > i {
+                            violations.push(format!(
+                                "step {step}: session {} invoked op {i} after op {prev}",
+                                op.session
+                            ));
+                        }
+                    }
+                    last_of_session[op.session] = Some(i);
+                }
+                if op.replica >= schedule.replicas {
+                    continue;
+                }
+                if op.is_write {
+                    applied[op.replica].insert(i);
+                } else {
+                    // Read-your-writes: the serving replica must already
+                    // hold every prior own-session write overlapping this
+                    // read (the decoder replicates them; a schedule that
+                    // forgot is not an honest weak-store execution).
+                    for (j, w) in schedule.ops.iter().enumerate() {
+                        let own_prior = j < i && w.session == op.session && w.is_write;
+                        if own_prior
+                            && invoked[j]
+                            && overlapping(w, op)
+                            && !applied[op.replica].contains(&j)
+                        {
+                            violations.push(format!(
+                                "step {step}: read op {i} misses own session's write op {j}"
+                            ));
+                        }
+                    }
+                    let seen: BTreeSet<usize> = applied[op.replica]
+                        .iter()
+                        .copied()
+                        .filter(|&j| overlapping(&schedule.ops[j], op))
+                        .collect();
+                    observed[i] = seen;
+                }
+            }
+            ScheduleEvent::Replicate { op, to } => {
+                let Some(w) = schedule.ops.get(op) else {
+                    violations.push(format!("step {step}: replication of unknown op {op}"));
+                    continue;
+                };
+                if !w.is_write {
+                    violations.push(format!("step {step}: replication of read op {op}"));
+                    continue;
+                }
+                if !invoked[op] {
+                    // Causality: effects travel only after they exist.
+                    violations.push(format!(
+                        "step {step}: op {op} replicated before it was invoked"
+                    ));
+                    continue;
+                }
+                if to >= schedule.replicas {
+                    violations.push(format!("step {step}: replication to unknown replica {to}"));
+                    continue;
+                }
+                applied[to].insert(op);
+            }
+        }
+    }
+    for (i, inv) in invoked.iter().enumerate() {
+        if !inv {
+            violations.push(format!("op {i} was never invoked"));
+        }
+    }
+
+    let mut checks_passed = 0usize;
+    for c in &schedule.checks {
+        let ok = match (schedule.ops.get(c.read), schedule.ops.get(c.write)) {
+            (Some(_), Some(_)) => observed[c.read].contains(&c.write) == c.expect_seen,
+            _ => {
+                violations.push(format!(
+                    "check references unknown ops ({}, {})",
+                    c.read, c.write
+                ));
+                false
+            }
+        };
+        checks_passed += usize::from(ok);
+    }
+    ScheduleOutcome {
+        manifested: violations.is_empty() && checks_passed == schedule.checks.len(),
+        checks_passed,
+        checks_total: schedule.checks.len(),
+        violations,
+    }
+}
+
+fn overlapping(w: &ScheduledOp, r: &ScheduledOp) -> bool {
+    w.accesses
+        .iter()
+        .any(|wa| r.accesses.iter().any(|ra| wa.overlaps(ra)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(table: &str, record: u64, field: &str) -> RecordAccess {
+        RecordAccess {
+            table: table.into(),
+            record,
+            fields: BTreeSet::from([field.to_owned()]),
+        }
+    }
+
+    fn op(session: usize, label: &str, is_write: bool, replica: usize) -> ScheduledOp {
+        ScheduledOp {
+            session,
+            txn: format!("t{session}"),
+            label: label.into(),
+            is_write,
+            replica,
+            accesses: vec![access("T", 7, "v")],
+        }
+    }
+
+    /// Writer session 0 (home replica 0) writes; reader session 1 reads
+    /// twice, first at a replica the write reached, then at one it did
+    /// not: the textbook non-monotonic read.
+    fn non_monotonic() -> ConcreteSchedule {
+        ConcreteSchedule {
+            anomaly: "non-monotonic-read".into(),
+            sessions: 2,
+            replicas: 4,
+            ops: vec![
+                op(0, "W", true, 0),  // op 0
+                op(1, "R1", false, 2), // op 1
+                op(1, "R2", false, 3), // op 2
+            ],
+            events: vec![
+                ScheduleEvent::Invoke(0),
+                ScheduleEvent::Replicate { op: 0, to: 2 },
+                ScheduleEvent::Invoke(1),
+                ScheduleEvent::Invoke(2),
+            ],
+            checks: vec![
+                VisibilityCheck { read: 1, write: 0, expect_seen: true },
+                VisibilityCheck { read: 2, write: 0, expect_seen: false },
+            ],
+        }
+    }
+
+    #[test]
+    fn non_monotonic_read_manifests() {
+        let out = run_schedule(&non_monotonic());
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!((out.checks_passed, out.checks_total), (2, 2));
+        assert!(out.manifested);
+    }
+
+    #[test]
+    fn extra_replication_suppresses_the_anomaly() {
+        let mut s = non_monotonic();
+        // Replicating the write to R2's serving replica repairs the
+        // monotonicity violation — the predicate no longer holds.
+        s.events.insert(3, ScheduleEvent::Replicate { op: 0, to: 3 });
+        let out = run_schedule(&s);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!((out.checks_passed, out.checks_total), (1, 2));
+        assert!(!out.manifested);
+    }
+
+    #[test]
+    fn replication_before_invocation_is_a_violation() {
+        let mut s = non_monotonic();
+        s.events.swap(0, 1); // replicate W before invoking it
+        let out = run_schedule(&s);
+        assert!(!out.manifested);
+        assert!(
+            out.violations.iter().any(|v| v.contains("before it was invoked")),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn sessions_invoke_in_program_order() {
+        let mut s = non_monotonic();
+        // R2 before R1 breaks session 1's program order.
+        s.events.swap(2, 3);
+        let out = run_schedule(&s);
+        assert!(!out.manifested);
+        assert!(
+            out.violations.iter().any(|v| v.contains("after op")),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn read_your_writes_is_enforced() {
+        let s = ConcreteSchedule {
+            anomaly: "lost-update".into(),
+            sessions: 1,
+            replicas: 2,
+            ops: vec![op(0, "W", true, 0), op(0, "R", false, 1)],
+            // W applies at replica 0, R reads replica 1, and nothing
+            // replicated W there: the session misses its own write.
+            events: vec![ScheduleEvent::Invoke(0), ScheduleEvent::Invoke(1)],
+            checks: vec![],
+        };
+        let out = run_schedule(&s);
+        assert!(!out.manifested);
+        assert!(
+            out.violations.iter().any(|v| v.contains("own session")),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn uninvoked_ops_are_reported() {
+        let mut s = non_monotonic();
+        s.events.pop();
+        let out = run_schedule(&s);
+        assert!(!out.manifested);
+        assert!(
+            out.violations.iter().any(|v| v.contains("never invoked")),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let s = non_monotonic();
+        assert_eq!(
+            format!("{:?}", run_schedule(&s)),
+            format!("{:?}", run_schedule(&s))
+        );
+    }
+}

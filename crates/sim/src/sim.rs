@@ -76,11 +76,15 @@ impl SimConfig {
     }
 }
 
+/// A lock identity: the `(table, key)` pair verbatim. An earlier version
+/// folded the pair into one word as `table_id · M ⊕ key`, which can map two
+/// distinct records onto one lock — false contention at best, and false
+/// mutual exclusion that could mask a replayed anomaly under SC at worst.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-struct LockKey(u64);
+struct LockKey(u64, u64);
 
 fn lock_key(table_id: u64, key: u64) -> LockKey {
-    LockKey(table_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ key)
+    LockKey(table_id, key)
 }
 
 #[derive(Debug, Default)]
@@ -355,7 +359,12 @@ fn finish_txn(
 ) {
     if now >= warmup {
         *committed += 1;
-        latencies.push(now - clients[c].start);
+        // A transaction in flight at the warm-up boundary is attributed to
+        // its completion-time side only: the part of its lifetime inside
+        // the warm-up period is already excluded from the measurement
+        // window, so counting it in the latency sample again would
+        // double-count the boundary and skew the measured latencies.
+        latencies.push(now - clients[c].start.max(warmup));
     }
 }
 
@@ -461,6 +470,46 @@ mod tests {
         let b = run_simulation(&w, &short(ClusterConfig::us(), 10, 7));
         assert_eq!(a.committed, b.committed);
         assert_eq!(a.avg_latency_ms, b.avg_latency_ms);
+    }
+
+    #[test]
+    fn distinct_records_never_share_a_lock() {
+        // Under the old `table_id · M ⊕ key` folding these two records
+        // collided onto one lock word: 0 · M ⊕ M == 1 · M ⊕ 0. The tuple
+        // key keeps them — and every other distinct pair — apart.
+        const M: u64 = 0x9E37_79B9_7F4A_7C15;
+        assert_ne!(lock_key(0, M), lock_key(1, 0));
+        assert_ne!(lock_key(2, M.wrapping_mul(2) ^ 7), lock_key(3, M.wrapping_mul(3) ^ 7));
+        assert_eq!(lock_key(5, 9), lock_key(5, 9));
+    }
+
+    #[test]
+    fn warmup_boundary_counts_completion_side_only() {
+        let mut clients = vec![ClientState {
+            replica: 0,
+            txn: ConcreteTxn {
+                profile: 0,
+                keys: vec![],
+            },
+            locks: vec![],
+            phase: Phase::Executing(0),
+            start: 60.0,
+        }];
+        let (mut committed, mut lat) = (0u64, Vec::new());
+        // Completes inside warm-up: not counted at all.
+        finish_txn(&mut clients, 0, 90.0, 100.0, &mut committed, &mut lat);
+        assert_eq!((committed, lat.len()), (0, 0));
+        // In flight at the boundary (started 60, warm-up ends 100,
+        // completes 130): committed once, latency only the measured-window
+        // share — the 40 ms spent inside warm-up is already excluded from
+        // the measurement window and must not be re-counted.
+        finish_txn(&mut clients, 0, 130.0, 100.0, &mut committed, &mut lat);
+        assert_eq!(committed, 1);
+        assert_eq!(lat, vec![30.0]);
+        // Fully post-warm-up: the full latency.
+        clients[0].start = 110.0;
+        finish_txn(&mut clients, 0, 150.0, 100.0, &mut committed, &mut lat);
+        assert_eq!(lat, vec![30.0, 40.0]);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //! **all nine workloads**, running detection and the whole engine-driven
 //! repair — in the default pair mode *and* the bounded three-instance
 //! triple mode — at 1, 2, and 8 worker threads must produce byte-identical
-//! verdicts, byte-identical repaired programs, and identical `RepairStats`
-//! (modulo wall-clock seconds, the one field that legitimately varies).
+//! verdicts, byte-identical repaired programs, byte-identical decoded
+//! witness schedules, and identical `RepairStats` (modulo wall-clock
+//! seconds, the one field that legitimately varies).
 //!
 //! Determinism is by construction — pair solving is per-pair independent
 //! and the engine merges outcomes in the serial pair order, not completion
@@ -14,7 +15,8 @@
 //! reference by `tests/repair_incremental_vs_scratch.rs`.
 
 use atropos::detect::{
-    detect_anomalies, ConsistencyLevel, DetectMode, DetectSession, DetectionEngine,
+    decode_witness, detect_anomalies, ConsistencyLevel, DetectMode, DetectSession,
+    DetectionEngine,
 };
 use atropos::repair::{repair_with_engine, RepairConfig, RepairReport, RepairStats};
 use atropos::workloads::benchmark;
@@ -65,7 +67,19 @@ fn assert_thread_count_invariant(workload: &str) {
         let mut triple_session = DetectSession::new();
         let triple_report =
             repair_with_engine(&b.program, &triple_config, &engine, &mut triple_session);
+        // Witness replay rides the same invariant: every initial verdict
+        // must decode to a byte-identical concrete schedule regardless of
+        // how many workers produced the verdict (the decoder re-solves on
+        // a fresh deterministic solver, so this pins both ends). The
+        // triple-mode projection covers the chain kinds.
+        let schedules: Vec<String> = report
+            .initial
+            .iter()
+            .chain(&triple_report.initial)
+            .map(|v| format!("{:?}", decode_witness(&b.program, v, config.level)))
+            .collect();
         let projection = vec![
+            format!("{schedules:?}"),
             format!("{:?}", report.initial),
             format!("{:?}", report.remaining),
             format!("{:?}", report.steps),
@@ -84,6 +98,7 @@ fn assert_thread_count_invariant(workload: &str) {
             None => reference = Some((projection, report)),
             Some((expected, _)) => {
                 let fields = [
+                    "decoded witness schedules",
                     "initial anomalies",
                     "remaining anomalies",
                     "steps",
