@@ -5,9 +5,9 @@
 //! table `table1` emits.
 
 use atropos_bench::reporting::{
-    bench_results_table, detect_stats_header, detect_stats_row, parse_csv, repair_stats_header,
-    repair_stats_row, replay_stats_header, replay_stats_row, triple_stats_header,
-    triple_stats_row, write_bench_csv,
+    bench_results_table, corpus_stats_header, corpus_stats_row, detect_stats_header,
+    detect_stats_row, parse_csv, repair_stats_header, repair_stats_row, replay_stats_header,
+    replay_stats_row, triple_stats_header, triple_stats_row, write_bench_csv,
 };
 use atropos_bench::Table;
 use atropos_detect::DetectStats;
@@ -279,6 +279,70 @@ fn replay_stats_rows_match_their_header() {
                 assert_eq!(r[5], "0", "{candidate}: row {i} reports failed replays");
                 assert_eq!(r[7], "0", "{candidate}: row {i} reports surviving replays");
             }
+        }
+    }
+}
+
+#[test]
+fn corpus_stats_rows_match_their_header() {
+    let stats = atropos_detect::CorpusStats {
+        programs: 40,
+        pair_slots: 1036,
+        unique_pairs: 259,
+        seconds: 0.05,
+        ..Default::default()
+    };
+    let mut t = Table::new(corpus_stats_header());
+    t.row(corpus_stats_row("Corpus x4", &stats, 796, 0.2));
+    let parsed = parse_csv(&t.to_csv());
+    assert_csv_shape(&parsed, "corpus-stats CSV");
+    let header: Vec<&str> = parsed[0].iter().map(String::as_str).collect();
+    assert_eq!(
+        header,
+        [
+            "Benchmark",
+            "Programs",
+            "Pair slots",
+            "Unique pairs",
+            "Verdicts",
+            "Cold (s)",
+            "Warm (s)",
+            "Cold prog/s",
+            "Warm prog/s",
+            "Speedup",
+        ]
+    );
+    // Pair slots collapse to unique solves; the speedup cell carries the x.
+    assert_eq!(parsed[1][2], "1036");
+    assert_eq!(parsed[1][3], "259");
+    assert_eq!(parsed[1].last().unwrap(), "4.0x");
+
+    // Validate the generated artifact when a `corpus` run produced it: the
+    // duplicated-program corpus (the x4 row) must report at least the 2x
+    // warm-vs-cold programs/sec the batch service promises — duplicates
+    // answer from the global store without touching the solver.
+    for candidate in [
+        "../../experiments/corpus_stats.csv",
+        "experiments/corpus_stats.csv",
+    ] {
+        if let Ok(text) = std::fs::read_to_string(candidate) {
+            let rows = parse_csv(&text);
+            assert_csv_shape(&rows, candidate);
+            assert_eq!(rows[0][3], "Unique pairs", "{candidate}");
+            let dup = rows[1..]
+                .iter()
+                .find(|r| r[0].ends_with("x4"))
+                .unwrap_or_else(|| panic!("{candidate}: no duplicated-corpus row"));
+            let speedup: f64 = dup
+                .last()
+                .unwrap()
+                .trim_end_matches('x')
+                .parse()
+                .unwrap_or_else(|e| panic!("{candidate}: speedup cell: {e}"));
+            assert!(
+                speedup >= 2.0,
+                "{candidate}: duplicated corpus must be >=2x warm-vs-cold, got {speedup}"
+            );
         }
     }
 }

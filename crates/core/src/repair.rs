@@ -452,6 +452,62 @@ pub fn ablation_sweep(
         .collect()
 }
 
+/// Repairs a whole corpus of programs through **one shared engine and
+/// session** — the repair-side analogue of
+/// [`atropos_detect::CorpusService`]: the session is swept once to the
+/// union of every corpus program (so no program's run strands another's
+/// warm entries), then each program repairs in corpus order, answering
+/// every transaction shape the corpus shares from warm verdicts. Returns
+/// one report per program, in input order.
+///
+/// # Examples
+///
+/// ```
+/// use atropos_core::{repair_corpus, RepairConfig};
+/// use atropos_detect::{DetectSession, DetectionEngine};
+///
+/// let p = atropos_dsl::parse(
+///     "schema C { id: int key, cnt: int }
+///      txn bump(k: int) {
+///          x := select cnt from C where id = k;
+///          update C set cnt = x.cnt + 1 where id = k;
+///          return 0;
+///      }",
+/// ).unwrap();
+/// let corpus = vec![("a".to_string(), p.clone()), ("b".to_string(), p)];
+/// let engine = DetectionEngine::serial();
+/// let mut session = DetectSession::new();
+/// let reports = repair_corpus(&corpus, &RepairConfig::default(), &engine, &mut session);
+/// assert_eq!(reports.len(), 2);
+/// assert!(reports.iter().all(|(_, r)| r.remaining.is_empty()));
+/// // The duplicate program's initial detection replays entirely warm.
+/// assert_eq!(reports[1].1.stats.cache.misses, 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any input program fails to type check.
+pub fn repair_corpus(
+    programs: &[(String, Program)],
+    config: &RepairConfig,
+    engine: &DetectionEngine,
+    session: &mut DetectSession,
+) -> Vec<(String, RepairReport)> {
+    session.sweep_corpus(programs.iter().map(|(_, p)| p));
+    programs
+        .iter()
+        .map(|(name, program)| {
+            session.begin_run();
+            let before = session.cache_stats();
+            let mut report =
+                repair_core(program, config, &mut Oracle::Engine { engine, session });
+            report.stats.cache = session.cache_stats().since(&before);
+            replay_initial_verdicts(program, config, &mut report);
+            (name.clone(), report)
+        })
+        .collect()
+}
+
 /// How a repair run discharges its detection passes.
 enum Oracle<'e, 's> {
     /// The Fig. 10 reference: a full fresh oracle pass every time.

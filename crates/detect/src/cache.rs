@@ -209,16 +209,16 @@ impl CacheStats {
 /// Key of one verdict entry: the ordered pair's fingerprints, whether the
 /// symmetric (lost-update) template ran for this orientation, and the
 /// consistency level queried.
-type VerdictKey = (u64, u64, bool, ConsistencyLevel);
+pub(crate) type VerdictKey = (u64, u64, bool, ConsistencyLevel);
 
 #[derive(Debug, Clone)]
-struct VerdictEntry {
-    txn1: String,
-    txn2: String,
+pub(crate) struct VerdictEntry {
+    pub(crate) txn1: String,
+    pub(crate) txn2: String,
     /// Run (see [`VerdictCache::advance_run`]) this entry was inserted in.
-    run: u64,
+    pub(crate) run: u64,
     /// Raw `analyse_pair` output for this ordered pair (pre-deduplication).
-    pairs: Vec<AccessPair>,
+    pub(crate) pairs: Vec<AccessPair>,
 }
 
 /// Key of one triple-verdict entry: the **canonical 3-fingerprint** — the
@@ -229,12 +229,12 @@ struct VerdictEntry {
 pub(crate) type TripleVerdictKey = (u64, u64, u64, ConsistencyLevel);
 
 #[derive(Debug, Clone)]
-struct TripleEntry {
-    txns: [String; 3],
+pub(crate) struct TripleEntry {
+    pub(crate) txns: [String; 3],
     /// Run (see [`VerdictCache::advance_run`]) this entry was inserted in.
-    run: u64,
+    pub(crate) run: u64,
     /// Raw `analyse_triple` output for this triple (pre-deduplication).
-    pairs: Vec<AccessPair>,
+    pub(crate) pairs: Vec<AccessPair>,
 }
 
 /// Retained per-pair analysis state: the grounded two-instance model and,
@@ -499,6 +499,44 @@ impl VerdictCache {
         evicted
     }
 
+    /// Precise, fingerprint-checked eviction: evicts a verdict entry (or
+    /// retained solver) involving one of the named transactions **only if
+    /// that transaction's summary fingerprint actually changed** — i.e. the
+    /// name is absent from `after`, or present with a different
+    /// fingerprint. A pure relabeling leaves every fingerprint intact, so
+    /// (unlike the coarse [`VerdictCache::invalidate_txns`]) this keeps the
+    /// warm entries the rename map already composes lookups through, and a
+    /// warm re-detection after a rename-only step equals a cold oracle
+    /// without re-solving anything. Returns the number of verdict entries
+    /// evicted.
+    pub fn invalidate_txns_changed(&mut self, txns: &BTreeSet<String>, after: &Program) -> usize {
+        // Fingerprints the post-edit program assigns to each txn name; a
+        // dirtied name keeps its entries only if its fingerprint survived.
+        let after_fps: HashMap<String, u64> = summarize_program(after)
+            .iter()
+            .map(|t| (t.name.clone(), txn_fingerprint(t)))
+            .collect();
+        let changed = |name: &str, fp: u64| {
+            txns.contains(name) && after_fps.get(name) != Some(&fp)
+        };
+        let before = self.verdicts.len() + self.triples.len();
+        self.verdicts
+            .retain(|k, e| !changed(&e.txn1, k.0) && !changed(&e.txn2, k.1));
+        self.states
+            .retain(|k, s| !changed(&s.txns.0, k.0) && !changed(&s.txns.1, k.1));
+        self.triples.retain(|k, e| {
+            let fps = [k.0, k.1, k.2];
+            e.txns.iter().zip(fps).all(|(t, fp)| !changed(t, fp))
+        });
+        self.triple_states.retain(|k, s| {
+            let fps = [k.0, k.1, k.2];
+            s.txns.iter().zip(fps).all(|(t, fp)| !changed(t, fp))
+        });
+        let evicted = before - self.verdicts.len() - self.triples.len();
+        self.stats.invalidated += evicted as u64;
+        evicted
+    }
+
     /// **Resets** liveness to exactly `program` and garbage-collects every
     /// verdict and retained solver whose fingerprints do not occur in it.
     ///
@@ -530,6 +568,16 @@ impl VerdictCache {
     /// memory with the explicit [`VerdictCache::sweep`]).
     pub(crate) fn sweep_live(&mut self, fps: &[u64]) -> usize {
         self.session_live.extend(fps.iter().copied());
+        self.retain_session_live()
+    }
+
+    /// **Resets** liveness to exactly the given fingerprint set — the
+    /// corpus-driver variant of [`VerdictCache::sweep`]: a batch run over
+    /// many programs bounds memory to the whole corpus at once, so no
+    /// program's pass strands another's warm entries. Returns the number
+    /// of verdict entries evicted.
+    pub(crate) fn sweep_fps(&mut self, fps: BTreeSet<u64>) -> usize {
+        self.session_live = fps;
         self.retain_session_live()
     }
 
@@ -746,6 +794,51 @@ impl VerdictCache {
         }
         Ok(cache)
     }
+
+    /// True when a pair verdict is cached under `key`. Unlike
+    /// [`VerdictCache::lookup`] this is a pure probe: no statistics are
+    /// bumped — the corpus planner uses it to dedup dirty pairs across a
+    /// whole corpus without inflating the per-program hit accounting.
+    pub(crate) fn contains_pair(&self, key: &VerdictKey) -> bool {
+        self.verdicts.contains_key(key)
+    }
+
+    /// True when a triple verdict is cached under `key` (pure probe, no
+    /// statistics — see [`VerdictCache::contains_pair`]).
+    pub(crate) fn contains_triple(&self, key: &TripleVerdictKey) -> bool {
+        self.triples.contains_key(key)
+    }
+
+    /// Every pair entry, sorted by key — the deterministic iteration order
+    /// the sharded store encodes records in.
+    pub(crate) fn pair_entries(&self) -> Vec<(&VerdictKey, &VerdictEntry)> {
+        let mut out: Vec<_> = self.verdicts.iter().collect();
+        out.sort_by_key(|(k, _)| **k);
+        out
+    }
+
+    /// Every triple entry, sorted by key (see
+    /// [`VerdictCache::pair_entries`]).
+    pub(crate) fn triple_entries(&self) -> Vec<(&TripleVerdictKey, &TripleEntry)> {
+        let mut out: Vec<_> = self.triples.iter().collect();
+        out.sort_by_key(|(k, _)| **k);
+        out
+    }
+
+    /// Installs a pair entry loaded from a persistent store, seeding the
+    /// liveness union with its fingerprints (the same contract as
+    /// [`VerdictCache::load_entries`]).
+    pub(crate) fn absorb_pair_entry(&mut self, key: VerdictKey, entry: VerdictEntry) {
+        self.session_live.extend([key.0, key.1]);
+        self.verdicts.insert(key, entry);
+    }
+
+    /// Installs a triple entry loaded from a persistent store (see
+    /// [`VerdictCache::absorb_pair_entry`]).
+    pub(crate) fn absorb_triple_entry(&mut self, key: TripleVerdictKey, entry: TripleEntry) {
+        self.session_live.extend([key.0, key.1, key.2]);
+        self.triples.insert(key, entry);
+    }
 }
 
 /// The `verdict_cache.v1` on-disk byte format: a magic header, the encoder
@@ -754,15 +847,17 @@ impl VerdictCache {
 /// Every integer is little-endian; strings are UTF-8 with a `u32` length
 /// prefix; string sets are a `u32` count followed by the strings in set
 /// order. No external dependency — the format is a few dozen lines of
-/// plain byte plumbing.
-mod persist {
+/// plain byte plumbing. The sharded `verdict_cache.v2` store
+/// ([`crate::corpus`]) reuses these primitives for its per-record
+/// payloads, so one entry encoding serves both formats.
+pub(crate) mod persist {
     use std::collections::BTreeSet;
     use std::io;
 
     use crate::detect::{AccessPair, AnomalyKind};
 
     /// Magic + version header (`v1`).
-    pub(super) const MAGIC: &[u8; 8] = b"ATRVC\x01\0\0";
+    pub(crate) const MAGIC: &[u8; 8] = b"ATRVC\x01\0\0";
 
     /// Revision of the *encoder* that produced the file, written right
     /// after the magic. The format version (`v1`, in the magic) names the
@@ -774,21 +869,21 @@ mod persist {
     /// certificates are the long-term fix). The value is high-entropy on
     /// purpose: pre-revision files carry a small entry count in these
     /// bytes, which can never collide with it.
-    pub(super) const ENCODER_REVISION: u32 = 0xA750_0001;
+    pub(crate) const ENCODER_REVISION: u32 = 0xA750_0001;
 
-    pub(super) fn bad(msg: &str) -> io::Error {
+    pub(crate) fn bad(msg: &str) -> io::Error {
         io::Error::new(io::ErrorKind::InvalidData, format!("verdict_cache.v1: {msg}"))
     }
 
-    pub(super) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
         out.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(super) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
         out.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(super) fn put_str(out: &mut Vec<u8>, s: &str) {
+    pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
         out.extend_from_slice(&(s.len() as u32).to_le_bytes());
         out.extend_from_slice(s.as_bytes());
     }
@@ -800,7 +895,7 @@ mod persist {
         }
     }
 
-    pub(super) fn put_pairs(out: &mut Vec<u8>, pairs: &[AccessPair]) {
+    pub(crate) fn put_pairs(out: &mut Vec<u8>, pairs: &[AccessPair]) {
         put_u64(out, pairs.len() as u64);
         for p in pairs {
             put_str(out, &p.cmd1.0);
@@ -814,13 +909,13 @@ mod persist {
         }
     }
 
-    pub(super) struct Reader<'a> {
+    pub(crate) struct Reader<'a> {
         bytes: &'a [u8],
         pos: usize,
     }
 
     impl<'a> Reader<'a> {
-        pub(super) fn new(bytes: &'a [u8]) -> Reader<'a> {
+        pub(crate) fn new(bytes: &'a [u8]) -> Reader<'a> {
             Reader { bytes, pos: 0 }
         }
 
@@ -839,7 +934,7 @@ mod persist {
             Ok(s)
         }
 
-        pub(super) fn expect_magic(&mut self) -> io::Result<()> {
+        pub(crate) fn expect_magic(&mut self) -> io::Result<()> {
             // An empty file is the common crash-before-first-write case;
             // name it instead of reporting a generic truncation.
             if self.bytes.is_empty() {
@@ -851,7 +946,7 @@ mod persist {
             Ok(())
         }
 
-        pub(super) fn expect_revision(&mut self) -> io::Result<()> {
+        pub(crate) fn expect_revision(&mut self) -> io::Result<()> {
             let got = self.u32()?;
             if got != ENCODER_REVISION {
                 return Err(bad(&format!(
@@ -863,19 +958,19 @@ mod persist {
             Ok(())
         }
 
-        pub(super) fn u8(&mut self) -> io::Result<u8> {
+        pub(crate) fn u8(&mut self) -> io::Result<u8> {
             Ok(self.take(1)?[0])
         }
 
-        pub(super) fn u64(&mut self) -> io::Result<u64> {
+        pub(crate) fn u64(&mut self) -> io::Result<u64> {
             Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
         }
 
-        fn u32(&mut self) -> io::Result<u32> {
+        pub(crate) fn u32(&mut self) -> io::Result<u32> {
             Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
         }
 
-        pub(super) fn string(&mut self) -> io::Result<String> {
+        pub(crate) fn string(&mut self) -> io::Result<String> {
             let len = self.u32()? as usize;
             let s = self.take(len)?;
             String::from_utf8(s.to_vec()).map_err(|_| bad("non-UTF-8 string"))
@@ -895,7 +990,7 @@ mod persist {
         /// how many entries a length prefix can honestly promise.
         const MIN_ENCODED_PAIR: usize = 29;
 
-        pub(super) fn pairs(&mut self) -> io::Result<Vec<AccessPair>> {
+        pub(crate) fn pairs(&mut self) -> io::Result<Vec<AccessPair>> {
             let n = self.u64()? as usize;
             // A length prefix can't promise more entries than bytes left —
             // checked against the minimum encoding so a garbage count in a
@@ -1091,6 +1186,70 @@ mod tests {
             assert!(h2.join().unwrap());
         });
         assert!(map.take((1, 2)).is_none());
+    }
+
+    /// Satellite pin: with zero cross-run lookups the ratio is *defined*
+    /// as 0.0, never NaN — `repair_stats.csv` renders it with `{:.2}`, so
+    /// a NaN here would print literally into the artifact.
+    #[test]
+    fn cross_run_hit_ratio_is_zero_not_nan_without_cross_run_lookups() {
+        let fresh = CacheStats::default();
+        assert_eq!(fresh.cross_run_lookups, 0);
+        assert!(!fresh.cross_run_hit_ratio().is_nan());
+        assert_eq!(fresh.cross_run_hit_ratio(), 0.0);
+        // Same for the plain hit ratio, and for a cache that did work but
+        // never crossed a run boundary.
+        assert_eq!(fresh.hit_ratio(), 0.0);
+        let mut cache = VerdictCache::new();
+        let ts = summaries(COUNTER);
+        let fp = txn_fingerprint(&ts[0]);
+        cache.lookup(fp, fp, true, ConsistencyLevel::EventualConsistency);
+        assert!(cache.stats().lookups > 0);
+        assert_eq!(cache.stats().cross_run_hit_ratio(), 0.0);
+        assert!(format!("{:.2}", cache.stats().cross_run_hit_ratio()) == "0.00");
+    }
+
+    /// Satellite regression: the precise invalidation keeps entries whose
+    /// fingerprints survived the edit (a pure relabeling), evicts entries
+    /// whose fingerprints changed, and composes with the rename map so a
+    /// warm re-detection equals a cold oracle without re-solving.
+    #[test]
+    fn precise_invalidation_keeps_rename_only_entries() {
+        use crate::detect_anomalies_cached;
+        let ec = ConsistencyLevel::EventualConsistency;
+        let before = parse(COUNTER).unwrap();
+        let renamed = parse(&COUNTER.replace("@R", "@Rx").replace("@W", "@Wx")).unwrap();
+
+        let mut cache = VerdictCache::new();
+        let (cold, _) = detect_anomalies_cached(&before, ec, &mut cache);
+        assert!(!cold.is_empty());
+        assert_eq!(cache.len(), 1, "the one ordered self-pair cached");
+
+        // A rename-only step: the rule reports the relabeling and names the
+        // txn dirty, but no fingerprint changed — nothing may be evicted.
+        cache.record_renames(&BTreeMap::from([
+            ("R".to_owned(), "Rx".to_owned()),
+            ("W".to_owned(), "Wx".to_owned()),
+        ]));
+        let dirty = BTreeSet::from(["bump".to_owned()]);
+        assert_eq!(cache.invalidate_txns_changed(&dirty, &renamed), 0);
+        assert_eq!(cache.len(), 1, "rename-only edit evicted warm entries");
+
+        // Warm ≡ cold on the renamed program, with zero solver work.
+        let before_stats = cache.stats();
+        let (warm, stats) = detect_anomalies_cached(&renamed, ec, &mut cache);
+        assert_eq!(stats.queries, 0, "warm pass touched a solver");
+        assert_eq!(cache.stats().since(&before_stats).misses, 0);
+        let (cold2, _) = detect_anomalies_cached(&renamed, ec, &mut VerdictCache::new());
+        assert_eq!(format!("{warm:?}"), format!("{cold2:?}"));
+
+        // A summary-changing edit to the same txn *is* evicted — the
+        // precise form degenerates to the coarse one when work changed.
+        let widened = parse(&COUNTER.replace("select v from T where id = k", "select v from T"))
+            .unwrap();
+        assert_eq!(cache.invalidate_txns_changed(&dirty, &widened), 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidated, 1);
     }
 
     #[test]

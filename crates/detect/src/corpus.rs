@@ -1,0 +1,1099 @@
+//! Fleet-scale detection: the sharded `verdict_cache.v2` store and the
+//! batch corpus service (ROADMAP item 2).
+//!
+//! # The v2 store
+//!
+//! The monolithic `verdict_cache.v1` file is a load-all/save-all snapshot:
+//! two sessions pointed at the same path clobber each other (last writer
+//! wins), and a crash mid-save leaves the truncated file `load_from`
+//! rejects. [`CorpusStore`] replaces it with a **directory** of
+//! [`SHARD_COUNT`] shard files keyed by fingerprint prefix (the high
+//! nibble of the entry's first canonical fingerprint picks the shard):
+//!
+//! * every shard is a record log — a magic/revision header followed by
+//!   length-prefixed records, each carrying an FNV-1a checksum, a
+//!   coarse unix-seconds stamp (the eviction clock), and one pair or
+//!   triple verdict entry in the v1 entry encoding;
+//! * shards are written via sibling tempfile + atomic rename, so a crash
+//!   at any point leaves either the old shard or the new one — never a
+//!   truncated hybrid;
+//! * a per-shard advisory lock file (`shard-NN.lock`, acquired with
+//!   `O_EXCL`-style `create_new`) serializes writers: a merge reads the
+//!   current shard under the lock, unions its entries in, and rewrites —
+//!   so two concurrent sessions **merge instead of clobber** (the union
+//!   of their verdicts survives, proven by the concurrency tests);
+//! * [`CorpusStore::compact`] rewrites every shard under all locks,
+//!   applying an [`EvictionPolicy`] (max age, max entry count —
+//!   oldest-stamped entries go first).
+//!
+//! [`crate::DetectSession::save_to`] and
+//! [`crate::DetectSession::load_from`] dispatch on the path: a directory
+//! is a v2 store (save = union-merge), a file is the v1 format
+//! (unchanged, now written atomically). [`CorpusStore::open`] pointed at
+//! an existing v1 *file* transparently migrates it into a store
+//! directory at the same path.
+//!
+//! # The corpus service
+//!
+//! The paper's detection phase is embarrassingly fingerprint-dedupable
+//! across programs: millions of users ship near-identical transaction
+//! shapes, so a corpus is mostly repeated fingerprints. [`CorpusService`]
+//! (and the underlying [`analyse_corpus`]) exploit this with a **global
+//! plan**: summarize and fingerprint every program, dedup the dirty
+//! pair/triple keys across the whole corpus, solve each unique key
+//! exactly once on one shared [`crate::DetectionEngine`] worker pool,
+//! then answer every program's verdicts from the warm store. Per-program
+//! verdicts are byte-identical to running each program through
+//! [`crate::detect_anomalies_cached`] in isolation (pinned by
+//! `tests/corpus_differential.rs` at 1/2/8 threads) — the service only
+//! changes how often the solver runs, never what it concludes.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant, SystemTime};
+
+use atropos_dsl::Program;
+
+use crate::cache::{
+    persist, txn_fingerprint, PairState, TripleEntry, TripleVerdictKey, VerdictCache,
+    VerdictEntry, VerdictKey,
+};
+use crate::detect::{solve_pair_with_state, AccessPair, DetectStats};
+use crate::encode::ConsistencyLevel;
+use crate::engine::{
+    canonical_trio, detect_with_cache, merge_outcome_stats, run_pool, DetectMode,
+    DetectionEngine, Outcome, WorkerStats,
+};
+use crate::model::{summarize_program, TxnSummary};
+use crate::session::DetectSession;
+use crate::triple::{has_candidates, solve_triple_with_state, TripleState};
+
+/// Number of shard files a v2 store spreads its entries over. An entry's
+/// shard is the high nibble of its first canonical fingerprint, so the
+/// assignment is stable across processes and store generations.
+pub const SHARD_COUNT: usize = 16;
+
+/// Magic + version header of one v2 shard file.
+const SHARD_MAGIC: &[u8; 8] = b"ATRVC\x02\0\0";
+
+/// How long a writer waits for a shard lock before giving up.
+const LOCK_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Age after which a lock file is presumed abandoned (a crashed holder)
+/// and taken over.
+const LOCK_STALE_AFTER: Duration = Duration::from_secs(30);
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("verdict_cache.v2: {msg}"))
+}
+
+/// FNV-1a 64-bit over `bytes`: the per-record checksum. Chosen over the
+/// std hasher because its value is pinned by the algorithm, not by the
+/// std implementation — records written by one build verify under any
+/// other.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Coarse wall-clock stamp (unix seconds) for new records — the eviction
+/// clock, not an ordering primitive.
+fn now_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `bytes` to `path` via a sibling tempfile and an atomic rename,
+/// so a crash at any point leaves either the old file or the new one —
+/// never a truncation. The temp name carries the pid and a process-local
+/// sequence number, so concurrent writers in one or many processes never
+/// collide on it.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    if let Err(e) = fs::write(&tmp, bytes) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
+}
+
+/// The sibling tempfile [`write_atomic`] stages into before renaming over
+/// `path` — exposed so the crash-regression test can plant exactly the
+/// partial file a writer killed mid-write would leave behind.
+pub(crate) fn tmp_sibling(path: &Path) -> PathBuf {
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    path.with_file_name(format!(".{name}.tmp.{}.{seq}", std::process::id()))
+}
+
+/// RAII advisory lock on one shard: a `shard-NN.lock` file created with
+/// `create_new` (fails if it exists), deleted on drop. Waiters poll; a
+/// lock older than [`LOCK_STALE_AFTER`] is presumed abandoned by a
+/// crashed holder and removed.
+struct ShardLock {
+    path: PathBuf,
+}
+
+impl ShardLock {
+    fn acquire(dir: &Path, shard: usize) -> io::Result<ShardLock> {
+        let path = dir.join(format!("shard-{shard:02}.lock"));
+        let started = Instant::now();
+        loop {
+            match fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(_) => return Ok(ShardLock { path }),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let stale = fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|m| m.elapsed().ok())
+                        .is_some_and(|age| age > LOCK_STALE_AFTER);
+                    if stale {
+                        // Take over an abandoned lock; a racing taker just
+                        // loops back to create_new.
+                        let _ = fs::remove_file(&path);
+                        continue;
+                    }
+                    if started.elapsed() > LOCK_TIMEOUT {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("timed out waiting for shard lock {}", path.display()),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for ShardLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// One decoded store record: a pair or triple verdict entry plus its
+/// eviction stamp.
+enum StoreEntry {
+    Pair(VerdictKey, VerdictEntry),
+    Triple(TripleVerdictKey, TripleEntry),
+}
+
+/// Canonical, totally ordered identity of a record — the union-merge and
+/// shard-write key. Pairs and triples share one keyspace (tag first).
+type RecordKey = (u8, u64, u64, u64, u8, u8);
+
+fn record_key(e: &StoreEntry) -> RecordKey {
+    match e {
+        StoreEntry::Pair((fp1, fp2, symmetric, level), _) => {
+            (0, *fp1, *fp2, 0, u8::from(*symmetric), level.index() as u8)
+        }
+        StoreEntry::Triple((fp1, fp2, fp3, level), _) => {
+            (1, *fp1, *fp2, *fp3, 0, level.index() as u8)
+        }
+    }
+}
+
+/// The shard an entry lives in: the high nibble of its first canonical
+/// fingerprint.
+fn shard_of_fp(fp1: u64) -> usize {
+    ((fp1 >> 60) as usize) % SHARD_COUNT
+}
+
+fn encode_payload(stamp: u64, e: &StoreEntry) -> Vec<u8> {
+    let mut out = Vec::new();
+    match e {
+        StoreEntry::Pair((fp1, fp2, symmetric, level), entry) => {
+            out.push(0u8);
+            persist::put_u64(&mut out, stamp);
+            persist::put_u64(&mut out, *fp1);
+            persist::put_u64(&mut out, *fp2);
+            out.push(u8::from(*symmetric));
+            out.push(level.index() as u8);
+            persist::put_str(&mut out, &entry.txn1);
+            persist::put_str(&mut out, &entry.txn2);
+            persist::put_pairs(&mut out, &entry.pairs);
+        }
+        StoreEntry::Triple((fp1, fp2, fp3, level), entry) => {
+            out.push(1u8);
+            persist::put_u64(&mut out, stamp);
+            persist::put_u64(&mut out, *fp1);
+            persist::put_u64(&mut out, *fp2);
+            persist::put_u64(&mut out, *fp3);
+            out.push(level.index() as u8);
+            for t in &entry.txns {
+                persist::put_str(&mut out, t);
+            }
+            persist::put_pairs(&mut out, &entry.pairs);
+        }
+    }
+    out
+}
+
+fn decode_payload(payload: &[u8]) -> io::Result<(u64, StoreEntry)> {
+    let mut r = persist::Reader::new(payload);
+    let tag = r.u8()?;
+    let stamp = r.u64()?;
+    let entry = match tag {
+        0 => {
+            let fp1 = r.u64()?;
+            let fp2 = r.u64()?;
+            let symmetric = r.u8()? != 0;
+            let level = ConsistencyLevel::from_index(r.u8()? as usize)
+                .ok_or_else(|| bad("unknown consistency-level tag"))?;
+            let txn1 = r.string()?;
+            let txn2 = r.string()?;
+            let pairs = r.pairs()?;
+            StoreEntry::Pair(
+                (fp1, fp2, symmetric, level),
+                VerdictEntry {
+                    txn1,
+                    txn2,
+                    run: 0,
+                    pairs,
+                },
+            )
+        }
+        1 => {
+            let fp1 = r.u64()?;
+            let fp2 = r.u64()?;
+            let fp3 = r.u64()?;
+            let level = ConsistencyLevel::from_index(r.u8()? as usize)
+                .ok_or_else(|| bad("unknown consistency-level tag"))?;
+            let txns = [r.string()?, r.string()?, r.string()?];
+            let pairs = r.pairs()?;
+            StoreEntry::Triple(
+                (fp1, fp2, fp3, level),
+                TripleEntry {
+                    txns,
+                    run: 0,
+                    pairs,
+                },
+            )
+        }
+        t => return Err(bad(&format!("unknown record tag {t}"))),
+    };
+    Ok((stamp, entry))
+}
+
+/// Which records a [`CorpusStore::compact`] pass drops. The default
+/// evicts nothing (compaction then only rewrites shards, dropping
+/// duplicate generations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictionPolicy {
+    /// Evict records whose stamp is older than this many seconds.
+    pub max_age_secs: Option<u64>,
+    /// Keep at most this many records store-wide; oldest stamps evicted
+    /// first (ties broken by record key, so the cut is deterministic).
+    pub max_entries: Option<usize>,
+}
+
+/// What one [`CorpusStore::compact`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Records surviving in the rewritten store.
+    pub kept: usize,
+    /// Records dropped by the eviction policy.
+    pub evicted: usize,
+}
+
+/// A sharded, concurrently mergeable on-disk verdict store — the
+/// `verdict_cache.v2` format (see the [module docs](self) for the
+/// layout, locking, and migration story).
+pub struct CorpusStore {
+    dir: PathBuf,
+}
+
+impl CorpusStore {
+    /// Opens (creating if necessary) the store directory at `path`. If
+    /// `path` is an existing **v1 cache file**, it is transparently
+    /// migrated: the v1 entries are re-written as a store directory at
+    /// the same path (staged at a sibling, so a crash mid-migration
+    /// cannot destroy the original until the store is complete).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a v1 file that fails to parse (corrupt,
+    /// stale encoder revision) fails the migration with its original
+    /// error.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<CorpusStore> {
+        let path = path.as_ref();
+        if path.is_file() {
+            return Self::migrate_v1(path);
+        }
+        fs::create_dir_all(path)?;
+        Ok(CorpusStore {
+            dir: path.to_path_buf(),
+        })
+    }
+
+    /// Migrates a monolithic v1 cache file into a v2 store directory at
+    /// the same path.
+    fn migrate_v1(path: &Path) -> io::Result<CorpusStore> {
+        let bytes = fs::read(path)?;
+        let cache = VerdictCache::load_entries(&bytes)?;
+        let staged = path.with_extension("v2migrate");
+        if staged.exists() {
+            fs::remove_dir_all(&staged)?;
+        }
+        fs::create_dir_all(&staged)?;
+        let store = CorpusStore { dir: staged.clone() };
+        store.merge_cache_stamped(&cache, now_secs())?;
+        // The one non-atomic instant of the migration: the v1 file must
+        // vacate the path before the finished store directory renames
+        // over it. A crash between the two calls leaves the complete
+        // store at the staged sibling; re-opening re-runs the migration.
+        fs::remove_file(path)?;
+        fs::rename(&staged, path)?;
+        Ok(CorpusStore {
+            dir: path.to_path_buf(),
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn shard_path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("shard-{shard:02}.v2"))
+    }
+
+    /// Reads and validates one shard file into `into` (keyed records,
+    /// newest stamp wins). A missing shard is an empty shard.
+    fn read_shard(
+        &self,
+        shard: usize,
+        into: &mut BTreeMap<RecordKey, (u64, StoreEntry)>,
+    ) -> io::Result<()> {
+        let bytes = match fs::read(self.shard_path(shard)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        if bytes.len() < SHARD_MAGIC.len() + 12 {
+            return Err(bad("truncated shard header"));
+        }
+        if &bytes[..8] != SHARD_MAGIC {
+            return Err(bad("bad shard magic (not a v2 shard, or a future version)"));
+        }
+        let revision = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if revision != persist::ENCODER_REVISION {
+            return Err(bad(&format!(
+                "encoder revision mismatch: shard was written by encoder {revision:#010x}, \
+                 this build expects {:#010x} — delete the store directory and regenerate it",
+                persist::ENCODER_REVISION
+            )));
+        }
+        let idx = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        let count = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes")) as usize;
+        if idx != shard || count != SHARD_COUNT {
+            return Err(bad(&format!(
+                "shard header names shard {idx}/{count}, expected {shard}/{SHARD_COUNT}"
+            )));
+        }
+        let mut pos = 20;
+        while pos < bytes.len() {
+            if bytes.len() - pos < 12 {
+                return Err(bad("truncated record header"));
+            }
+            let len =
+                u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let sum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+            pos += 12;
+            if bytes.len() - pos < len {
+                return Err(bad("truncated record payload"));
+            }
+            let payload = &bytes[pos..pos + len];
+            pos += len;
+            if fnv1a(payload) != sum {
+                return Err(bad("record checksum mismatch (corrupt shard)"));
+            }
+            let (stamp, entry) = decode_payload(payload)?;
+            let key = record_key(&entry);
+            match into.get(&key) {
+                Some((existing, _)) if *existing >= stamp => {}
+                _ => {
+                    into.insert(key, (stamp, entry));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rewrites one shard file (atomically) from its keyed records.
+    fn write_shard(
+        &self,
+        shard: usize,
+        records: &BTreeMap<RecordKey, (u64, StoreEntry)>,
+    ) -> io::Result<()> {
+        let mut out = Vec::new();
+        out.extend_from_slice(SHARD_MAGIC);
+        persist::put_u32(&mut out, persist::ENCODER_REVISION);
+        persist::put_u32(&mut out, shard as u32);
+        persist::put_u32(&mut out, SHARD_COUNT as u32);
+        for (stamp, entry) in records.values() {
+            let payload = encode_payload(*stamp, entry);
+            persist::put_u32(&mut out, payload.len() as u32);
+            persist::put_u64(&mut out, fnv1a(&payload));
+            out.extend_from_slice(&payload);
+        }
+        write_atomic(&self.shard_path(shard), &out)
+    }
+
+    /// Union-merges every verdict entry of `cache` into the store,
+    /// stamping new records with the current wall clock. Each touched
+    /// shard is read, merged, and atomically rewritten under its
+    /// advisory lock, so concurrent sessions merging into one store
+    /// produce the union of their verdicts — never a clobber. Returns
+    /// the number of records that were new to the store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a corrupt or revision-stale shard fails
+    /// the merge with `InvalidData` (nothing is overwritten).
+    pub fn merge_cache(&self, cache: &VerdictCache) -> io::Result<usize> {
+        self.merge_cache_stamped(cache, now_secs())
+    }
+
+    /// Union-merges a whole session's verdicts into the store — the
+    /// public entry point behind [`crate::DetectSession::save_to`] on a
+    /// directory path (see [`CorpusStore::merge_cache`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as [`CorpusStore::merge_cache`].
+    pub fn merge_session(&self, session: &DetectSession) -> io::Result<usize> {
+        self.merge_cache(session.cache())
+    }
+
+    /// [`CorpusStore::merge_cache`] with an explicit stamp — the
+    /// deterministic variant the eviction tests drive the clock with.
+    pub fn merge_cache_stamped(&self, cache: &VerdictCache, stamp: u64) -> io::Result<usize> {
+        // Bucket the cache's entries by shard first, so each lock is held
+        // exactly once.
+        let mut by_shard: BTreeMap<usize, Vec<StoreEntry>> = BTreeMap::new();
+        for (k, e) in cache.pair_entries() {
+            by_shard
+                .entry(shard_of_fp(k.0))
+                .or_default()
+                .push(StoreEntry::Pair(*k, e.clone()));
+        }
+        for (k, e) in cache.triple_entries() {
+            by_shard
+                .entry(shard_of_fp(k.0))
+                .or_default()
+                .push(StoreEntry::Triple(*k, e.clone()));
+        }
+        let mut added = 0;
+        for (shard, entries) in by_shard {
+            let _lock = ShardLock::acquire(&self.dir, shard)?;
+            let mut records = BTreeMap::new();
+            self.read_shard(shard, &mut records)?;
+            for entry in entries {
+                let key = record_key(&entry);
+                match records.get(&key) {
+                    Some((existing, _)) => {
+                        // Same key ⇒ semantically the same verdict (the
+                        // encoder revision pins the semantics); refresh
+                        // the stamp so a re-merged entry stays young.
+                        if stamp > *existing {
+                            records.insert(key, (stamp, entry));
+                        }
+                    }
+                    None => {
+                        records.insert(key, (stamp, entry));
+                        added += 1;
+                    }
+                }
+            }
+            self.write_shard(shard, &records)?;
+        }
+        Ok(added)
+    }
+
+    /// Loads every shard into a fresh [`VerdictCache`]: entries land in
+    /// run 0 (warm for every following run) and seed the liveness union,
+    /// exactly like a v1 load.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a corrupt record (checksum mismatch,
+    /// truncation, unknown tag) or a revision-stale shard is refused
+    /// with `InvalidData`.
+    pub fn load_cache(&self) -> io::Result<VerdictCache> {
+        let mut records = BTreeMap::new();
+        for shard in 0..SHARD_COUNT {
+            self.read_shard(shard, &mut records)?;
+        }
+        let mut cache = VerdictCache::new();
+        for (_, (_, entry)) in records {
+            match entry {
+                StoreEntry::Pair(key, e) => cache.absorb_pair_entry(key, e),
+                StoreEntry::Triple(key, e) => cache.absorb_triple_entry(key, e),
+            }
+        }
+        Ok(cache)
+    }
+
+    /// Number of records currently in the store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as [`CorpusStore::load_cache`].
+    pub fn entry_count(&self) -> io::Result<usize> {
+        let mut records = BTreeMap::new();
+        for shard in 0..SHARD_COUNT {
+            self.read_shard(shard, &mut records)?;
+        }
+        Ok(records.len())
+    }
+
+    /// Compacts the store under `policy`: every shard is read and
+    /// rewritten under its lock (locks taken in shard order, so
+    /// concurrent compactions cannot deadlock), dropping records older
+    /// than `max_age_secs` and then the oldest records beyond
+    /// `max_entries`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as [`CorpusStore::load_cache`].
+    pub fn compact(&self, policy: &EvictionPolicy) -> io::Result<CompactionReport> {
+        self.compact_at(policy, now_secs())
+    }
+
+    /// [`CorpusStore::compact`] with an explicit "now" — the
+    /// deterministic variant the eviction tests drive the clock with.
+    pub fn compact_at(&self, policy: &EvictionPolicy, now: u64) -> io::Result<CompactionReport> {
+        let _locks: Vec<ShardLock> = (0..SHARD_COUNT)
+            .map(|s| ShardLock::acquire(&self.dir, s))
+            .collect::<io::Result<_>>()?;
+        let mut records = BTreeMap::new();
+        for shard in 0..SHARD_COUNT {
+            self.read_shard(shard, &mut records)?;
+        }
+        let total = records.len();
+        if let Some(max_age) = policy.max_age_secs {
+            records.retain(|_, (stamp, _)| now.saturating_sub(*stamp) <= max_age);
+        }
+        if let Some(max_entries) = policy.max_entries {
+            if records.len() > max_entries {
+                // Oldest stamps go first; ties broken by key order so the
+                // cut is deterministic.
+                let mut order: Vec<(u64, RecordKey)> =
+                    records.iter().map(|(k, (stamp, _))| (*stamp, *k)).collect();
+                order.sort();
+                let doomed: HashSet<RecordKey> = order
+                    [..records.len() - max_entries]
+                    .iter()
+                    .map(|&(_, k)| k)
+                    .collect();
+                records.retain(|k, _| !doomed.contains(k));
+            }
+        }
+        let kept = records.len();
+        let mut by_shard: BTreeMap<usize, BTreeMap<RecordKey, (u64, StoreEntry)>> =
+            (0..SHARD_COUNT).map(|s| (s, BTreeMap::new())).collect();
+        for (key, rec) in records {
+            by_shard
+                .get_mut(&shard_of_fp(key.1))
+                .expect("all shards present")
+                .insert(key, rec);
+        }
+        for (shard, recs) in by_shard {
+            self.write_shard(shard, &recs)?;
+        }
+        Ok(CompactionReport {
+            kept,
+            evicted: total - kept,
+        })
+    }
+}
+
+/// Aggregate statistics of one [`analyse_corpus`] pass: how much solver
+/// work the corpus-wide fingerprint dedup avoided.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CorpusStats {
+    /// Programs analysed.
+    pub programs: usize,
+    /// Ordered transaction pairs planned across the whole corpus (what a
+    /// program-at-a-time driver would have looked up).
+    pub pair_slots: u64,
+    /// Unique dirty pair keys actually solved — everything else was a
+    /// duplicate fingerprint or already in the store.
+    pub unique_pairs: u64,
+    /// Unordered transaction triples planned across the corpus (zero
+    /// outside [`DetectMode::Triples`]).
+    pub triple_slots: u64,
+    /// Unique dirty triple keys actually solved.
+    pub unique_triples: u64,
+    /// Solver-side statistics of the global solve phase.
+    pub solve: DetectStats,
+    /// Wall-clock seconds of the whole pass (plan + solve + answer).
+    pub seconds: f64,
+}
+
+/// One program's verdicts out of a corpus pass.
+#[derive(Debug, Clone)]
+pub struct CorpusVerdict {
+    /// The program's corpus name (its file stem, for ingested
+    /// directories).
+    pub name: String,
+    /// The anomaly verdicts — byte-identical to an isolated
+    /// [`crate::detect_anomalies_cached`] run over the same program.
+    pub verdicts: Vec<AccessPair>,
+    /// The answering pass's statistics (all warm: zero queries).
+    pub stats: DetectStats,
+}
+
+/// One globally planned dirty pair of the corpus work list.
+struct CorpusPairMiss {
+    prog: usize,
+    i: usize,
+    j: usize,
+    symmetric: bool,
+}
+
+/// One globally planned dirty triple of the corpus work list, in
+/// canonical orientation.
+struct CorpusTrioMiss {
+    prog: usize,
+    idx: [usize; 3],
+    key: TripleVerdictKey,
+}
+
+/// Analyses a whole corpus of programs against one shared session:
+/// fingerprint-dedups the dirty pair/triple keys **across the corpus**,
+/// solves each unique key once on `engine`'s worker pool (merged in plan
+/// order — deterministic at any thread count), and answers every
+/// program's verdicts from the warm store.
+///
+/// Per-program verdicts are byte-identical to running each program
+/// through [`crate::detect_anomalies_cached`] (or, in triple mode, the
+/// engine) in isolation; the corpus pass only changes how often the
+/// solver runs.
+pub fn analyse_corpus(
+    engine: &DetectionEngine,
+    programs: &[(String, Program)],
+    level: ConsistencyLevel,
+    mode: DetectMode,
+    session: &mut DetectSession,
+) -> (Vec<CorpusVerdict>, CorpusStats) {
+    let started = Instant::now();
+    let threads = engine.threads();
+    let (cache, per_worker) = session.cache_and_workers();
+    let mut stats = CorpusStats {
+        programs: programs.len(),
+        ..CorpusStats::default()
+    };
+
+    // Plan (serial): summarize and fingerprint everything, fold the whole
+    // corpus into the liveness union *first* (so no program's pass sweeps
+    // another's entries), then dedup dirty keys corpus-wide.
+    let sums: Vec<Vec<TxnSummary>> = programs.iter().map(|(_, p)| summarize_program(p)).collect();
+    let fps: Vec<Vec<u64>> = sums
+        .iter()
+        .map(|s| s.iter().map(txn_fingerprint).collect())
+        .collect();
+    let all_fps: Vec<u64> = fps.iter().flatten().copied().collect();
+    cache.sweep_live(&all_fps);
+
+    let mut planned: HashSet<VerdictKey> = HashSet::new();
+    let mut misses: Vec<CorpusPairMiss> = Vec::new();
+    for (prog, pfps) in fps.iter().enumerate() {
+        let n = pfps.len();
+        for i in 0..n {
+            for j in 0..n {
+                stats.pair_slots += 1;
+                let symmetric = i <= j;
+                let key = (pfps[i], pfps[j], symmetric, level);
+                if cache.contains_pair(&key) || !planned.insert(key) {
+                    continue;
+                }
+                misses.push(CorpusPairMiss {
+                    prog,
+                    i,
+                    j,
+                    symmetric,
+                });
+            }
+        }
+    }
+    stats.unique_pairs = misses.len() as u64;
+
+    let absorb = |pw: &mut Vec<WorkerStats>, ws: &[WorkerStats]| {
+        if pw.len() < ws.len() {
+            pw.resize(ws.len(), WorkerStats::default());
+        }
+        for (slot, w) in ws.iter().enumerate() {
+            pw[slot].absorb(w);
+        }
+    };
+
+    // Solve (parallel): each unique key exactly once, against the shared
+    // retained-state shards.
+    let (outcomes, worker_stats) = run_pool(threads, &misses, |m| {
+        let (t1, t2) = (&sums[m.prog][m.i], &sums[m.prog][m.j]);
+        let key = (fps[m.prog][m.i], fps[m.prog][m.j]);
+        let mut state = cache.states().take(key).unwrap_or_else(|| PairState::new(t1, t2));
+        let solver_reused = state.solver.is_some();
+        let (pairs, st) = solve_pair_with_state(t1, t2, m.symmetric, level, &mut state);
+        cache.states().store(key, state);
+        Outcome {
+            pairs,
+            stats: st,
+            solver_reused,
+        }
+    });
+    absorb(per_worker, &worker_stats);
+
+    // Merge (serial, plan order) — same discipline as the engine, so the
+    // store's contents are thread-count blind.
+    for (m, o) in misses.iter().zip(outcomes) {
+        let o = o.expect("every corpus miss was solved");
+        cache.stats_mut().solver_reuses += u64::from(o.solver_reused);
+        merge_outcome_stats(&mut stats.solve, &o);
+        cache.insert(
+            fps[m.prog][m.i],
+            fps[m.prog][m.j],
+            m.symmetric,
+            level,
+            &sums[m.prog][m.i],
+            &sums[m.prog][m.j],
+            o.pairs,
+        );
+    }
+
+    // The triple plan/solve/merge, same shape (canonical orientation,
+    // static prefilter settles template-free triples during planning).
+    if mode == DetectMode::Triples {
+        let mut planned_t: HashSet<TripleVerdictKey> = HashSet::new();
+        let mut trio_misses: Vec<CorpusTrioMiss> = Vec::new();
+        for (prog, pfps) in fps.iter().enumerate() {
+            let n = pfps.len();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    for k in (j + 1)..n {
+                        stats.triple_slots += 1;
+                        let idx = canonical_trio([i, j, k], pfps);
+                        let key = (pfps[idx[0]], pfps[idx[1]], pfps[idx[2]], level);
+                        if cache.contains_triple(&key) || planned_t.contains(&key) {
+                            continue;
+                        }
+                        planned_t.insert(key);
+                        let ts = [
+                            &sums[prog][idx[0]],
+                            &sums[prog][idx[1]],
+                            &sums[prog][idx[2]],
+                        ];
+                        if has_candidates(ts, [pfps[idx[0]], pfps[idx[1]], pfps[idx[2]]]) {
+                            trio_misses.push(CorpusTrioMiss { prog, idx, key });
+                        } else {
+                            cache.insert_triple(key, ts, Vec::new());
+                        }
+                    }
+                }
+            }
+        }
+        stats.unique_triples = trio_misses.len() as u64;
+
+        let (trio_outcomes, trio_workers) = run_pool(threads, &trio_misses, |m| {
+            let ts = [
+                &sums[m.prog][m.idx[0]],
+                &sums[m.prog][m.idx[1]],
+                &sums[m.prog][m.idx[2]],
+            ];
+            let tfps = [
+                fps[m.prog][m.idx[0]],
+                fps[m.prog][m.idx[1]],
+                fps[m.prog][m.idx[2]],
+            ];
+            let key = (m.key.0, m.key.1, m.key.2);
+            let mut state = cache
+                .triple_states()
+                .take(key)
+                .unwrap_or_else(|| TripleState::new(ts));
+            let solver_reused = state.solver.is_some();
+            let (pairs, st) = solve_triple_with_state(ts, tfps, level, &mut state);
+            cache.triple_states().store(key, state);
+            Outcome {
+                pairs,
+                stats: st,
+                solver_reused,
+            }
+        });
+        absorb(per_worker, &trio_workers);
+
+        for (m, o) in trio_misses.iter().zip(trio_outcomes) {
+            let o = o.expect("every corpus triple miss was solved");
+            cache.stats_mut().solver_reuses += u64::from(o.solver_reused);
+            merge_outcome_stats(&mut stats.solve, &o);
+            cache.insert_triple(
+                m.key,
+                [
+                    &sums[m.prog][m.idx[0]],
+                    &sums[m.prog][m.idx[1]],
+                    &sums[m.prog][m.idx[2]],
+                ],
+                o.pairs,
+            );
+        }
+    }
+
+    // Answer (serial): every program replays entirely from the warm
+    // store — the exact per-program pass an isolated run would make, so
+    // verdicts (and their merge order) are byte-identical to isolation.
+    let verdicts = programs
+        .iter()
+        .map(|(name, program)| {
+            let (v, st) = detect_with_cache(1, program, level, mode, cache, None);
+            CorpusVerdict {
+                name: name.clone(),
+                verdicts: v,
+                stats: st,
+            }
+        })
+        .collect();
+
+    stats.seconds = started.elapsed().as_secs_f64();
+    (verdicts, stats)
+}
+
+/// The result of one [`CorpusService::analyse`] pass.
+#[derive(Debug, Clone)]
+pub struct CorpusReport {
+    /// Per-program verdicts, in ingestion order.
+    pub verdicts: Vec<CorpusVerdict>,
+    /// Corpus-wide dedup statistics.
+    pub stats: CorpusStats,
+}
+
+/// The batch corpus driver: ingest a directory (or stream) of DSL
+/// programs, analyse them with corpus-wide fingerprint dedup on one
+/// shared engine, and (optionally) persist the verdicts through a
+/// [`CorpusStore`] so the next batch starts warm.
+///
+/// # Examples
+///
+/// ```
+/// use atropos_detect::{ConsistencyLevel, DetectMode, DetectionEngine};
+/// use atropos_detect::corpus::CorpusService;
+///
+/// let p = atropos_dsl::parse(
+///     "schema T { id: int key, v: int }
+///      txn bump(k: int) {
+///          x := select v from T where id = k;
+///          update T set v = x.v + 1 where id = k;
+///          return 0;
+///      }",
+/// ).unwrap();
+/// let mut service = CorpusService::new(DetectionEngine::new(2));
+/// // Ten fingerprint-identical programs: one solve, ten answers.
+/// for i in 0..10 {
+///     service.add_program(format!("copy-{i}"), p.clone());
+/// }
+/// let report = service
+///     .analyse(ConsistencyLevel::EventualConsistency, DetectMode::Pairs)
+///     .unwrap();
+/// assert_eq!(report.verdicts.len(), 10);
+/// assert_eq!(report.stats.unique_pairs, 1);
+/// for v in &report.verdicts {
+///     assert_eq!(v.verdicts.len(), 1); // the lost update, every copy
+/// }
+/// ```
+pub struct CorpusService {
+    engine: DetectionEngine,
+    session: DetectSession,
+    store: Option<CorpusStore>,
+    programs: Vec<(String, Program)>,
+}
+
+impl CorpusService {
+    /// A service with no backing store: verdicts live in the in-memory
+    /// session only.
+    pub fn new(engine: DetectionEngine) -> CorpusService {
+        CorpusService {
+            engine,
+            session: DetectSession::new(),
+            store: None,
+            programs: Vec::new(),
+        }
+    }
+
+    /// A service backed by a v2 store: the store's entries are loaded
+    /// into the session up front (warm start), and every
+    /// [`CorpusService::analyse`] pass union-merges its verdicts back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O and validation errors.
+    pub fn with_store(engine: DetectionEngine, store: CorpusStore) -> io::Result<CorpusService> {
+        let session = DetectSession::from_cache(store.load_cache()?);
+        Ok(CorpusService {
+            engine,
+            session,
+            store: Some(store),
+            programs: Vec::new(),
+        })
+    }
+
+    /// Adds one program to the corpus under `name`.
+    pub fn add_program(&mut self, name: impl Into<String>, program: Program) {
+        self.programs.push((name.into(), program));
+    }
+
+    /// Ingests every `*.dsl` file of `dir` (sorted by file name, so
+    /// ingestion order is deterministic), naming each program by its file
+    /// stem. Returns the number of programs ingested.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a file that fails to parse is reported as
+    /// `InvalidData` naming the file.
+    pub fn ingest_dir(&mut self, dir: impl AsRef<Path>) -> io::Result<usize> {
+        let mut files: Vec<PathBuf> = fs::read_dir(dir.as_ref())?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "dsl"))
+            .collect();
+        files.sort();
+        let mut ingested = 0;
+        for path in files {
+            let src = fs::read_to_string(&path)?;
+            let program = atropos_dsl::parse(&src).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: {e:?}", path.display()),
+                )
+            })?;
+            let name = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            self.programs.push((name, program));
+            ingested += 1;
+        }
+        Ok(ingested)
+    }
+
+    /// Programs currently in the corpus.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// The ingested programs, in ingestion order.
+    pub fn programs(&self) -> &[(String, Program)] {
+        &self.programs
+    }
+
+    /// True when no programs have been ingested yet.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+
+    /// The shared session (for statistics inspection).
+    pub fn session(&self) -> &DetectSession {
+        &self.session
+    }
+
+    /// One corpus pass at `level` under `mode`: global plan, one shared
+    /// solve, per-program answers — then a union-merge back into the
+    /// backing store, when there is one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O errors from the merge-back (the in-memory
+    /// analysis itself cannot fail).
+    pub fn analyse(
+        &mut self,
+        level: ConsistencyLevel,
+        mode: DetectMode,
+    ) -> io::Result<CorpusReport> {
+        self.session.begin_run();
+        let (verdicts, stats) =
+            analyse_corpus(&self.engine, &self.programs, level, mode, &mut self.session);
+        if let Some(store) = &self.store {
+            store.merge_cache(self.session.cache())?;
+        }
+        Ok(CorpusReport { verdicts, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atropos_dsl::parse;
+
+    const COUNTER: &str = "schema T { id: int key, v: int }
+         txn bump(k: int) {
+             x := select v from T where id = k;
+             update T set v = x.v + 1 where id = k;
+             return 0;
+         }";
+
+    #[test]
+    fn duplicated_corpus_solves_each_unique_key_once() {
+        let p = parse(COUNTER).unwrap();
+        let programs: Vec<(String, Program)> =
+            (0..8).map(|i| (format!("c{i}"), p.clone())).collect();
+        let mut session = DetectSession::new();
+        let engine = DetectionEngine::new(2);
+        let (verdicts, stats) = analyse_corpus(
+            &engine,
+            &programs,
+            ConsistencyLevel::EventualConsistency,
+            DetectMode::Pairs,
+            &mut session,
+        );
+        assert_eq!(stats.programs, 8);
+        assert_eq!(stats.pair_slots, 8, "one ordered self-pair per copy");
+        assert_eq!(stats.unique_pairs, 1, "fingerprint dedup across the corpus");
+        for v in &verdicts {
+            assert_eq!(v.verdicts.len(), 1);
+            assert_eq!(v.stats.queries, 0, "answers replay from the warm store");
+        }
+    }
+
+    #[test]
+    fn corpus_store_roundtrips_and_counts() {
+        let p = parse(COUNTER).unwrap();
+        let mut session = DetectSession::new();
+        crate::detect_anomalies_cached(
+            &p,
+            ConsistencyLevel::EventualConsistency,
+            session.cache_mut(),
+        );
+        let dir = std::env::temp_dir().join(format!(
+            "atropos_corpus_unit_{}_{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let store = CorpusStore::open(&dir).expect("open");
+        assert_eq!(store.entry_count().unwrap(), 0);
+        let added = store.merge_cache(session.cache()).expect("merge");
+        assert_eq!(added, 1);
+        // Re-merging the same entries adds nothing (stamp refresh only).
+        assert_eq!(store.merge_cache(session.cache()).unwrap(), 0);
+        let loaded = store.load_cache().expect("load");
+        assert_eq!(loaded.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

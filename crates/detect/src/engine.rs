@@ -91,7 +91,7 @@ pub struct WorkerStats {
 }
 
 impl WorkerStats {
-    fn absorb(&mut self, other: &WorkerStats) {
+    pub(crate) fn absorb(&mut self, other: &WorkerStats) {
         self.pairs_solved += other.pairs_solved;
         self.queries += other.queries;
         self.solver_reuses += other.solver_reuses;
@@ -235,7 +235,7 @@ struct TrioMiss {
 /// Reorders a triple of transaction indices into the canonical
 /// orientation: ascending by fingerprint (ties — only possible between
 /// identical summaries — broken by index, keeping the order total).
-fn canonical_trio(idx: [usize; 3], fps: &[u64]) -> [usize; 3] {
+pub(crate) fn canonical_trio(idx: [usize; 3], fps: &[u64]) -> [usize; 3] {
     let mut c = idx;
     c.sort_unstable_by_key(|&i| (fps[i], i));
     c
@@ -243,10 +243,10 @@ fn canonical_trio(idx: [usize; 3], fps: &[u64]) -> [usize; 3] {
 
 /// The outcome of solving one dirty work item, produced on whatever worker
 /// claimed it and merged on the coordinating thread.
-struct Outcome {
-    pairs: Vec<AccessPair>,
-    stats: DetectStats,
-    solver_reused: bool,
+pub(crate) struct Outcome {
+    pub(crate) pairs: Vec<AccessPair>,
+    pub(crate) stats: DetectStats,
+    pub(crate) solver_reused: bool,
 }
 
 fn solve_miss(
@@ -300,7 +300,7 @@ fn solve_trio(
 /// a spawn/join round-trip for them would hand the serial driver a
 /// regression). Returns the outcomes indexed like `items` plus per-worker
 /// counters. Outcome order is by item index, never completion order.
-fn run_pool<T: Sync>(
+pub(crate) fn run_pool<T: Sync>(
     threads: usize,
     items: &[T],
     solve: impl Fn(&T) -> Outcome + Sync,
@@ -364,7 +364,7 @@ fn run_pool<T: Sync>(
 }
 
 /// Folds one solved outcome's counters into the pass statistics.
-fn merge_outcome_stats(stats: &mut DetectStats, o: &Outcome) {
+pub(crate) fn merge_outcome_stats(stats: &mut DetectStats, o: &Outcome) {
     stats.queries += o.stats.queries;
     stats.sat_queries += o.stats.sat_queries;
     stats.memo_hits += o.stats.memo_hits;

@@ -27,6 +27,10 @@
 //! * [`session`] — the [`DetectSession`]: a verdict cache with a session
 //!   lifetime, shared across repair runs so common transaction shapes hit
 //!   warm verdicts (cross-run counters in [`CacheStats`]);
+//! * [`corpus`] — fleet scale: the sharded `verdict_cache.v2` store
+//!   (per-shard advisory locks, checksummed record logs, union merge,
+//!   compaction/eviction) and the [`CorpusService`] that fingerprint-dedups
+//!   a whole directory of programs before solving;
 //! * [`replay`] — witness replay: the satisfying assignment behind a dirty
 //!   verdict is decoded ([`decode_witness`]) into a concrete
 //!   [`atropos_sim::ConcreteSchedule`] and executed deterministically on
@@ -53,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod corpus;
 pub mod detect;
 pub mod encode;
 pub mod engine;
@@ -62,6 +67,10 @@ pub mod session;
 pub mod triple;
 
 pub use cache::{cmd_fingerprint, txn_fingerprint, CacheStats, VerdictCache};
+pub use corpus::{
+    analyse_corpus, CompactionReport, CorpusReport, CorpusService, CorpusStats, CorpusStore,
+    CorpusVerdict, EvictionPolicy,
+};
 pub use engine::{DetectMode, DetectionEngine, WorkerStats};
 pub use session::DetectSession;
 pub use detect::{

@@ -113,33 +113,106 @@ impl DetectSession {
         self.cache.sweep(program)
     }
 
+    /// Between-runs sweep for corpus drivers: resets liveness to the
+    /// **union** of every program in `programs` (rather than the single
+    /// program of [`DetectSession::sweep`]), evicting entries stranded by
+    /// intermediate refactoring states while keeping every corpus
+    /// program's shapes warm. Returns the number of verdict entries
+    /// evicted.
+    pub fn sweep_corpus<'a>(
+        &mut self,
+        programs: impl IntoIterator<Item = &'a Program>,
+    ) -> usize {
+        let fps = programs
+            .into_iter()
+            .flat_map(|p| {
+                crate::model::summarize_program(p)
+                    .iter()
+                    .map(crate::cache::txn_fingerprint)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        self.cache.sweep_fps(fps)
+    }
+
+    /// Evicts exactly the cached verdicts whose transactions *changed
+    /// shape* in `after` — a renamed-but-identical transaction (its
+    /// summary fingerprint is label-blind) keeps its entries, so a
+    /// rename-only refactoring step stays fully warm (see
+    /// [`VerdictCache::invalidate_txns_changed`]). Returns the number of
+    /// verdict entries evicted.
+    pub fn invalidate_txns_changed(
+        &mut self,
+        txns: &std::collections::BTreeSet<String>,
+        after: &Program,
+    ) -> usize {
+        self.cache.invalidate_txns_changed(txns, after)
+    }
+
     /// Split borrow for the engine: the cache and the per-worker counters.
     pub(crate) fn cache_and_workers(&mut self) -> (&mut VerdictCache, &mut Vec<WorkerStats>) {
         (&mut self.cache, &mut self.per_worker)
     }
 
-    /// Serializes every pair and triple verdict entry to `path` in the
-    /// simple length-prefixed `verdict_cache.v1` binary format
-    /// (conventionally `experiments/verdict_cache.v1`; the bench bins wire
-    /// this behind the `ATROPOS_CACHE_FILE` environment variable), so a
-    /// later process can warm-start from this session's verdicts via
-    /// [`DetectSession::load_from`]. Retained solvers are transient and
-    /// not persisted — a loaded session re-encodes on its first miss but
-    /// never re-solves a persisted verdict. Returns the number of entries
-    /// written.
+    /// The session's cache (the corpus store merges from it).
+    pub(crate) fn cache(&self) -> &VerdictCache {
+        &self.cache
+    }
+
+    /// Mutable access for in-crate callers that drive the cache directly.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn cache_mut(&mut self) -> &mut VerdictCache {
+        &mut self.cache
+    }
+
+    /// Wraps an already-loaded cache (the v2 store's load path).
+    pub(crate) fn from_cache(cache: VerdictCache) -> DetectSession {
+        DetectSession {
+            cache,
+            per_worker: Vec::new(),
+        }
+    }
+
+    /// Persists every pair and triple verdict entry to `path`, dispatching
+    /// on what `path` is:
+    ///
+    /// * an existing **directory** is treated as a sharded
+    ///   `verdict_cache.v2` store ([`crate::corpus::CorpusStore`]): this
+    ///   session's verdicts are **union-merged** in under per-shard
+    ///   advisory locks, so concurrent sessions saving to one store
+    ///   combine instead of clobbering each other;
+    /// * any other path gets the monolithic length-prefixed
+    ///   `verdict_cache.v1` file (conventionally
+    ///   `experiments/verdict_cache.v1`; the bench bins wire this behind
+    ///   the `ATROPOS_CACHE_FILE` environment variable), written via a
+    ///   sibling tempfile and an atomic rename so a crash mid-save leaves
+    ///   the previous file intact — never the truncated files
+    ///   [`DetectSession::load_from`] rejects.
+    ///
+    /// Retained solvers are transient and not persisted — a loaded
+    /// session re-encodes on its first miss but never re-solves a
+    /// persisted verdict. Returns the number of entries written (for a v2
+    /// store: the number this session contributed, merged or already
+    /// present).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from writing `path`.
     pub fn save_to(&self, path: impl AsRef<Path>) -> io::Result<usize> {
+        let path = path.as_ref();
+        if path.is_dir() {
+            crate::corpus::CorpusStore::open(path)?.merge_cache(&self.cache)?;
+            return Ok(self.cache.len() + self.cache.triple_len());
+        }
         let mut bytes = Vec::new();
         let entries = self.cache.save_entries(&mut bytes);
-        std::fs::write(path, bytes)?;
+        crate::corpus::write_atomic(path, &bytes)?;
         Ok(entries)
     }
 
-    /// Reconstructs a session from a [`DetectSession::save_to`] file: all
-    /// entries load into run 0 (warm for every following run), and the
+    /// Reconstructs a session from a [`DetectSession::save_to`] path — a
+    /// `verdict_cache.v1` file or a `verdict_cache.v2` store directory.
+    /// All entries load into run 0 (warm for every following run), and the
     /// liveness union is seeded with every persisted fingerprint so a pass
     /// over one program does not sweep away another program's entries.
     ///
@@ -149,6 +222,11 @@ impl DetectSession {
     /// [`std::io::ErrorKind::InvalidData`] on a malformed or
     /// version-incompatible file.
     pub fn load_from(path: impl AsRef<Path>) -> io::Result<DetectSession> {
+        let path = path.as_ref();
+        if path.is_dir() {
+            let cache = crate::corpus::CorpusStore::open(path)?.load_cache()?;
+            return Ok(DetectSession::from_cache(cache));
+        }
         let bytes = std::fs::read(path)?;
         Ok(DetectSession {
             cache: VerdictCache::load_entries(&bytes)?,
@@ -265,6 +343,74 @@ mod tests {
             assert!(err.to_string().contains("truncated"), "cut at {cut}: {err}");
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// A crash mid-`save_to` must never damage the previously saved file:
+    /// the write stages into a sibling tempfile and lands via atomic
+    /// rename. The test replays the kill by planting exactly the partial
+    /// bytes a writer killed partway would leave at the staging path —
+    /// the original file must still load, byte-for-byte warm.
+    #[test]
+    fn killed_save_leaves_previous_file_loadable() {
+        let p = atropos_dsl::parse(RELAY).unwrap();
+        let engine = DetectionEngine::serial();
+        let mut session = DetectSession::new();
+        let (pairs, _) = engine.detect(&p, ConsistencyLevel::EventualConsistency, &mut session);
+        let path = std::env::temp_dir().join(format!(
+            "atropos_crash_save_{}.v1",
+            std::process::id()
+        ));
+        let entries = session.save_to(&path).expect("first save");
+        assert!(entries > 0);
+        let good = std::fs::read(&path).expect("read saved file");
+
+        // "Kill" a second save partway: the staging sibling holds a
+        // truncated prefix, but no rename ever happens.
+        let staged = crate::corpus::tmp_sibling(&path);
+        std::fs::write(&staged, &good[..good.len() / 2]).expect("partial write");
+
+        // The real file is untouched and still loads to the same verdicts.
+        assert_eq!(std::fs::read(&path).expect("reread"), good);
+        let mut reloaded = DetectSession::load_from(&path).expect("load survives the crash");
+        let (again, stats) =
+            engine.detect(&p, ConsistencyLevel::EventualConsistency, &mut reloaded);
+        assert_eq!(again, pairs);
+        assert_eq!(stats.queries, 0, "reloaded verdicts replay warm");
+
+        // And a completed save atomically replaces the file, leaving no
+        // staging debris behind at its own sibling.
+        session.save_to(&path).expect("second save");
+        assert_eq!(std::fs::read(&path).expect("reread"), good);
+        let _ = std::fs::remove_file(&staged);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// `save_to`/`load_from` pointed at a *directory* speak the sharded
+    /// v2 store format: saving union-merges, loading replays warm.
+    #[test]
+    fn directory_paths_dispatch_to_the_v2_store() {
+        let p = atropos_dsl::parse(RELAY).unwrap();
+        let engine = DetectionEngine::serial();
+        let ec = ConsistencyLevel::EventualConsistency;
+        let mut first = DetectSession::new();
+        let (pairs, _) = engine.detect(&p, ec, &mut first);
+        let (triples, _) = engine.detect_with_mode(&p, ec, DetectMode::Triples, &mut first);
+
+        let dir = std::env::temp_dir().join(format!(
+            "atropos_session_store_{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let entries = first.save_to(&dir).expect("save to store");
+        assert_eq!(entries, first.len() + first.triple_len());
+
+        let mut second = DetectSession::load_from(&dir).expect("load from store");
+        let (again_pairs, sp) = engine.detect(&p, ec, &mut second);
+        let (again_triples, st) = engine.detect_with_mode(&p, ec, DetectMode::Triples, &mut second);
+        assert_eq!(again_pairs, pairs);
+        assert_eq!(again_triples, triples);
+        assert_eq!(sp.queries + st.queries, 0, "store verdicts replay warm");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// A cache persisted by a different encoder revision must be refused
