@@ -37,7 +37,7 @@ fn main() {
     let thin = thin_slice();
 
     // Parse the committed corpus once (the service re-clones per run).
-    let mut seed = CorpusService::new(engine);
+    let mut seed = CorpusService::new(engine.clone());
     let dir = corpus_dir();
     let ingested = seed
         .ingest_dir(&dir)
@@ -86,7 +86,7 @@ fn main() {
         let cold_seconds = cold_started.elapsed().as_secs_f64();
 
         // Warm service: one global plan, each unique shape solved once.
-        let mut service = CorpusService::new(engine);
+        let mut service = CorpusService::new(engine.clone());
         for (n, p) in &corpus {
             service.add_program(n.clone(), p.clone());
         }

@@ -387,6 +387,54 @@ pub fn corpus_stats_row(
     ]
 }
 
+/// Header of the solver-throughput table emitted by `solver_stats`
+/// (`experiments/solver_stats.csv`): per benchmark, the detection pass's
+/// raw solver rates, the learnt-pool hit ratio of a repeated pass through
+/// the same engine, and the arena-vs-baseline replay of the *same*
+/// detection CNF under identical assumption schedules.
+pub fn solver_stats_header() -> Vec<String> {
+    [
+        "Benchmark",
+        "Queries",
+        "Propagations",
+        "Props/s",
+        "Conflicts/s",
+        "Pool hit",
+        "Arena props/s",
+        "Baseline props/s",
+        "Speedup",
+    ]
+    .map(str::to_owned)
+    .to_vec()
+}
+
+/// One row of the solver-throughput table. `detect` is the detection
+/// pass's [`DetectStats`]; `pool_hit` the seeded-over-published clause
+/// ratio of the second pass; the remaining pair the raw propagation
+/// throughputs of the arena and baseline solvers on the replayed CNF.
+pub fn solver_stats_row(
+    name: &str,
+    detect: &DetectStats,
+    pool_hit: f64,
+    arena_props_per_sec: f64,
+    baseline_props_per_sec: f64,
+) -> Vec<String> {
+    vec![
+        name.to_owned(),
+        format!("{}", detect.queries),
+        format!("{}", detect.propagations),
+        format!("{:.0}", detect.propagations as f64 / detect.seconds.max(1e-9)),
+        format!("{:.2}", detect.conflicts as f64 / detect.seconds.max(1e-9)),
+        format!("{pool_hit:.2}"),
+        format!("{arena_props_per_sec:.0}"),
+        format!("{baseline_props_per_sec:.0}"),
+        format!(
+            "{:.2}x",
+            arena_props_per_sec / baseline_props_per_sec.max(1e-9)
+        ),
+    ]
+}
+
 /// Header of the witness-replay table emitted by `table1`
 /// (`experiments/replay_stats.csv`): per benchmark, mode, and level, how
 /// many initial dirty verdicts decoded into schedules that manifested

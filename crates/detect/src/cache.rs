@@ -78,9 +78,10 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use atropos_dsl::Program;
+use atropos_sat::Lit;
 
 use crate::detect::AccessPair;
 use crate::encode::{ConsistencyLevel, InstanceModel, PairSolver};
@@ -167,6 +168,12 @@ pub struct CacheStats {
     pub triple_hits: u64,
     /// Triple lookups that had to re-analyse the triple.
     pub triple_misses: u64,
+    /// Learnt clauses seeded into freshly built solvers from the engine's
+    /// [`LearntPool`] — lemmas a fingerprint-identical earlier solve
+    /// published, offered to this cache's misses at solver construction
+    /// (root facts the sibling re-derives on its own are absorbed for
+    /// free during import).
+    pub learnt_seeded: u64,
 }
 
 impl CacheStats {
@@ -202,6 +209,7 @@ impl CacheStats {
             triple_lookups: self.triple_lookups - earlier.triple_lookups,
             triple_hits: self.triple_hits - earlier.triple_hits,
             triple_misses: self.triple_misses - earlier.triple_misses,
+            learnt_seeded: self.learnt_seeded - earlier.learnt_seeded,
         }
     }
 }
@@ -313,6 +321,14 @@ impl<K: Eq + Hash, V> ShardedMap<K, V> {
             .remove(&key)
     }
 
+    /// Whether a state is currently retained for `key`.
+    pub(crate) fn contains(&self, key: &K) -> bool {
+        self.shards[Self::shard_of(key)]
+            .lock()
+            .expect("state shard poisoned")
+            .contains_key(key)
+    }
+
     /// Returns a state to the map for later reuse.
     pub(crate) fn store(&self, key: K, state: V) {
         self.shards[Self::shard_of(&key)]
@@ -335,6 +351,117 @@ impl<K: Eq + Hash, V> ShardedMap<K, V> {
                 f(s);
             }
         }
+    }
+}
+
+/// Key of one pair entry in the [`LearntPool`]: the ordered fingerprint
+/// pair plus the consistency level whose queries derived the lemmas.
+type PairPoolKey = (u64, u64, ConsistencyLevel);
+
+/// A deterministic pool of learnt clauses shared across
+/// **fingerprint-identical** solvers, owned by a
+/// [`crate::DetectionEngine`] and outliving any one [`VerdictCache`].
+///
+/// Two [`PairSolver`]s built for the same canonical `(fingerprint,
+/// fingerprint, level)` key ground the same [`InstanceModel`] and emit the
+/// same base encoding over the same variable numbering, so lemmas one of
+/// them derived over **base variables only** (see
+/// `atropos_sat::Solver::retained_learnts` for the soundness argument) are
+/// valid verbatim in the other. The first solve of a key *publishes* its
+/// retained clauses here — at the engine's serial-order merge point, and
+/// only when the solve started from a fresh state and was the key's only
+/// solve of the batch, so the published set is byte-identical at any
+/// thread count. Later solvers built for the same key *seed* from the
+/// published set before their first query instead of re-deriving the
+/// lemmas (duplicated programs in a corpus, scratch-reference passes,
+/// ablation sweeps re-grounding the same shapes).
+///
+/// The pool is frozen while a batch's workers run — publication happens
+/// strictly between batches — so whether a worker sees a key published is
+/// a plan-time fact, not a race.
+#[derive(Default)]
+pub struct LearntPool {
+    pairs: Mutex<HashMap<PairPoolKey, Arc<Vec<Vec<Lit>>>>>,
+    triples: Mutex<HashMap<TripleVerdictKey, Arc<Vec<Vec<Lit>>>>>,
+}
+
+impl LearntPool {
+    /// An empty pool.
+    pub fn new() -> LearntPool {
+        LearntPool::default()
+    }
+
+    /// Published clause sets (pair plus triple keys) — for reporting.
+    pub fn published(&self) -> usize {
+        self.pairs.lock().expect("learnt pool poisoned").len()
+            + self.triples.lock().expect("learnt pool poisoned").len()
+    }
+
+    /// Total clauses across every published set — for reporting.
+    pub fn published_clauses(&self) -> usize {
+        let pairs = self.pairs.lock().expect("learnt pool poisoned");
+        let triples = self.triples.lock().expect("learnt pool poisoned");
+        pairs.values().chain(triples.values()).map(|c| c.len()).sum()
+    }
+
+    pub(crate) fn has_pair(&self, fp1: u64, fp2: u64, level: ConsistencyLevel) -> bool {
+        self.pairs
+            .lock()
+            .expect("learnt pool poisoned")
+            .contains_key(&(fp1, fp2, level))
+    }
+
+    pub(crate) fn pair_seed(
+        &self,
+        fp1: u64,
+        fp2: u64,
+        level: ConsistencyLevel,
+    ) -> Option<Arc<Vec<Vec<Lit>>>> {
+        self.pairs
+            .lock()
+            .expect("learnt pool poisoned")
+            .get(&(fp1, fp2, level))
+            .cloned()
+    }
+
+    /// Publish-once: the first set wins, later calls are ignored (the
+    /// caller's plan-time `has_pair` check makes them unreachable in the
+    /// engine anyway).
+    pub(crate) fn publish_pair(
+        &self,
+        fp1: u64,
+        fp2: u64,
+        level: ConsistencyLevel,
+        clauses: Vec<Vec<Lit>>,
+    ) {
+        self.pairs
+            .lock()
+            .expect("learnt pool poisoned")
+            .entry((fp1, fp2, level))
+            .or_insert_with(|| Arc::new(clauses));
+    }
+
+    pub(crate) fn has_triple(&self, key: &TripleVerdictKey) -> bool {
+        self.triples
+            .lock()
+            .expect("learnt pool poisoned")
+            .contains_key(key)
+    }
+
+    pub(crate) fn triple_seed(&self, key: &TripleVerdictKey) -> Option<Arc<Vec<Vec<Lit>>>> {
+        self.triples
+            .lock()
+            .expect("learnt pool poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    pub(crate) fn publish_triple(&self, key: TripleVerdictKey, clauses: Vec<Vec<Lit>>) {
+        self.triples
+            .lock()
+            .expect("learnt pool poisoned")
+            .entry(key)
+            .or_insert_with(|| Arc::new(clauses));
     }
 }
 
@@ -1343,7 +1470,7 @@ mod tests {
         .unwrap();
 
         let mut cache = VerdictCache::new();
-        let (dirty, _) = detect_with_cache(1, &before, ec, DetectMode::Triples, &mut cache, None);
+        let (dirty, _) = detect_with_cache(1, &before, ec, DetectMode::Triples, &mut cache, None, None);
         assert_eq!(dirty.len(), 1, "{dirty:?}");
         assert!(cache.triple_len() > 0);
 
@@ -1351,9 +1478,9 @@ mod tests {
         assert!(cache.invalidate_txns(&edited) > 0);
         assert_eq!(cache.triple_len(), 0, "stale triple verdicts survived the edit");
 
-        let (warm, _) = detect_with_cache(1, &after, ec, DetectMode::Triples, &mut cache, None);
+        let (warm, _) = detect_with_cache(1, &after, ec, DetectMode::Triples, &mut cache, None, None);
         let (cold, _) =
-            detect_with_cache(1, &after, ec, DetectMode::Triples, &mut VerdictCache::new(), None);
+            detect_with_cache(1, &after, ec, DetectMode::Triples, &mut VerdictCache::new(), None, None);
         assert_eq!(warm, cold, "invalidated cache must agree with a cold oracle");
         assert!(warm.is_empty(), "{warm:?}");
     }

@@ -64,8 +64,9 @@ use crate::cache::{
 use crate::detect::{solve_pair_with_state, AccessPair, DetectStats};
 use crate::encode::ConsistencyLevel;
 use crate::engine::{
-    canonical_trio, detect_with_cache, merge_outcome_stats, run_pool, DetectMode,
-    DetectionEngine, Outcome, WorkerStats,
+    canonical_trio, detect_with_cache, merge_outcome_stats, publish_pair_state,
+    publish_trio_state, publishable_flags, run_pool, DetectMode, DetectionEngine, Outcome,
+    WorkerStats,
 };
 use crate::model::{summarize_program, TxnSummary};
 use crate::session::DetectSession;
@@ -698,6 +699,7 @@ pub fn analyse_corpus(
 ) -> (Vec<CorpusVerdict>, CorpusStats) {
     let started = Instant::now();
     let threads = engine.threads();
+    let pool = engine.learnt_pool();
     let (cache, per_worker) = session.cache_and_workers();
     let mut stats = CorpusStats {
         programs: programs.len(),
@@ -747,6 +749,23 @@ pub fn analyse_corpus(
         }
     };
 
+    // Which misses may publish lemmas at the merge point (plan-time, so
+    // the pool's evolution is thread-count blind — see the engine).
+    let pair_publish: Vec<bool> = match pool {
+        Some(p) => {
+            let keys: Vec<(u64, u64)> = misses
+                .iter()
+                .map(|m| (fps[m.prog][m.i], fps[m.prog][m.j]))
+                .collect();
+            publishable_flags(
+                &keys,
+                |k| !cache.states().contains(k),
+                |k| !p.has_pair(k.0, k.1, level),
+            )
+        }
+        None => vec![false; misses.len()],
+    };
+
     // Solve (parallel): each unique key exactly once, against the shared
     // retained-state shards.
     let (outcomes, worker_stats) = run_pool(threads, &misses, |m| {
@@ -754,7 +773,18 @@ pub fn analyse_corpus(
         let key = (fps[m.prog][m.i], fps[m.prog][m.j]);
         let mut state = cache.states().take(key).unwrap_or_else(|| PairState::new(t1, t2));
         let solver_reused = state.solver.is_some();
-        let (pairs, st) = solve_pair_with_state(t1, t2, m.symmetric, level, &mut state);
+        let seed = match state.solver {
+            Some(_) => None,
+            None => pool.and_then(|p| p.pair_seed(key.0, key.1, level)),
+        };
+        let (pairs, st) = solve_pair_with_state(
+            t1,
+            t2,
+            m.symmetric,
+            level,
+            &mut state,
+            seed.as_deref().map(Vec::as_slice),
+        );
         cache.states().store(key, state);
         Outcome {
             pairs,
@@ -766,10 +796,14 @@ pub fn analyse_corpus(
 
     // Merge (serial, plan order) — same discipline as the engine, so the
     // store's contents are thread-count blind.
-    for (m, o) in misses.iter().zip(outcomes) {
+    for ((m, o), publish) in misses.iter().zip(outcomes).zip(&pair_publish) {
         let o = o.expect("every corpus miss was solved");
         cache.stats_mut().solver_reuses += u64::from(o.solver_reused);
+        cache.stats_mut().learnt_seeded += o.stats.learnt_seeded;
         merge_outcome_stats(&mut stats.solve, &o);
+        if *publish {
+            publish_pair_state(cache, pool, fps[m.prog][m.i], fps[m.prog][m.j], level);
+        }
         cache.insert(
             fps[m.prog][m.i],
             fps[m.prog][m.j],
@@ -814,6 +848,21 @@ pub fn analyse_corpus(
         }
         stats.unique_triples = trio_misses.len() as u64;
 
+        let trio_publish: Vec<bool> = match pool {
+            Some(p) => {
+                let keys: Vec<(u64, u64, u64)> = trio_misses
+                    .iter()
+                    .map(|m| (m.key.0, m.key.1, m.key.2))
+                    .collect();
+                publishable_flags(
+                    &keys,
+                    |k| !cache.triple_states().contains(k),
+                    |k| !p.has_triple(&(k.0, k.1, k.2, level)),
+                )
+            }
+            None => vec![false; trio_misses.len()],
+        };
+
         let (trio_outcomes, trio_workers) = run_pool(threads, &trio_misses, |m| {
             let ts = [
                 &sums[m.prog][m.idx[0]],
@@ -831,7 +880,17 @@ pub fn analyse_corpus(
                 .take(key)
                 .unwrap_or_else(|| TripleState::new(ts));
             let solver_reused = state.solver.is_some();
-            let (pairs, st) = solve_triple_with_state(ts, tfps, level, &mut state);
+            let seed = match state.solver {
+                Some(_) => None,
+                None => pool.and_then(|p| p.triple_seed(&m.key)),
+            };
+            let (pairs, st) = solve_triple_with_state(
+                ts,
+                tfps,
+                level,
+                &mut state,
+                seed.as_deref().map(Vec::as_slice),
+            );
             cache.triple_states().store(key, state);
             Outcome {
                 pairs,
@@ -841,10 +900,14 @@ pub fn analyse_corpus(
         });
         absorb(per_worker, &trio_workers);
 
-        for (m, o) in trio_misses.iter().zip(trio_outcomes) {
+        for ((m, o), publish) in trio_misses.iter().zip(trio_outcomes).zip(&trio_publish) {
             let o = o.expect("every corpus triple miss was solved");
             cache.stats_mut().solver_reuses += u64::from(o.solver_reused);
+            cache.stats_mut().learnt_seeded += o.stats.learnt_seeded;
             merge_outcome_stats(&mut stats.solve, &o);
+            if *publish {
+                publish_trio_state(cache, pool, m.key);
+            }
             cache.insert_triple(
                 m.key,
                 [
@@ -863,7 +926,9 @@ pub fn analyse_corpus(
     let verdicts = programs
         .iter()
         .map(|(name, program)| {
-            let (v, st) = detect_with_cache(1, program, level, mode, cache, None);
+            // All-warm by construction (zero queries), so no pool: nothing
+            // would be solved, seeded, or published here anyway.
+            let (v, st) = detect_with_cache(1, program, level, mode, cache, None, None);
             CorpusVerdict {
                 name: name.clone(),
                 verdicts: v,

@@ -128,6 +128,12 @@ pub struct DetectStats {
     pub propagations: u64,
     /// Solver decisions across all queries.
     pub decisions: u64,
+    /// Learnt clauses seeded into freshly built solvers from the engine's
+    /// [`crate::LearntPool`] — lemmas published by an earlier
+    /// fingerprint-identical solve and offered to this pass's solvers at
+    /// construction (clauses the sibling already holds as root facts are
+    /// absorbed for free during import).
+    pub learnt_seeded: u64,
     /// Wall-clock seconds spent in detection.
     pub seconds: f64,
 }
@@ -311,8 +317,16 @@ fn pair_query(
     level: ConsistencyLevel,
     reqs: &[VisRequirement],
     stats: &mut DetectStats,
+    seed: Option<&[Vec<atropos_sat::Lit>]>,
 ) -> bool {
-    let ps = solver.get_or_insert_with(|| PairSolver::new(model));
+    let ps = solver.get_or_insert_with(|| {
+        let mut ps = PairSolver::new(model);
+        if let Some(seed) = seed {
+            ps.seed_learnts(seed);
+            stats.learnt_seeded += seed.len() as u64;
+        }
+        ps
+    });
     let r = ps.satisfiable(model, level, reqs);
     stats.clauses_fresh_equivalent += ps.fresh_equivalent_clauses(level) as u64;
     r
@@ -368,7 +382,7 @@ fn detect_core(
                     }
                     stats.queries += 1;
                     let incremental = (path != SolvePath::Fresh)
-                        .then(|| pair_query(&mut pair_solver, &model, eff, &reqs, &mut stats));
+                        .then(|| pair_query(&mut pair_solver, &model, eff, &reqs, &mut stats, None));
                     let fresh = if path != SolvePath::Incremental {
                         let (r, s, clauses) = fresh_query(&model, eff, &reqs);
                         if path == SolvePath::Fresh {
@@ -468,6 +482,7 @@ pub fn detect_anomalies_cached(
         crate::DetectMode::Pairs,
         cache,
         None,
+        None,
     )
 }
 
@@ -518,6 +533,7 @@ pub fn detect_anomalies_triples(
         crate::DetectMode::Triples,
         &mut cache,
         None,
+        None,
     )
 }
 
@@ -532,6 +548,7 @@ pub(crate) fn solve_pair_with_state(
     symmetric: bool,
     level: ConsistencyLevel,
     state: &mut crate::cache::PairState,
+    seed: Option<&[Vec<atropos_sat::Lit>]>,
 ) -> (Vec<AccessPair>, DetectStats) {
     let mut stats = DetectStats::default();
     let clauses_before = state
@@ -547,7 +564,7 @@ pub(crate) fn solve_pair_with_state(
                 return r;
             }
             stats.queries += 1;
-            let r = pair_query(solver, model, level, &reqs, &mut stats);
+            let r = pair_query(solver, model, level, &reqs, &mut stats, seed);
             if r {
                 stats.sat_queries += 1;
             }

@@ -37,12 +37,13 @@
 //! this engine at `threads = 1`, so the paths cannot drift apart.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use atropos_dsl::Program;
 
 use crate::cache::{
-    txn_fingerprint, PairState, ShardedTripleMap, TripleVerdictKey, VerdictCache,
+    txn_fingerprint, LearntPool, PairState, ShardedTripleMap, TripleVerdictKey, VerdictCache,
 };
 use crate::detect::{accumulate, solve_pair_with_state, AccessPair, AnomalyKind, DetectStats};
 use crate::encode::ConsistencyLevel;
@@ -99,10 +100,16 @@ impl WorkerStats {
     }
 }
 
-/// Parallelism policy for cached detection passes. Cheap to construct and
-/// `Copy`-light (one `usize`); callers typically build **one engine per
-/// sweep** and share it — the expensive, long-lived state (verdicts,
-/// retained solvers) lives in the [`DetectSession`], not here.
+/// Parallelism policy for cached detection passes, plus the engine-scoped
+/// [`LearntPool`]: lemmas published by the first solve of each canonical
+/// `(fingerprint, fingerprint, level)` key, seeded into every later solver
+/// built for the same key — across sessions sharing this engine (clones
+/// share the pool). Cheap to construct and `Clone`-light (a `usize` and an
+/// `Arc`); callers typically build **one engine per sweep** and share it —
+/// the per-run state (verdicts, retained solvers) lives in the
+/// [`DetectSession`], not here. The pool is on by default; set
+/// `ATROPOS_LEARNT_POOL=0` (or call
+/// [`DetectionEngine::with_learnt_pool`]`(false)`) to disable it.
 ///
 /// # Examples
 ///
@@ -126,18 +133,50 @@ impl WorkerStats {
 /// assert_eq!(again, first);
 /// assert_eq!(stats.queries, 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct DetectionEngine {
     threads: usize,
+    /// `None` when learnt-clause sharing is disabled.
+    pool: Option<Arc<LearntPool>>,
+}
+
+impl std::fmt::Debug for DetectionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectionEngine")
+            .field("threads", &self.threads)
+            .field("learnt_pool", &self.pool.is_some())
+            .finish()
+    }
 }
 
 impl DetectionEngine {
     /// An engine solving dirty pairs on `threads` workers (clamped to at
-    /// least 1). Thread count never affects results, only wall-clock.
+    /// least 1). Thread count never affects results, only wall-clock —
+    /// and neither does the learnt pool (enabled here unless
+    /// `ATROPOS_LEARNT_POOL` says otherwise): seeded lemmas change how
+    /// fast a verdict is reached, never which verdict.
     pub fn new(threads: usize) -> DetectionEngine {
         DetectionEngine {
             threads: threads.max(1),
+            pool: pool_enabled_from_env().then(|| Arc::new(LearntPool::new())),
         }
+    }
+
+    /// Enables or disables learnt-clause sharing on this engine,
+    /// overriding the `ATROPOS_LEARNT_POOL` default. Disabling drops any
+    /// published lemmas; enabling an already-enabled engine keeps them.
+    pub fn with_learnt_pool(mut self, enabled: bool) -> DetectionEngine {
+        if !enabled {
+            self.pool = None;
+        } else if self.pool.is_none() {
+            self.pool = Some(Arc::new(LearntPool::new()));
+        }
+        self
+    }
+
+    /// The engine's learnt-clause pool, when sharing is enabled.
+    pub fn learnt_pool(&self) -> Option<&LearntPool> {
+        self.pool.as_deref()
     }
 
     /// The strictly serial engine (`threads = 1`); what
@@ -193,7 +232,24 @@ impl DetectionEngine {
         session: &mut DetectSession,
     ) -> (Vec<AccessPair>, DetectStats) {
         let (cache, per_worker) = session.cache_and_workers();
-        detect_with_cache(self.threads, program, level, mode, cache, Some(per_worker))
+        detect_with_cache(
+            self.threads,
+            program,
+            level,
+            mode,
+            cache,
+            Some(per_worker),
+            self.pool.as_deref(),
+        )
+    }
+}
+
+/// Whether `ATROPOS_LEARNT_POOL` leaves learnt-clause sharing on (the
+/// default): anything but `0` / `false` / `off` does.
+fn pool_enabled_from_env() -> bool {
+    match std::env::var("ATROPOS_LEARNT_POOL") {
+        Ok(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "false" | "off"),
+        Err(_) => true,
     }
 }
 
@@ -254,13 +310,22 @@ fn solve_miss(
     fps: &[u64],
     level: ConsistencyLevel,
     states: &crate::cache::ShardedStateMap,
+    pool: Option<&LearntPool>,
     m: &Miss,
 ) -> Outcome {
     let (t1, t2) = (&summaries[m.i], &summaries[m.j]);
     let key = (fps[m.i], fps[m.j]);
     let mut state = states.take(key).unwrap_or_else(|| PairState::new(t1, t2));
     let solver_reused = state.solver.is_some();
-    let (pairs, stats) = solve_pair_with_state(t1, t2, m.symmetric, level, &mut state);
+    // A state without a solver seeds published lemmas at its (lazy) solver
+    // construction; the pool is frozen while the batch runs, so the seed is
+    // the same whichever worker claims this item.
+    let seed = match state.solver {
+        Some(_) => None,
+        None => pool.and_then(|p| p.pair_seed(key.0, key.1, level)),
+    };
+    let (pairs, stats) =
+        solve_pair_with_state(t1, t2, m.symmetric, level, &mut state, seed.as_deref().map(Vec::as_slice));
     states.store(key, state);
     Outcome {
         pairs,
@@ -274,6 +339,7 @@ fn solve_trio(
     fps: &[u64],
     level: ConsistencyLevel,
     states: &ShardedTripleMap,
+    pool: Option<&LearntPool>,
     m: &TrioMiss,
 ) -> Outcome {
     let ts = [
@@ -285,7 +351,12 @@ fn solve_trio(
     let key = (m.key.0, m.key.1, m.key.2);
     let mut state = states.take(key).unwrap_or_else(|| TripleState::new(ts));
     let solver_reused = state.solver.is_some();
-    let (pairs, stats) = solve_triple_with_state(ts, tfps, level, &mut state);
+    let seed = match state.solver {
+        Some(_) => None,
+        None => pool.and_then(|p| p.triple_seed(&m.key)),
+    };
+    let (pairs, stats) =
+        solve_triple_with_state(ts, tfps, level, &mut state, seed.as_deref().map(Vec::as_slice));
     states.store(key, state);
     Outcome {
         pairs,
@@ -373,11 +444,78 @@ pub(crate) fn merge_outcome_stats(stats: &mut DetectStats, o: &Outcome) {
     stats.conflicts += o.stats.conflicts;
     stats.propagations += o.stats.propagations;
     stats.decisions += o.stats.decisions;
+    stats.learnt_seeded += o.stats.learnt_seeded;
+}
+
+/// Decides, at plan time, which misses may publish their retained lemmas
+/// to the engine's [`LearntPool`] at the merge point. Publication must be
+/// thread-count blind, so a miss qualifies only when the exported clause
+/// set is a pure function of the plan: the pool does not hold the key yet,
+/// no retained state existed when the batch was planned (a retained
+/// solver's lemmas depend on its whole query history), and the state key
+/// is solved exactly once in this batch (sibling misses sharing a state —
+/// the symmetric/asymmetric orientations of a self-pair, duplicate
+/// fingerprints inside one program — race on take/store, so whichever
+/// solver survives is a scheduling accident).
+pub(crate) fn publishable_flags<K: std::hash::Hash + Eq + Copy>(
+    state_keys: &[K],
+    fresh: impl Fn(&K) -> bool,
+    pool_lacks: impl Fn(&K) -> bool,
+) -> Vec<bool> {
+    let mut count: std::collections::HashMap<K, u32> = std::collections::HashMap::new();
+    for k in state_keys {
+        *count.entry(*k).or_insert(0) += 1;
+    }
+    state_keys
+        .iter()
+        .map(|k| count[k] == 1 && fresh(k) && pool_lacks(k))
+        .collect()
+}
+
+/// Publishes the lemmas retained by one pair state's solver (if it built
+/// one) to the engine's pool — called at the serial merge point, after the
+/// batch's workers have all returned their states.
+pub(crate) fn publish_pair_state(
+    cache: &VerdictCache,
+    pool: Option<&LearntPool>,
+    fp1: u64,
+    fp2: u64,
+    level: ConsistencyLevel,
+) {
+    let Some(pool) = pool else { return };
+    if let Some(state) = cache.states().take((fp1, fp2)) {
+        if let Some(ps) = &state.solver {
+            let exported = ps.export_learnts();
+            if !exported.is_empty() {
+                pool.publish_pair(fp1, fp2, level, exported);
+            }
+        }
+        cache.states().store((fp1, fp2), state);
+    }
+}
+
+/// The triple sibling of [`publish_pair_state`].
+pub(crate) fn publish_trio_state(
+    cache: &VerdictCache,
+    pool: Option<&LearntPool>,
+    key: TripleVerdictKey,
+) {
+    let Some(pool) = pool else { return };
+    if let Some(state) = cache.triple_states().take((key.0, key.1, key.2)) {
+        if let Some(ts) = &state.solver {
+            let exported = ts.export_learnts();
+            if !exported.is_empty() {
+                pool.publish_triple(key, exported);
+            }
+        }
+        cache.triple_states().store((key.0, key.1, key.2), state);
+    }
 }
 
 /// The shared implementation behind [`DetectionEngine::detect_with_mode`]
 /// and the serial [`crate::detect_anomalies_cached`]: plan serially, solve
 /// the misses on up to `threads` workers, merge deterministically.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn detect_with_cache(
     threads: usize,
     program: &Program,
@@ -385,6 +523,7 @@ pub(crate) fn detect_with_cache(
     mode: DetectMode,
     cache: &mut VerdictCache,
     per_worker: Option<&mut Vec<WorkerStats>>,
+    pool: Option<&LearntPool>,
 ) -> (Vec<AccessPair>, DetectStats) {
     let started = Instant::now();
     let summaries = summarize_program(program);
@@ -429,18 +568,36 @@ pub(crate) fn detect_with_cache(
         }
     }
 
+    // Which misses may publish lemmas at the merge point — a plan-time
+    // fact, so the pool's evolution is byte-identical at any thread count.
+    let pair_publish: Vec<bool> = match pool {
+        Some(p) => {
+            let keys: Vec<(u64, u64)> = misses.iter().map(|m| (fps[m.i], fps[m.j])).collect();
+            publishable_flags(
+                &keys,
+                |k| !cache.states().contains(k),
+                |k| !p.has_pair(k.0, k.1, level),
+            )
+        }
+        None => vec![false; misses.len()],
+    };
+
     // Phase 2: solve the dirty pairs on the pool.
     let (outcomes, worker_stats) = run_pool(threads, &misses, |m| {
-        solve_miss(&summaries, &fps, level, cache.states(), m)
+        solve_miss(&summaries, &fps, level, cache.states(), pool, m)
     });
     absorb(&mut all_workers, &worker_stats);
 
     // Phase 3 (serial, deterministic): insert verdicts and fold results in
     // the serial pair order, whatever order the workers finished in.
-    for (m, o) in misses.iter().zip(outcomes) {
+    for ((m, o), publish) in misses.iter().zip(outcomes).zip(&pair_publish) {
         let o = o.expect("every miss was solved");
         cache.stats_mut().solver_reuses += u64::from(o.solver_reused);
+        cache.stats_mut().learnt_seeded += o.stats.learnt_seeded;
         merge_outcome_stats(&mut stats, &o);
+        if *publish {
+            publish_pair_state(cache, pool, fps[m.i], fps[m.j], level);
+        }
         cache.insert(
             fps[m.i],
             fps[m.j],
@@ -489,15 +646,32 @@ pub(crate) fn detect_with_cache(
             }
         }
 
+        let trio_publish: Vec<bool> = match pool {
+            Some(p) => {
+                let keys: Vec<(u64, u64, u64)> =
+                    trio_misses.iter().map(|m| (m.key.0, m.key.1, m.key.2)).collect();
+                publishable_flags(
+                    &keys,
+                    |k| !cache.triple_states().contains(k),
+                    |k| !p.has_triple(&(k.0, k.1, k.2, level)),
+                )
+            }
+            None => vec![false; trio_misses.len()],
+        };
+
         let (trio_outcomes, trio_workers) = run_pool(threads, &trio_misses, |m| {
-            solve_trio(&summaries, &fps, level, cache.triple_states(), m)
+            solve_trio(&summaries, &fps, level, cache.triple_states(), pool, m)
         });
         absorb(&mut all_workers, &trio_workers);
 
-        for (m, o) in trio_misses.iter().zip(trio_outcomes) {
+        for ((m, o), publish) in trio_misses.iter().zip(trio_outcomes).zip(&trio_publish) {
             let o = o.expect("every triple miss was solved");
             cache.stats_mut().solver_reuses += u64::from(o.solver_reused);
+            cache.stats_mut().learnt_seeded += o.stats.learnt_seeded;
             merge_outcome_stats(&mut stats, &o);
+            if *publish {
+                publish_trio_state(cache, pool, m.key);
+            }
             cache.insert_triple(
                 m.key,
                 [

@@ -66,7 +66,7 @@ pub mod replay;
 pub mod session;
 pub mod triple;
 
-pub use cache::{cmd_fingerprint, txn_fingerprint, CacheStats, VerdictCache};
+pub use cache::{cmd_fingerprint, txn_fingerprint, CacheStats, LearntPool, VerdictCache};
 pub use corpus::{
     analyse_corpus, CompactionReport, CorpusReport, CorpusService, CorpusStats, CorpusStore,
     CorpusVerdict, EvictionPolicy,

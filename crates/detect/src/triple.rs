@@ -155,6 +155,23 @@ impl TripleSolver {
     pub fn solver_stats(&self) -> SolverStats {
         self.inner.solver_stats()
     }
+
+    /// The triple's stored CNF (see [`PairSolver::problem_clauses`]).
+    pub fn problem_clauses(&self) -> Vec<Vec<atropos_sat::Lit>> {
+        self.inner.problem_clauses()
+    }
+
+    /// Imports lemmas published by a fingerprint-identical triple solve
+    /// (see [`PairSolver::seed_learnts`]).
+    pub(crate) fn seed_learnts(&mut self, clauses: &[Vec<atropos_sat::Lit>]) -> usize {
+        self.inner.seed_learnts(clauses)
+    }
+
+    /// Exports this solver's base-variable-only lemmas (see
+    /// [`PairSolver::export_learnts`]).
+    pub(crate) fn export_learnts(&self) -> Vec<Vec<atropos_sat::Lit>> {
+        self.inner.export_learnts()
+    }
 }
 
 // Retained triple solvers migrate between the detection engine's workers
@@ -509,6 +526,7 @@ pub(crate) fn solve_triple_with_state(
     fps: [u64; 3],
     level: ConsistencyLevel,
     state: &mut TripleState,
+    seed: Option<&[Vec<atropos_sat::Lit>]>,
 ) -> (Vec<AccessPair>, crate::DetectStats) {
     use std::collections::HashMap;
     let mut stats = crate::DetectStats::default();
@@ -538,7 +556,14 @@ pub(crate) fn solve_triple_with_state(
                 }
                 None => {
                     stats.queries += 1;
-                    let s = solver.get_or_insert_with(|| TripleSolver::new(tm));
+                    let s = solver.get_or_insert_with(|| {
+                        let mut s = TripleSolver::new(tm);
+                        if let Some(seed) = seed {
+                            s.seed_learnts(seed);
+                            stats.learnt_seeded += seed.len() as u64;
+                        }
+                        s
+                    });
                     let r = s.satisfiable(tm, level, &reqs);
                     stats.clauses_fresh_equivalent += s.fresh_equivalent_clauses(level) as u64;
                     if r {
@@ -586,7 +611,7 @@ mod tests {
     fn solve(ts: &[TxnSummary], level: ConsistencyLevel) -> Vec<AccessPair> {
         let trio = [&ts[0], &ts[1], &ts[2]];
         let mut state = TripleState::new(trio);
-        solve_triple_with_state(trio, fps(ts), level, &mut state).0
+        solve_triple_with_state(trio, fps(ts), level, &mut state, None).0
     }
 
     /// The canonical 3-hop relay: post writes, relay reads-then-derives,

@@ -16,6 +16,14 @@
 //!   (`and`/`or`/`iff`/`implies`) and cardinality constraints;
 //! * [`dimacs`] — DIMACS CNF import/export.
 //!
+//! [`Solver`] stores clauses in a flat arena (`[header | len | lits...]`
+//! records in one `u32` buffer) and propagates over blocker-literal
+//! watcher lists; [`reference`] retains the previous `Vec<Clause>`
+//! implementation as a differential-testing oracle and throughput
+//! baseline. Building with the `baseline-solver` cargo feature swaps the
+//! crate's `Solver` re-export to the reference implementation, so the
+//! whole stack can be benchmarked pre-arena without code changes.
+//!
 //! # Examples
 //!
 //! ```
@@ -36,8 +44,13 @@
 pub mod cnf;
 pub mod dimacs;
 pub mod lit;
+pub mod reference;
 pub mod solver;
 
 pub use cnf::CnfBuilder;
 pub use lit::{LBool, Lit, Var};
-pub use solver::{SolveResult, Solver, SolverStats};
+#[cfg(feature = "baseline-solver")]
+pub use reference::Solver;
+pub use solver::{SolveResult, SolverStats};
+#[cfg(not(feature = "baseline-solver"))]
+pub use solver::Solver;

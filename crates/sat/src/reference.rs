@@ -1,174 +1,36 @@
-//! A CDCL SAT solver in the MiniSat lineage.
+//! The retained *reference* solver: the pre-arena CDCL implementation
+//! (`Vec<Clause>` storage, plain `ClauseRef = usize` watcher lists, f64
+//! clause activities, rebuild-style `reduce_db`). It is kept verbatim for
+//! two jobs:
 //!
-//! Features: two-watched-literal propagation over blocker-literal watcher
-//! lists, first-UIP conflict analysis with clause learning, VSIDS branching
-//! with phase saving, Luby restarts, activity-based deletion of learnt
-//! clauses, root-level simplification, and **incremental solving under
-//! assumptions**: [`Solver::solve_with_assumptions`] decides the formula
-//! conjoined with a set of assumption literals, retains learnt clauses
-//! across calls, and on failure exposes a failed-assumption core via
-//! [`Solver::failed_assumptions`]. Clauses may be added between calls.
-//! The solver is deliberately deterministic: identical inputs yield
-//! identical models.
+//! 1. **Differential fuzzing** — `tests/arena_vs_reference.rs` checks the
+//!    arena solver against this one on random CNFs: SAT/UNSAT verdicts
+//!    must agree, models must satisfy the formula, and each solver's
+//!    failed-assumption core must refute in the other.
+//! 2. **Throughput baseline** — the `baseline-solver` cargo feature swaps
+//!    the crate's default `Solver` export to this module so the whole
+//!    detection stack can be measured pre-arena; the `solver_stats` bench
+//!    bin also measures it directly for the `experiments/solver_stats.csv`
+//!    speedup ratio.
 //!
-//! Clause storage is a flat arena: every clause lives contiguously in one
-//! `Vec<u32>` as `[header | len | lits... | activity?]`, and a `ClauseRef`
-//! is an offset into that buffer. Propagation therefore walks linear
-//! memory instead of chasing one heap `Vec<Lit>` per clause, and most
-//! watch visits are resolved by the watcher's cached *blocker* literal
-//! without touching the clause at all. Deleting learnt clauses marks arena
-//! records as garbage; when enough of the buffer is dead the arena is
-//! compacted with a relocation pass (watches and reasons are remapped
-//! through forwarding offsets).
+//! Semantics are identical to [`crate::solver::Solver`] (same decision
+//! heuristic, same learning, same assumption handling); only the memory
+//! layout differs, which legitimately perturbs the search order (the
+//! arena's blocker fast path skips literal swaps the reference performs).
+//! Both are deterministic on their own.
 
 use crate::lit::{LBool, Lit, Var};
 
-/// Outcome of [`Solver::solve`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SolveResult {
-    /// A satisfying assignment was found (one value per variable).
-    Sat(Vec<bool>),
-    /// The formula is unsatisfiable.
-    Unsat,
+pub use crate::solver::{SolveResult, SolverStats};
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
 }
 
-impl SolveResult {
-    /// True if satisfiable.
-    pub fn is_sat(&self) -> bool {
-        matches!(self, SolveResult::Sat(_))
-    }
-
-    /// The model, if satisfiable.
-    pub fn model(&self) -> Option<&[bool]> {
-        match self {
-            SolveResult::Sat(m) => Some(m),
-            SolveResult::Unsat => None,
-        }
-    }
-}
-
-/// Offset of a clause record in the arena.
-type ClauseRef = u32;
-
-/// Header flag: the clause is learnt (and carries an activity word).
-const LEARNT_BIT: u32 = 1;
-/// Header flag: the record is garbage (deleted, awaiting compaction).
-const MARK_BIT: u32 = 2;
-/// Header flag: the record was relocated; the length word holds the
-/// forwarding offset into the new buffer (compaction-internal).
-const RELOC_BIT: u32 = 4;
-
-/// The flat clause store: `[header | len | lits... | activity?]` records
-/// packed back to back in one `u32` buffer. Literals are stored as their
-/// [`Lit::index`] encoding, which is already a dense `u32`; learnt
-/// clauses carry one trailing word holding their activity as `f32` bits.
-#[derive(Debug, Default)]
-struct Arena {
-    data: Vec<u32>,
-    /// Words occupied by marked (deleted) records.
-    wasted: usize,
-}
-
-impl Arena {
-    fn alloc(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
-        let cref = self.data.len() as ClauseRef;
-        self.data.reserve(2 + lits.len() + usize::from(learnt));
-        self.data.push(if learnt { LEARNT_BIT } else { 0 });
-        self.data.push(lits.len() as u32);
-        self.data.extend(lits.iter().map(|l| l.index() as u32));
-        if learnt {
-            self.data.push(0f32.to_bits());
-        }
-        cref
-    }
-
-    #[inline]
-    fn len(&self, cref: ClauseRef) -> usize {
-        self.data[cref as usize + 1] as usize
-    }
-
-    #[inline]
-    fn lit(&self, cref: ClauseRef, i: usize) -> Lit {
-        Lit::from_index(self.data[cref as usize + 2 + i] as usize)
-    }
-
-    #[inline]
-    fn swap_lits(&mut self, cref: ClauseRef, i: usize, j: usize) {
-        let base = cref as usize + 2;
-        self.data.swap(base + i, base + j);
-    }
-
-    #[inline]
-    fn is_learnt(&self, cref: ClauseRef) -> bool {
-        self.data[cref as usize] & LEARNT_BIT != 0
-    }
-
-    fn activity(&self, cref: ClauseRef) -> f32 {
-        debug_assert!(self.is_learnt(cref));
-        let len = self.len(cref);
-        f32::from_bits(self.data[cref as usize + 2 + len])
-    }
-
-    fn set_activity(&mut self, cref: ClauseRef, act: f32) {
-        debug_assert!(self.is_learnt(cref));
-        let len = self.len(cref);
-        self.data[cref as usize + 2 + len] = act.to_bits();
-    }
-
-    /// Words occupied by the record at `cref`.
-    fn record_words(&self, cref: ClauseRef) -> usize {
-        2 + self.len(cref) + usize::from(self.is_learnt(cref))
-    }
-
-    /// Marks the record garbage; the space is reclaimed by compaction.
-    fn free(&mut self, cref: ClauseRef) {
-        debug_assert_eq!(self.data[cref as usize] & (MARK_BIT | RELOC_BIT), 0);
-        self.wasted += self.record_words(cref);
-        self.data[cref as usize] |= MARK_BIT;
-    }
-
-    /// Fraction of the buffer occupied by garbage records.
-    fn wasted_ratio(&self) -> f64 {
-        if self.data.is_empty() {
-            0.0
-        } else {
-            self.wasted as f64 / self.data.len() as f64
-        }
-    }
-
-    /// Copies the record into `to` and leaves a forwarding offset behind,
-    /// so later [`Arena::forward`] calls on the old ref resolve to the new
-    /// one. Idempotent: an already-relocated record is not copied twice.
-    fn relocate(&mut self, cref: ClauseRef, to: &mut Vec<u32>) {
-        let off = cref as usize;
-        if self.data[off] & RELOC_BIT != 0 {
-            return;
-        }
-        debug_assert_eq!(self.data[off] & MARK_BIT, 0, "garbage is never relocated");
-        let words = self.record_words(cref);
-        let new_ref = to.len() as u32;
-        to.extend_from_slice(&self.data[off..off + words]);
-        self.data[off] = RELOC_BIT;
-        self.data[off + 1] = new_ref;
-    }
-
-    /// The post-relocation offset of a live record.
-    fn forward(&self, cref: ClauseRef) -> ClauseRef {
-        let off = cref as usize;
-        debug_assert!(self.data[off] & RELOC_BIT != 0, "record was relocated");
-        self.data[off + 1]
-    }
-}
-
-/// A clause watcher: the clause plus a cached *blocker* literal (some
-/// other literal of the clause). If the blocker is already true the
-/// clause is satisfied and the watch visit never touches clause memory —
-/// the common case in the dense detection encodings.
-#[derive(Debug, Clone, Copy)]
-struct Watcher {
-    cref: ClauseRef,
-    blocker: Lit,
-}
+type ClauseRef = usize;
 
 /// A binary max-heap over variables ordered by VSIDS activity, with a
 /// position index for O(log n) re-heapification when an activity is bumped.
@@ -272,22 +134,6 @@ impl OrderHeap {
     }
 }
 
-/// Statistics accumulated during solving.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct SolverStats {
-    /// Number of decisions made.
-    pub decisions: u64,
-    /// Number of unit propagations performed.
-    pub propagations: u64,
-    /// Number of conflicts analysed.
-    pub conflicts: u64,
-    /// Number of restarts executed.
-    pub restarts: u64,
-    /// Number of learnt clauses deleted.
-    pub deleted: u64,
-    /// Number of arena compactions performed.
-    pub compactions: u64,
-}
 
 /// A CDCL SAT solver.
 ///
@@ -300,7 +146,8 @@ pub struct SolverStats {
 /// # Examples
 ///
 /// ```
-/// use atropos_sat::{Solver, Var};
+/// use atropos_sat::reference::Solver;
+/// use atropos_sat::Var;
 ///
 /// let mut s = Solver::new();
 /// let a = s.new_var();
@@ -312,12 +159,8 @@ pub struct SolverStats {
 /// ```
 #[derive(Debug)]
 pub struct Solver {
-    arena: Arena,
-    /// Live original clauses, in insertion order.
-    clauses: Vec<ClauseRef>,
-    /// Live learnt clauses, in learning order.
-    learnts: Vec<ClauseRef>,
-    watches: Vec<Vec<Watcher>>, // indexed by Lit::index
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<ClauseRef>>, // indexed by Lit::index
     assign: Vec<LBool>,
     level: Vec<u32>,
     reason: Vec<Option<ClauseRef>>,
@@ -326,17 +169,14 @@ pub struct Solver {
     prop_head: usize,
     activity: Vec<f64>,
     var_inc: f64,
-    cla_inc: f32,
+    cla_inc: f64,
     phase: Vec<bool>,
     order: OrderHeap, // VSIDS order heap (lazy removal of assigned vars)
     unsat: bool,
     stats: SolverStats,
     seen: Vec<bool>,
     failed: Vec<Lit>,
-    /// Root-trail length the last `simplify` ran at (skip when unchanged).
-    simplified_at: usize,
-    /// Scratch for conflict analysis (avoids a per-conflict allocation).
-    analyze_scratch: Vec<Lit>,
+    num_learnt: usize,
 }
 
 // A retained solver must be able to migrate between detection workers; any
@@ -348,13 +188,8 @@ const _: () = {
 };
 
 const VAR_DECAY: f64 = 0.95;
-const CLA_DECAY: f32 = 0.999;
+const CLA_DECAY: f64 = 0.999;
 const RESCALE: f64 = 1e100;
-/// Clause activities are `f32` (they live in one arena word), so they
-/// rescale at a much lower threshold than the `f64` variable activities.
-const CLA_RESCALE: f32 = 1e20;
-/// Compact the arena when at least this fraction of it is garbage.
-const COMPACT_WASTE: f64 = 0.25;
 
 impl Default for Solver {
     fn default() -> Self {
@@ -366,9 +201,7 @@ impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Solver {
         Solver {
-            arena: Arena::default(),
             clauses: Vec::new(),
-            learnts: Vec::new(),
             watches: Vec::new(),
             assign: Vec::new(),
             level: Vec::new(),
@@ -385,8 +218,7 @@ impl Solver {
             stats: SolverStats::default(),
             seen: Vec::new(),
             failed: Vec::new(),
-            simplified_at: 0,
-            analyze_scratch: Vec::new(),
+            num_learnt: 0,
         }
     }
 
@@ -416,12 +248,9 @@ impl Solver {
         self.stats
     }
 
-    /// Number of *live* clauses currently stored (original plus retained
-    /// learnt). Clauses that [`Solver::simplify`] removed because the root
-    /// level already satisfies them are not counted — they are logically
-    /// gone, and reporting them would overstate the working set.
+    /// Number of clauses currently stored (original plus retained learnt).
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len() + self.learnts.len()
+        self.clauses.len()
     }
 
     /// After [`Solver::solve_with_assumptions`] returns
@@ -432,7 +261,83 @@ impl Solver {
         &self.failed
     }
 
-    #[inline]
+    /// Imports learnt clauses exported by a fingerprint-identical solver
+    /// (see [`Solver::retained_learnts`]); mirrors the arena solver's API
+    /// so the `baseline-solver` feature swap stays source-compatible.
+    pub fn import_learnts<'a, I>(&mut self, clauses: I) -> usize
+    where
+        I: IntoIterator<Item = &'a [Lit]>,
+    {
+        debug_assert!(self.trail_lim.is_empty(), "import happens at the root");
+        let mut installed = 0usize;
+        for clause in clauses {
+            if self.unsat {
+                break;
+            }
+            let mut lits: Vec<Lit> = clause.to_vec();
+            for l in &lits {
+                assert!(l.var().index() < self.num_vars(), "unallocated variable");
+            }
+            lits.retain(|&l| self.value(l) != LBool::False);
+            if lits.iter().any(|&l| self.value(l) == LBool::True) {
+                continue;
+            }
+            match lits.len() {
+                0 => self.unsat = true,
+                1 => {
+                    installed += 1;
+                    if !self.enqueue(lits[0], None) || self.propagate().is_some() {
+                        self.unsat = true;
+                    }
+                }
+                _ => {
+                    installed += 1;
+                    self.attach(lits, true);
+                }
+            }
+        }
+        installed
+    }
+
+    /// Exports root facts and learnt clauses over the first `below_vars`
+    /// variables — the baseline counterpart of the arena solver's
+    /// [`crate::solver::Solver::retained_learnts`] (same soundness
+    /// argument: base-projected consequences of the guarded extension are
+    /// consequences of the base formula alone).
+    pub fn retained_learnts(&self, below_vars: usize) -> Vec<Vec<Lit>> {
+        debug_assert!(self.trail_lim.is_empty(), "export happens at the root");
+        let mut out = Vec::new();
+        for &l in &self.trail {
+            if l.var().index() < below_vars {
+                out.push(vec![l]);
+            }
+        }
+        for c in &self.clauses {
+            if c.learnt && c.lits.iter().all(|l| l.var().index() < below_vars) {
+                out.push(c.lits.clone());
+            }
+        }
+        out
+    }
+
+    /// Exports the stored problem (root facts as units, then every
+    /// original clause) — the baseline counterpart of the arena solver's
+    /// [`crate::solver::Solver::problem_clauses`], kept so the
+    /// `baseline-solver` feature swap stays source-compatible.
+    pub fn problem_clauses(&self) -> Vec<Vec<Lit>> {
+        debug_assert!(self.trail_lim.is_empty(), "export happens at the root");
+        let mut out = Vec::new();
+        for &l in &self.trail {
+            out.push(vec![l]);
+        }
+        for c in &self.clauses {
+            if !c.learnt {
+                out.push(c.lits.clone());
+            }
+        }
+        out
+    }
+
     fn value(&self, l: Lit) -> LBool {
         self.assign[l.var().index()].under(l.is_positive())
     }
@@ -478,129 +383,22 @@ impl Solver {
                 }
             }
             _ => {
-                self.attach(&lits, false);
+                self.attach(lits, false);
             }
         }
     }
 
-    /// Imports clauses a fingerprint-identical solver learnt over the same
-    /// variable numbering (see [`Solver::retained_learnts`]). Each clause
-    /// is attached as a *learnt* clause — it is deduced knowledge, so it
-    /// neither counts against the original-clause budget that paces
-    /// learnt-DB reduction nor inflates [`Solver::num_clauses`]'s original
-    /// half. Returns how many clauses were installed (root-satisfied
-    /// imports are dropped, unit imports become root facts).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a literal references an unallocated variable.
-    pub fn import_learnts<'a, I>(&mut self, clauses: I) -> usize
-    where
-        I: IntoIterator<Item = &'a [Lit]>,
-    {
-        debug_assert!(self.trail_lim.is_empty(), "import happens at the root");
-        let mut installed = 0usize;
-        for clause in clauses {
-            if self.unsat {
-                break;
-            }
-            let mut lits: Vec<Lit> = clause.to_vec();
-            for l in &lits {
-                assert!(l.var().index() < self.num_vars(), "unallocated variable");
-            }
-            lits.retain(|&l| self.value(l) != LBool::False);
-            if lits.iter().any(|&l| self.value(l) == LBool::True) {
-                continue;
-            }
-            match lits.len() {
-                0 => self.unsat = true,
-                1 => {
-                    installed += 1;
-                    if !self.enqueue(lits[0], None) || self.propagate().is_some() {
-                        self.unsat = true;
-                    }
-                }
-                _ => {
-                    installed += 1;
-                    self.attach(&lits, true);
-                }
-            }
-        }
-        installed
-    }
-
-    /// Exports the deduced knowledge another solver with the *same* clause
-    /// set over the first `below_vars` variables may soundly import: root
-    /// facts and live learnt clauses mentioning only variables below
-    /// `below_vars`. Guarded extension clauses (activation literals and
-    /// their Tseitin auxiliaries all live at `>= below_vars`) never leak
-    /// into the export: any base-projected consequence of the extended
-    /// formula is already a consequence of the base formula alone, because
-    /// every base model extends to the full variable set (set all guards
-    /// false, evaluate the auxiliary definitions bottom-up).
-    pub fn retained_learnts(&self, below_vars: usize) -> Vec<Vec<Lit>> {
-        debug_assert!(self.trail_lim.is_empty(), "export happens at the root");
-        let mut out = Vec::new();
-        for &l in &self.trail {
-            if l.var().index() < below_vars {
-                out.push(vec![l]);
-            }
-        }
-        for &cref in &self.learnts {
-            let len = self.arena.len(cref);
-            let lits: Vec<Lit> = (0..len).map(|i| self.arena.lit(cref, i)).collect();
-            if lits.iter().all(|l| l.var().index() < below_vars) {
-                out.push(lits);
-            }
-        }
-        out
-    }
-
-    /// Exports the stored problem: root facts as unit clauses, then every
-    /// original (non-learnt) clause as currently simplified. Replaying the
-    /// export into a fresh solver over the same variable allocation yields
-    /// an equisatisfiable formula; the `solver_stats` microbench uses it to
-    /// run identical clause streams through this solver and the baseline
-    /// [`crate::reference::Solver`] so the two layouts are compared on
-    /// equal work.
-    pub fn problem_clauses(&self) -> Vec<Vec<Lit>> {
-        debug_assert!(self.trail_lim.is_empty(), "export happens at the root");
-        let mut out = Vec::new();
-        for &l in &self.trail {
-            out.push(vec![l]);
-        }
-        for &cref in &self.clauses {
-            let len = self.arena.len(cref);
-            out.push((0..len).map(|i| self.arena.lit(cref, i)).collect());
-        }
-        out
-    }
-
-    fn attach(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
-        debug_assert!(lits.len() >= 2);
-        let cref = self.arena.alloc(lits, learnt);
-        self.watches[(!lits[0]).index()].push(Watcher {
-            cref,
-            blocker: lits[1],
+    fn attach(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        let cref = self.clauses.len();
+        self.watches[(!lits[0]).index()].push(cref);
+        self.watches[(!lits[1]).index()].push(cref);
+        self.num_learnt += usize::from(learnt);
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
         });
-        self.watches[(!lits[1]).index()].push(Watcher {
-            cref,
-            blocker: lits[0],
-        });
-        if learnt {
-            self.learnts.push(cref);
-        } else {
-            self.clauses.push(cref);
-        }
         cref
-    }
-
-    /// Detaches the clause from its two watch lists and frees its record.
-    fn remove_clause(&mut self, cref: ClauseRef) {
-        let (l0, l1) = (self.arena.lit(cref, 0), self.arena.lit(cref, 1));
-        self.watches[(!l0).index()].retain(|w| w.cref != cref);
-        self.watches[(!l1).index()].retain(|w| w.cref != cref);
-        self.arena.free(cref);
     }
 
     fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) -> bool {
@@ -629,67 +427,47 @@ impl Solver {
             let p = self.trail[self.prop_head];
             self.prop_head += 1;
             self.stats.propagations += 1;
-            let false_lit = !p;
             let mut ws = std::mem::take(&mut self.watches[p.index()]);
             let mut i = 0;
-            let mut j = 0;
-            'watchers: while i < ws.len() {
-                let w = ws[i];
-                // Blocker fast path: the clause is satisfied; keep the
-                // watcher without reading clause memory at all.
-                if self.value(w.blocker) == LBool::True {
-                    ws[j] = w;
-                    j += 1;
-                    i += 1;
-                    continue;
-                }
-                let cref = w.cref;
+            while i < ws.len() {
+                let cref = ws[i];
                 // The false literal must be at position 1.
-                if self.arena.lit(cref, 0) == false_lit {
-                    self.arena.swap_lits(cref, 0, 1);
-                }
-                debug_assert_eq!(self.arena.lit(cref, 1), false_lit);
-                let first = self.arena.lit(cref, 0);
-                let keep = Watcher {
-                    cref,
-                    blocker: first,
+                let (l0, l1) = {
+                    let c = &mut self.clauses[cref];
+                    if c.lits[0] == !p {
+                        c.lits.swap(0, 1);
+                    }
+                    (c.lits[0], c.lits[1])
                 };
-                if first != w.blocker && self.value(first) == LBool::True {
-                    ws[j] = keep;
-                    j += 1;
+                debug_assert_eq!(l1, !p);
+                if self.value(l0) == LBool::True {
                     i += 1;
                     continue;
                 }
                 // Find a new literal to watch.
-                let len = self.arena.len(cref);
-                for k in 2..len {
-                    let lk = self.arena.lit(cref, k);
+                let mut moved = false;
+                let n = self.clauses[cref].lits.len();
+                for k in 2..n {
+                    let lk = self.clauses[cref].lits[k];
                     if self.value(lk) != LBool::False {
-                        self.arena.swap_lits(cref, 1, k);
-                        self.watches[(!lk).index()].push(keep);
-                        i += 1;
-                        continue 'watchers;
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[(!lk).index()].push(cref);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
                     }
                 }
+                if moved {
+                    continue;
+                }
                 // Clause is unit or conflicting.
-                ws[j] = keep;
-                j += 1;
-                if !self.enqueue(first, Some(cref)) {
-                    // Conflict: preserve the unvisited tail of the list.
-                    i += 1;
-                    while i < ws.len() {
-                        ws[j] = ws[i];
-                        j += 1;
-                        i += 1;
-                    }
-                    ws.truncate(j);
+                if !self.enqueue(l0, Some(cref)) {
                     self.watches[p.index()] = ws;
                     self.prop_head = self.trail.len();
                     return Some(cref);
                 }
                 i += 1;
             }
-            ws.truncate(j);
             self.watches[p.index()] = ws;
         }
         None
@@ -709,27 +487,19 @@ impl Solver {
     }
 
     fn bump_clause(&mut self, cref: ClauseRef) {
-        if !self.arena.is_learnt(cref) {
-            return;
-        }
-        let act = self.arena.activity(cref) + self.cla_inc;
-        self.arena.set_activity(cref, act);
-        if act > CLA_RESCALE {
-            for idx in 0..self.learnts.len() {
-                let c = self.learnts[idx];
-                let a = self.arena.activity(c);
-                self.arena.set_activity(c, a / CLA_RESCALE);
+        self.clauses[cref].activity += self.cla_inc;
+        if self.clauses[cref].activity > RESCALE {
+            for c in &mut self.clauses {
+                c.activity /= RESCALE;
             }
-            self.cla_inc /= CLA_RESCALE;
+            self.cla_inc /= RESCALE;
         }
     }
 
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
     /// literal first) and the backtrack level.
     fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
-        let mut learnt: Vec<Lit> = std::mem::take(&mut self.analyze_scratch);
-        learnt.clear();
-        learnt.push(Lit::new(Var(0), true)); // placeholder for UIP
+        let mut learnt: Vec<Lit> = vec![Lit::new(Var(0), true)]; // placeholder for UIP
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
         let mut cref = conflict;
@@ -738,10 +508,12 @@ impl Solver {
 
         loop {
             self.bump_clause(cref);
-            let len = self.arena.len(cref);
-            let skip_first = usize::from(p.is_some());
-            for k in skip_first..len {
-                let q = self.arena.lit(cref, k);
+            let lits: Vec<Lit> = self.clauses[cref].lits.clone();
+            let skip_first = p.is_some();
+            for (k, &q) in lits.iter().enumerate() {
+                if skip_first && k == 0 {
+                    continue;
+                }
                 let v = q.var();
                 if !self.seen[v.index()] && self.level[v.index()] > 0 {
                     self.seen[v.index()] = true;
@@ -814,22 +586,14 @@ impl Solver {
         None
     }
 
-    /// True if the clause is the reason of its first literal's assignment
-    /// (such a clause must survive learnt-DB reduction).
-    fn is_locked(&self, cref: ClauseRef) -> bool {
-        let l0 = self.arena.lit(cref, 0);
-        self.assign[l0.var().index()] != LBool::Undef && self.reason[l0.var().index()] == Some(cref)
-    }
-
     fn reduce_db(&mut self) {
         // Delete the lower-activity half of removable learnt clauses by
-        // median split; surviving refs stay valid (deleted records are
-        // marked garbage and reclaimed once enough of the arena is dead).
-        let mut acts: Vec<f32> = self
-            .learnts
+        // rebuilding the clause store (keeps refs dense and watches exact).
+        let mut acts: Vec<f64> = self
+            .clauses
             .iter()
-            .filter(|&&c| self.arena.len(c) > 2)
-            .map(|&c| self.arena.activity(c))
+            .filter(|c| c.learnt && c.lits.len() > 2)
+            .map(|c| c.activity)
             .collect();
         if acts.len() < 2 {
             return;
@@ -837,93 +601,37 @@ impl Solver {
         acts.sort_by(|a, b| a.partial_cmp(b).expect("activities are finite"));
         let median = acts[acts.len() / 2];
 
-        let old = std::mem::take(&mut self.learnts);
-        for cref in old {
-            let keep = self.arena.len(cref) <= 2
-                || self.arena.activity(cref) >= median
-                || self.is_locked(cref);
+        let locked: Vec<Option<ClauseRef>> = self.reason.clone();
+        let is_locked = |cref: ClauseRef, c: &Clause, solver_assign: &[LBool]| -> bool {
+            let l0 = c.lits[0];
+            solver_assign[l0.var().index()] != LBool::Undef
+                && locked[l0.var().index()] == Some(cref)
+        };
+
+        let old = std::mem::take(&mut self.clauses);
+        let mut remap: Vec<Option<ClauseRef>> = vec![None; old.len()];
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (old_ref, c) in old.into_iter().enumerate() {
+            let keep = !c.learnt
+                || c.lits.len() <= 2
+                || c.activity >= median
+                || is_locked(old_ref, &c, &self.assign);
             if keep {
-                self.learnts.push(cref);
+                let new_ref = self.clauses.len();
+                remap[old_ref] = Some(new_ref);
+                self.watches[(!c.lits[0]).index()].push(new_ref);
+                self.watches[(!c.lits[1]).index()].push(new_ref);
+                self.clauses.push(c);
             } else {
-                self.remove_clause(cref);
                 self.stats.deleted += 1;
-            }
-        }
-        self.maybe_compact();
-    }
-
-    /// Root-level simplification: with the solver at decision level 0,
-    /// removes every clause the root assignment already satisfies (it can
-    /// never participate in propagation or conflicts again) and clears the
-    /// reason pointers of root facts (they are permanent; conflict
-    /// analysis skips level 0). Runs automatically at the start of every
-    /// solve once new root facts have appeared; [`Solver::num_clauses`]
-    /// only counts what survives.
-    pub fn simplify(&mut self) {
-        debug_assert!(self.trail_lim.is_empty(), "simplify runs at the root");
-        if self.unsat || self.prop_head < self.trail.len() || self.trail.len() == self.simplified_at
-        {
-            return;
-        }
-        for i in 0..self.trail.len() {
-            self.reason[self.trail[i].var().index()] = None;
-        }
-        for learnt_list in [true, false] {
-            let old = std::mem::take(if learnt_list {
-                &mut self.learnts
-            } else {
-                &mut self.clauses
-            });
-            let mut kept = Vec::with_capacity(old.len());
-            for cref in old {
-                let len = self.arena.len(cref);
-                let satisfied =
-                    (0..len).any(|i| self.value(self.arena.lit(cref, i)) == LBool::True);
-                if satisfied {
-                    self.remove_clause(cref);
-                } else {
-                    kept.push(cref);
-                }
-            }
-            *(if learnt_list {
-                &mut self.learnts
-            } else {
-                &mut self.clauses
-            }) = kept;
-        }
-        self.simplified_at = self.trail.len();
-        self.maybe_compact();
-    }
-
-    /// Rebuilds the arena without its garbage records when fragmentation
-    /// passes the threshold, remapping clause lists, watcher lists, and
-    /// reason pointers through the relocation table.
-    fn maybe_compact(&mut self) {
-        if self.arena.wasted == 0 || self.arena.wasted_ratio() < COMPACT_WASTE {
-            return;
-        }
-        let mut to: Vec<u32> = Vec::with_capacity(self.arena.data.len() - self.arena.wasted);
-        for i in 0..self.clauses.len() {
-            let cref = self.clauses[i];
-            self.arena.relocate(cref, &mut to);
-            self.clauses[i] = self.arena.forward(cref);
-        }
-        for i in 0..self.learnts.len() {
-            let cref = self.learnts[i];
-            self.arena.relocate(cref, &mut to);
-            self.learnts[i] = self.arena.forward(cref);
-        }
-        for list in &mut self.watches {
-            for w in list.iter_mut() {
-                w.cref = self.arena.forward(w.cref);
+                self.num_learnt -= 1;
             }
         }
         for r in &mut self.reason {
-            *r = r.map(|cref| self.arena.forward(cref));
+            *r = r.and_then(|old_ref| remap[old_ref]);
         }
-        self.arena.data = to;
-        self.arena.wasted = 0;
-        self.stats.compactions += 1;
     }
 
     /// Computes the failed-assumption core once assumption `p` was found
@@ -950,8 +658,8 @@ impl Solver {
                 // Decisions below the branching levels are assumptions.
                 None => self.failed.push(q),
                 Some(cref) => {
-                    for k in 1..self.arena.len(cref) {
-                        let l = self.arena.lit(cref, k);
+                    for k in 1..self.clauses[cref].lits.len() {
+                        let l = self.clauses[cref].lits[k];
                         if self.level[l.var().index()] > 0 {
                             self.seen[l.var().index()] = true;
                         }
@@ -998,12 +706,10 @@ impl Solver {
             self.unsat = true;
             return SolveResult::Unsat;
         }
-        // Drop clauses the accumulated root facts already satisfy.
-        self.simplify();
         let mut conflicts_until_restart = luby(self.stats.restarts) * 100;
         // Budget learnt clauses against the *original* clause count so the
         // limit does not creep upwards across incremental calls.
-        let mut learnt_limit = (self.clauses.len() / 3).max(2000);
+        let mut learnt_limit = ((self.clauses.len() - self.num_learnt) / 3).max(2000);
         loop {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
@@ -1017,12 +723,11 @@ impl Solver {
                     let ok = self.enqueue(learnt[0], None);
                     debug_assert!(ok, "asserting literal must be enqueueable");
                 } else {
-                    let cref = self.attach(&learnt, true);
+                    let cref = self.attach(learnt.clone(), true);
                     self.bump_clause(cref);
                     let ok = self.enqueue(learnt[0], Some(cref));
                     debug_assert!(ok, "asserting literal must be enqueueable");
                 }
-                self.analyze_scratch = learnt;
                 self.var_inc /= VAR_DECAY;
                 self.cla_inc /= CLA_DECAY;
                 conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
@@ -1032,7 +737,7 @@ impl Solver {
                     conflicts_until_restart = luby(self.stats.restarts) * 100;
                     self.backtrack(0);
                 }
-                if self.learnts.len() > learnt_limit {
+                if self.num_learnt > learnt_limit {
                     self.reduce_db();
                     learnt_limit += learnt_limit / 10;
                 }
@@ -1060,7 +765,11 @@ impl Solver {
                     Some(p) => p,
                     None => match self.pick_branch() {
                         None => {
-                            let model = self.assign.iter().map(|&a| a == LBool::True).collect();
+                            let model = self
+                                .assign
+                                .iter()
+                                .map(|&a| a == LBool::True)
+                                .collect();
                             self.backtrack(0);
                             return SolveResult::Sat(model);
                         }
@@ -1268,121 +977,6 @@ mod tests {
         s.add_clause([v[0].negative(), v[5].positive()]);
         assert!(s.solve().is_sat());
         assert!(s.stats().propagations > 0 || s.stats().decisions > 0);
-    }
-
-    /// The satellite fix: `num_clauses` must report *live* clauses. A
-    /// clause satisfied by root facts that arrive only after it was added
-    /// is logically removed by `simplify` and must disappear from the
-    /// count.
-    #[test]
-    fn num_clauses_reports_live_clauses_after_simplify() {
-        let mut s = Solver::new();
-        let v = lits(&mut s, 3);
-        s.add_clause([v[0].positive(), v[1].positive()]);
-        s.add_clause([v[0].positive(), v[2].positive()]);
-        s.add_clause([v[1].positive(), v[2].negative()]);
-        assert_eq!(s.num_clauses(), 3);
-        // A later unit satisfies the first two clauses; before the next
-        // solve they are still stored...
-        s.add_clause([v[0].positive()]);
-        assert_eq!(s.num_clauses(), 3);
-        assert!(s.solve().is_sat());
-        // ...but the solve's root simplification drops them (and only
-        // them: the third clause mentions no root-true literal).
-        assert_eq!(s.num_clauses(), 1);
-        // Explicit simplify with nothing new to do is a no-op.
-        s.simplify();
-        assert_eq!(s.num_clauses(), 1);
-        // Verdicts are unaffected.
-        assert!(s.solve_with_assumptions(&[v[2].positive()]).is_sat());
-        assert!(!s
-            .solve_with_assumptions(&[v[1].negative(), v[2].positive()])
-            .is_sat());
-    }
-
-    /// Arena compaction: force heavy learnt-clause deletion and check the
-    /// solver keeps answering correctly afterwards (refs, watches, and
-    /// reasons all survive relocation).
-    #[test]
-    fn compaction_preserves_verdicts_under_heavy_learning() {
-        let mut s = Solver::new();
-        // A guarded PHP(7, 6) produces thousands of learnt clauses.
-        let act = s.new_var();
-        let at: Vec<Vec<Var>> = (0..7)
-            .map(|_| (0..6).map(|_| s.new_var()).collect())
-            .collect();
-        for row in &at {
-            let mut c: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
-            c.push(act.negative());
-            s.add_clause(c);
-        }
-        for h in 0..6 {
-            for p1 in 0..7 {
-                for p2 in (p1 + 1)..7 {
-                    s.add_clause([act.negative(), at[p1][h].negative(), at[p2][h].negative()]);
-                }
-            }
-        }
-        assert!(!s.solve_with_assumptions(&[act.positive()]).is_sat());
-        assert!(s.solve_with_assumptions(&[act.negative()]).is_sat());
-        // The same verdicts hold on a re-query (watch lists stayed exact).
-        assert!(!s.solve_with_assumptions(&[act.positive()]).is_sat());
-    }
-
-    /// Learnt-clause export/import: lemmas over the shared variable prefix
-    /// transfer to a fingerprint-identical solver and shortcut its search.
-    #[test]
-    fn exported_learnts_seed_identical_solver() {
-        let build = || {
-            let mut s = Solver::new();
-            let at: Vec<Vec<Var>> = (0..5)
-                .map(|_| (0..4).map(|_| s.new_var()).collect())
-                .collect();
-            let base_vars = s.num_vars();
-            // An extension guard above the base prefix, MiniSat-style.
-            let guard = s.new_var();
-            for row in &at {
-                s.add_clause(row.iter().map(|v| v.positive()));
-            }
-            for h in 0..4 {
-                for p1 in 0..5 {
-                    for p2 in (p1 + 1)..5 {
-                        s.add_clause([at[p1][h].negative(), at[p2][h].negative()]);
-                    }
-                }
-            }
-            // A guarded extension clause keeps the guard var live.
-            s.add_clause([guard.negative(), at[0][0].positive()]);
-            (s, base_vars, guard)
-        };
-        let (mut donor, base_vars, guard) = build();
-        assert_eq!(
-            donor.solve_with_assumptions(&[guard.negative()]),
-            SolveResult::Unsat
-        );
-        let learnts = donor.retained_learnts(base_vars);
-        assert!(!learnts.is_empty(), "refutation must retain lemmas");
-        // No guard variable leaks through the export filter.
-        for c in &learnts {
-            assert!(c.iter().all(|l| l.var().index() < base_vars), "{c:?}");
-        }
-
-        let fresh_conflicts = {
-            let (mut fresh, _, g) = build();
-            assert!(!fresh.solve_with_assumptions(&[g.negative()]).is_sat());
-            fresh.stats().conflicts
-        };
-        let (mut seeded, _, seeded_guard) = build();
-        let installed = seeded.import_learnts(learnts.iter().map(Vec::as_slice));
-        assert!(installed > 0);
-        assert!(!seeded
-            .solve_with_assumptions(&[seeded_guard.negative()])
-            .is_sat());
-        assert!(
-            seeded.stats().conflicts < fresh_conflicts,
-            "seeding must shortcut the refutation ({} vs {fresh_conflicts})",
-            seeded.stats().conflicts
-        );
     }
 
     /// Exhaustive check against brute force on all 3-CNF formulas over a

@@ -1,0 +1,110 @@
+//! Learnt-pool sharing across fingerprint-identical solvers: a
+//! `DetectionEngine` keeps a deterministic pool of root-level lemmas,
+//! published once per canonical `(fingerprint, fingerprint, level)` key at
+//! the serial merge point. A later pass over the same corpus through the
+//! *same* engine (fresh session, so every solver is rebuilt) must seed its
+//! fresh solvers from that pool — observable as `learnt_seeded > 0` —
+//! without changing a single verdict. With the pool disabled the counter
+//! stays at zero and the verdicts are again identical: seeding is an
+//! effort transfer, never a different oracle.
+
+use atropos::detect::{
+    analyse_corpus, ConsistencyLevel, DetectMode, DetectSession, DetectionEngine,
+};
+use atropos::workloads::{all_benchmarks, chain_scenarios};
+use atropos_dsl::Program;
+
+/// The nine Table 1 workloads plus the chain scenarios, duplicated four
+/// times under distinct names — every copy beyond the first is pure
+/// fingerprint-duplicate load.
+fn duplicated_corpus() -> Vec<(String, Program)> {
+    let base: Vec<(String, Program)> = all_benchmarks()
+        .into_iter()
+        .chain(chain_scenarios())
+        .map(|b| (b.name.to_string(), b.program))
+        .collect();
+    let mut corpus = Vec::with_capacity(base.len() * 4);
+    for copy in 0..4 {
+        for (name, p) in &base {
+            corpus.push((format!("{name}#{copy}"), p.clone()));
+        }
+    }
+    corpus
+}
+
+fn rendered_verdicts(
+    engine: &DetectionEngine,
+    programs: &[(String, Program)],
+    level: ConsistencyLevel,
+    mode: DetectMode,
+) -> (Vec<String>, u64) {
+    let mut session = DetectSession::new();
+    let (verdicts, stats) = analyse_corpus(engine, programs, level, mode, &mut session);
+    let rendered = verdicts
+        .iter()
+        .map(|v| format!("{:?}", v.verdicts))
+        .collect();
+    (rendered, stats.solve.learnt_seeded)
+}
+
+fn assert_pool_seeds_and_preserves_verdicts(level: ConsistencyLevel, mode: DetectMode) {
+    let programs = duplicated_corpus();
+
+    // Pool on (the default): the first pass populates the pool, the second
+    // pass rebuilds every solver in a fresh session and must seed.
+    let engine = DetectionEngine::new(2);
+    assert!(engine.learnt_pool().is_some(), "pool is on by default");
+    let (base, first_seeded) = rendered_verdicts(&engine, &programs, level, mode);
+    let pool = engine.learnt_pool().expect("pool is on by default");
+    assert!(
+        pool.published() > 0,
+        "{level:?}/{mode:?}: first pass published no lemma sets"
+    );
+    assert!(
+        pool.published_clauses() > 0,
+        "{level:?}/{mode:?}: first pass published empty lemma sets"
+    );
+    let (second, second_seeded) = rendered_verdicts(&engine, &programs, level, mode);
+    assert!(
+        second_seeded > 0,
+        "{level:?}/{mode:?}: second pass rebuilt every solver but seeded nothing \
+         (first pass seeded {first_seeded}, pool holds {} clauses)",
+        pool.published_clauses()
+    );
+    assert_eq!(
+        base, second,
+        "{level:?}/{mode:?}: seeding changed a verdict"
+    );
+
+    // Pool off: same corpus, same passes, zero seeding, same verdicts.
+    let engine_off = DetectionEngine::new(2).with_learnt_pool(false);
+    assert!(engine_off.learnt_pool().is_none());
+    let (off_base, off_first) = rendered_verdicts(&engine_off, &programs, level, mode);
+    let (off_second, off_second_seeded) = rendered_verdicts(&engine_off, &programs, level, mode);
+    assert_eq!(off_first, 0, "{level:?}/{mode:?}: pool off but seeded");
+    assert_eq!(
+        off_second_seeded, 0,
+        "{level:?}/{mode:?}: pool off but second pass seeded"
+    );
+    assert_eq!(off_base, off_second);
+    assert_eq!(
+        base, off_base,
+        "{level:?}/{mode:?}: pool on/off disagree on verdicts"
+    );
+}
+
+#[test]
+fn pool_seeds_duplicated_corpus_pairs_ec() {
+    assert_pool_seeds_and_preserves_verdicts(
+        ConsistencyLevel::EventualConsistency,
+        DetectMode::Pairs,
+    );
+}
+
+#[test]
+fn pool_seeds_duplicated_corpus_triples_causal() {
+    assert_pool_seeds_and_preserves_verdicts(
+        ConsistencyLevel::CausalConsistency,
+        DetectMode::Triples,
+    );
+}
