@@ -435,6 +435,138 @@ pub fn solver_stats_row(
     ]
 }
 
+/// Header of the proof-certificate table emitted by `proof_stats`
+/// (`experiments/proof_stats.csv`): per benchmark, the detection sweep's
+/// query and refutation counts, how many UNSAT verdicts carry
+/// certificates and how many of those the independent `atropos_proof`
+/// checker accepts (`csv_smoke.rs` pins the two equal — a 100%
+/// proofs-checked floor), the total certificate payload, and the
+/// wall-time overhead of proof logging against an identical proofs-off
+/// sweep (pinned ≤ 1.5x on TPC-C).
+pub fn proof_stats_header() -> Vec<String> {
+    [
+        "Benchmark",
+        "Queries",
+        "UNSAT",
+        "Certificates",
+        "Checked",
+        "Proof bytes",
+        "Off (s)",
+        "On (s)",
+        "Overhead",
+    ]
+    .map(str::to_owned)
+    .to_vec()
+}
+
+/// One row of the proof-certificate table. `queries`/`unsat` come from
+/// the proofs-on sweep's [`DetectStats`]; `certificates` is the number of
+/// proof blobs the session banked, `checked` how many the checker
+/// accepted, `proof_bytes` their total encoded size; the two wall times
+/// are the best-of-N sweeps with logging off and on.
+#[allow(clippy::too_many_arguments)]
+pub fn proof_stats_row(
+    name: &str,
+    queries: u64,
+    unsat: u64,
+    certificates: usize,
+    checked: usize,
+    proof_bytes: usize,
+    off_seconds: f64,
+    on_seconds: f64,
+) -> Vec<String> {
+    vec![
+        name.to_owned(),
+        format!("{queries}"),
+        format!("{unsat}"),
+        format!("{certificates}"),
+        format!("{checked}"),
+        format!("{proof_bytes}"),
+        format!("{off_seconds:.3}"),
+        format!("{on_seconds:.3}"),
+        format!("{:.2}x", on_seconds / off_seconds.max(1e-9)),
+    ]
+}
+
+/// One row of a per-benchmark anomaly report (`experiments/reports/`):
+/// one transaction tuple's verdict at one consistency level, plus the
+/// audit trail that backs it — a replayed witness trace for dirty
+/// verdicts, checker-accepted certificates for clean ones.
+#[derive(Debug, Clone)]
+pub struct ReportRow {
+    /// The transaction tuple, e.g. `audit × deposit`.
+    pub subject: String,
+    /// Consistency level the verdict holds at (`EC`, `CC`, …).
+    pub level: String,
+    /// `true` = clean (every violation template refuted).
+    pub serializable: bool,
+    /// Wall time of the detection pass that produced the verdict.
+    pub pass_seconds: f64,
+    /// Dirty verdicts only: the decoded witness schedule manifested its
+    /// anomaly on the simulated cluster.
+    pub trace: bool,
+    /// Clean verdicts only: the tuple's refutations carry certificates
+    /// the independent checker accepts.
+    pub certified: bool,
+}
+
+/// Renders one benchmark's anomaly report as markdown: a verdict table in
+/// the style of the serializability-report exemplar (`Trace` ✅ for
+/// replayed dirty verdicts, `Proof Cert` ✅ for certified clean ones,
+/// `N/A` where the column does not apply), followed by one fenced witness
+/// trace per manifested anomaly.
+pub fn anomaly_report_markdown(
+    bench: &str,
+    generated: &str,
+    rows: &[ReportRow],
+    traces: &[(String, String)],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Serializability Analysis Report — {bench}");
+    let _ = writeln!(out, "Generated: {generated}");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "|Transactions|Level|Verdict|Pass (s)|Trace|Proof Cert|");
+    let _ = writeln!(out, "|--|--|--|--|--|--|");
+    let mark = |b: bool| if b { "✅" } else { "N/A" };
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| `{}` |{}|{}|{:.3}|{}|{}|",
+            r.subject,
+            r.level,
+            if r.serializable {
+                "Serializable"
+            } else {
+                "Not serializable"
+            },
+            r.pass_seconds,
+            mark(r.trace),
+            mark(r.certified),
+        );
+    }
+    if !traces.is_empty() {
+        let _ = writeln!(out, "\n## Witness traces");
+        for (title, body) in traces {
+            let _ = writeln!(out, "\n### {title}\n\n```\n{}```", body);
+        }
+    }
+    out
+}
+
+/// Writes a rendered report as `experiments/reports/<name>.md` (under the
+/// workspace root), returning the path written.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_report(name: &str, text: &str) -> std::io::Result<PathBuf> {
+    let dir = experiments_dir().join("reports");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.md"));
+    fs::write(&path, text)?;
+    Ok(path)
+}
+
 /// Header of the witness-replay table emitted by `table1`
 /// (`experiments/replay_stats.csv`): per benchmark, mode, and level, how
 /// many initial dirty verdicts decoded into schedules that manifested

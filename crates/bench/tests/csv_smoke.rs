@@ -6,9 +6,9 @@
 
 use atropos_bench::reporting::{
     bench_results_table, corpus_stats_header, corpus_stats_row, detect_stats_header,
-    detect_stats_row, parse_csv, repair_stats_header, repair_stats_row, replay_stats_header,
-    replay_stats_row, solver_stats_header, solver_stats_row, triple_stats_header,
-    triple_stats_row, write_bench_csv,
+    detect_stats_row, parse_csv, proof_stats_header, proof_stats_row, repair_stats_header,
+    repair_stats_row, replay_stats_header, replay_stats_row, solver_stats_header,
+    solver_stats_row, triple_stats_header, triple_stats_row, write_bench_csv,
 };
 use atropos_bench::Table;
 use atropos_detect::DetectStats;
@@ -391,6 +391,75 @@ fn corpus_stats_rows_match_their_header() {
             assert!(
                 speedup >= 2.0,
                 "{candidate}: duplicated corpus must be >=2x warm-vs-cold, got {speedup}"
+            );
+        }
+    }
+}
+
+#[test]
+fn proof_stats_rows_match_their_header() {
+    let mut t = Table::new(proof_stats_header());
+    t.row(proof_stats_row("TPC-C", 208, 6, 6, 6, 6_618_364, 0.044, 0.060));
+    let parsed = parse_csv(&t.to_csv());
+    assert_csv_shape(&parsed, "proof-stats CSV");
+    let header: Vec<&str> = parsed[0].iter().map(String::as_str).collect();
+    assert_eq!(
+        header,
+        [
+            "Benchmark",
+            "Queries",
+            "UNSAT",
+            "Certificates",
+            "Checked",
+            "Proof bytes",
+            "Off (s)",
+            "On (s)",
+            "Overhead",
+        ]
+    );
+    assert_eq!(parsed[1][3], "6");
+    assert_eq!(parsed[1][4], "6");
+    assert_eq!(parsed[1].last().unwrap(), "1.36x");
+
+    // Validate the generated artifact when a `proof_stats` run produced
+    // it: the 100% proofs-checked floor (every banked certificate is
+    // accepted by the independent checker), at least one benchmark
+    // actually banking certificates, and the proof-logging overhead
+    // ceiling — proofs-on detection wall time ≤ 1.5x proofs-off on TPC-C.
+    for candidate in [
+        "../../experiments/proof_stats.csv",
+        "experiments/proof_stats.csv",
+    ] {
+        if let Ok(text) = std::fs::read_to_string(candidate) {
+            let rows = parse_csv(&text);
+            assert_csv_shape(&rows, candidate);
+            assert_eq!(rows[0][3], "Certificates", "{candidate}");
+            assert_eq!(rows[0][4], "Checked", "{candidate}");
+            let mut total_certs = 0u64;
+            for (i, r) in rows[1..].iter().enumerate() {
+                let certs: u64 = r[3].parse().unwrap();
+                let checked: u64 = r[4].parse().unwrap();
+                assert_eq!(
+                    checked, certs,
+                    "{candidate}: row {i} ({}) is under the 100% checked floor",
+                    r[0]
+                );
+                total_certs += certs;
+            }
+            assert!(total_certs > 0, "{candidate}: no certificates banked at all");
+            let tpcc = rows[1..]
+                .iter()
+                .find(|r| r[0] == "TPC-C")
+                .unwrap_or_else(|| panic!("{candidate}: no TPC-C row"));
+            let overhead: f64 = tpcc
+                .last()
+                .unwrap()
+                .trim_end_matches('x')
+                .parse()
+                .unwrap_or_else(|e| panic!("{candidate}: bad Overhead cell: {e}"));
+            assert!(
+                overhead <= 1.5,
+                "{candidate}: TPC-C proof-logging overhead {overhead}x is over the 1.5x ceiling"
             );
         }
     }

@@ -1,0 +1,70 @@
+//! The proof-subsystem acceptance harness: across all nine Table 1
+//! workloads plus the Relay chain scenario, every UNSAT verdict of the
+//! certificate sweep (pair mode at EC and CC, triple mode at EC) must
+//! yield a certificate the independent `atropos_proof` checker accepts —
+//! and the banked certificates must be byte-identical at 1, 2, and 8
+//! engine threads, because the engine merges worker outcomes in
+//! deterministic plan order and each solver's proof log depends only on
+//! its own query schedule.
+
+use atropos_detect::{ConsistencyLevel, DetectMode, DetectSession, DetectionEngine};
+use atropos_workloads::{all_benchmarks, chain_scenarios, Benchmark};
+
+const SWEEP: [(ConsistencyLevel, DetectMode); 3] = [
+    (ConsistencyLevel::EventualConsistency, DetectMode::Pairs),
+    (ConsistencyLevel::CausalConsistency, DetectMode::Pairs),
+    (ConsistencyLevel::EventualConsistency, DetectMode::Triples),
+];
+
+fn benchmarks() -> Vec<Benchmark> {
+    all_benchmarks().into_iter().chain(chain_scenarios()).collect()
+}
+
+/// One full sweep through a fresh engine and session; returns the banked
+/// certificates (sorted cache-key order) and the sweep's UNSAT total.
+fn sweep(b: &Benchmark, threads: usize) -> (Vec<Vec<u8>>, u64) {
+    let engine = DetectionEngine::new(threads).with_proofs(true);
+    let mut session = DetectSession::new();
+    let mut unsat = 0u64;
+    for (level, mode) in SWEEP {
+        let (_, stats) = engine.detect_with_mode(&b.program, level, mode, &mut session);
+        unsat += stats.queries - stats.sat_queries;
+    }
+    (session.proof_blobs(), unsat)
+}
+
+#[test]
+fn every_unsat_verdict_yields_a_checking_certificate() {
+    let mut total = 0usize;
+    for b in &benchmarks() {
+        let (blobs, unsat) = sweep(b, 1);
+        assert_eq!(
+            blobs.len() as u64,
+            unsat,
+            "{}: every UNSAT answer must bank exactly one certificate",
+            b.name
+        );
+        for (i, blob) in blobs.iter().enumerate() {
+            let report = atropos_proof::check_blob(blob)
+                .unwrap_or_else(|e| panic!("{}: certificate {i} rejected: {e}", b.name));
+            assert!(report.rup_checks > 0, "{}: certificate {i} proved nothing", b.name);
+        }
+        total += blobs.len();
+    }
+    assert!(total > 0, "the sweep must refute something somewhere");
+}
+
+#[test]
+fn certificates_are_byte_identical_across_thread_counts() {
+    for b in &benchmarks() {
+        let (baseline, _) = sweep(b, 1);
+        for threads in [2usize, 8] {
+            let (blobs, _) = sweep(b, threads);
+            assert_eq!(
+                blobs, baseline,
+                "{}: certificates diverge at {threads} threads",
+                b.name
+            );
+        }
+    }
+}

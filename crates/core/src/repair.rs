@@ -220,6 +220,12 @@ pub struct RepairStats {
     /// Initial verdicts that still manifest on the repaired program —
     /// expected to stay zero after a successful repair.
     pub replay_surviving: u64,
+    /// UNSAT proof certificates this run's detection passes banked in the
+    /// session's verdict cache (engine path with the engine's proof
+    /// logging on — see [`atropos_detect::DetectionEngine::with_proofs`];
+    /// zero otherwise). Each is independently checkable with
+    /// `atropos_proof::check_blob`.
+    pub proof_certs: u64,
 }
 
 impl RepairStats {
@@ -378,8 +384,16 @@ pub fn repair_with_engine(
     session.sweep(program);
     session.begin_run();
     let before = session.cache_stats();
+    let certs_before = if engine.proofs_enabled() {
+        session.proof_blobs().len()
+    } else {
+        0
+    };
     let mut report = repair_core(program, config, &mut Oracle::Engine { engine, session });
     report.stats.cache = session.cache_stats().since(&before);
+    if engine.proofs_enabled() {
+        report.stats.proof_certs = session.proof_blobs().len().saturating_sub(certs_before) as u64;
+    }
     replay_initial_verdicts(program, config, &mut report);
     report
 }
@@ -1266,6 +1280,36 @@ fn theta_target(
 mod tests {
     use super::*;
     use atropos_dsl::{parse, print_program};
+
+    #[test]
+    fn engine_with_proofs_banks_checkable_certificates() {
+        // Under serializability the counter is clean, so the initial
+        // detection pass is pure refutation — every UNSAT answer must bank
+        // a certificate in the session, and the run must report the count.
+        let p = parse(
+            "schema C { id: int key, cnt: int }
+             txn bump(k: int) {
+                 x := select cnt from C where id = k;
+                 update C set cnt = x.cnt + 1 where id = k;
+                 return 0;
+             }",
+        )
+        .unwrap();
+        let engine = DetectionEngine::serial().with_proofs(true);
+        let mut session = DetectSession::new();
+        let config = RepairConfig {
+            level: ConsistencyLevel::Serializable,
+            ..RepairConfig::default()
+        };
+        let report = repair_with_engine(&p, &config, &engine, &mut session);
+        assert!(report.remaining.is_empty());
+        assert!(report.stats.proof_certs > 0, "{:?}", report.stats);
+        let blobs = session.proof_blobs();
+        assert_eq!(report.stats.proof_certs as usize, blobs.len());
+        for blob in &blobs {
+            atropos_proof::check_blob(blob).expect("certificate checks");
+        }
+    }
 
     /// Fig. 1 course-management program.
     const COURSEWARE: &str = r#"

@@ -227,6 +227,10 @@ pub(crate) struct VerdictEntry {
     pub(crate) run: u64,
     /// Raw `analyse_pair` output for this ordered pair (pre-deduplication).
     pub(crate) pairs: Vec<AccessPair>,
+    /// Proof certificates of the UNSAT queries behind this verdict
+    /// (`atropos_proof` blobs); empty unless the analysing engine had
+    /// proof capture on.
+    pub(crate) proofs: Vec<Vec<u8>>,
 }
 
 /// Key of one triple-verdict entry: the **canonical 3-fingerprint** — the
@@ -243,6 +247,8 @@ pub(crate) struct TripleEntry {
     pub(crate) run: u64,
     /// Raw `analyse_triple` output for this triple (pre-deduplication).
     pub(crate) pairs: Vec<AccessPair>,
+    /// Proof certificates of the UNSAT queries behind this verdict.
+    pub(crate) proofs: Vec<Vec<u8>>,
 }
 
 /// Retained per-pair analysis state: the grounded two-instance model and,
@@ -768,6 +774,7 @@ impl VerdictCache {
         t1: &TxnSummary,
         t2: &TxnSummary,
         pairs: Vec<AccessPair>,
+        proofs: Vec<Vec<u8>>,
     ) {
         self.verdicts.insert(
             (fp1, fp2, symmetric, level),
@@ -776,6 +783,7 @@ impl VerdictCache {
                 txn2: t2.name.clone(),
                 run: self.run,
                 pairs,
+                proofs,
             },
         );
     }
@@ -811,6 +819,7 @@ impl VerdictCache {
         key: TripleVerdictKey,
         txns: [&TxnSummary; 3],
         pairs: Vec<AccessPair>,
+        proofs: Vec<Vec<u8>>,
     ) {
         self.triples.insert(
             key,
@@ -822,6 +831,7 @@ impl VerdictCache {
                 ],
                 run: self.run,
                 pairs,
+                proofs,
             },
         );
     }
@@ -846,6 +856,7 @@ impl VerdictCache {
             persist::put_str(out, &e.txn1);
             persist::put_str(out, &e.txn2);
             persist::put_pairs(out, &e.pairs);
+            persist::put_blobs(out, &e.proofs);
         }
         let mut triple_keys: Vec<&TripleVerdictKey> = self.triples.keys().collect();
         triple_keys.sort();
@@ -860,6 +871,7 @@ impl VerdictCache {
                 persist::put_str(out, t);
             }
             persist::put_pairs(out, &e.pairs);
+            persist::put_blobs(out, &e.proofs);
         }
         pair_keys.len() + triple_keys.len()
     }
@@ -889,6 +901,7 @@ impl VerdictCache {
             let txn1 = r.string()?;
             let txn2 = r.string()?;
             let pairs = r.pairs()?;
+            let proofs = r.blobs()?;
             cache.verdicts.insert(
                 (fp1, fp2, symmetric, level),
                 VerdictEntry {
@@ -896,6 +909,7 @@ impl VerdictCache {
                     txn2,
                     run: 0,
                     pairs,
+                    proofs,
                 },
             );
             cache.session_live.extend([fp1, fp2]);
@@ -909,12 +923,14 @@ impl VerdictCache {
                 .ok_or_else(|| persist::bad("unknown consistency-level tag"))?;
             let txns = [r.string()?, r.string()?, r.string()?];
             let pairs = r.pairs()?;
+            let proofs = r.blobs()?;
             cache.triples.insert(
                 (fp1, fp2, fp3, level),
                 TripleEntry {
                     txns,
                     run: 0,
                     pairs,
+                    proofs,
                 },
             );
             cache.session_live.extend([fp1, fp2, fp3]);
@@ -966,6 +982,60 @@ impl VerdictCache {
         self.session_live.extend([key.0, key.1, key.2]);
         self.triples.insert(key, entry);
     }
+
+    /// Every proof certificate blob stored in the cache — pair entries
+    /// first, then triple entries, each section in sorted key order, so
+    /// the sequence is deterministic across runs and thread counts.
+    pub fn proof_blobs(&self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for (_, e) in self.pair_entries() {
+            out.extend(e.proofs.iter().cloned());
+        }
+        for (_, e) in self.triple_entries() {
+            out.extend(e.proofs.iter().cloned());
+        }
+        out
+    }
+
+    /// One audit record per cached verdict, pair entries first, then
+    /// triple entries, each section in sorted key order — the raw
+    /// material of the per-benchmark anomaly reports.
+    pub fn audits(&self) -> Vec<VerdictAudit> {
+        let mut out = Vec::new();
+        for (k, e) in self.pair_entries() {
+            out.push(VerdictAudit {
+                txns: vec![e.txn1.clone(), e.txn2.clone()],
+                level: k.3,
+                anomalies: e.pairs.len(),
+                proofs: e.proofs.clone(),
+            });
+        }
+        for (k, e) in self.triple_entries() {
+            out.push(VerdictAudit {
+                txns: e.txns.to_vec(),
+                level: k.3,
+                anomalies: e.pairs.len(),
+                proofs: e.proofs.clone(),
+            });
+        }
+        out
+    }
+}
+
+/// One auditable verdict of a session's cache: the transactions, the
+/// consistency level it was decided under, the anomaly count, and the
+/// proof certificates captured for its UNSAT queries (empty when proof
+/// capture was off).
+#[derive(Debug, Clone)]
+pub struct VerdictAudit {
+    /// Transaction names — two for a pair verdict, three for a triple.
+    pub txns: Vec<String>,
+    /// Consistency level the verdict was decided under.
+    pub level: ConsistencyLevel,
+    /// Raw anomalous access pairs this verdict found.
+    pub anomalies: usize,
+    /// Proof certificate blobs of the verdict's UNSAT queries.
+    pub proofs: Vec<Vec<u8>>,
 }
 
 /// The `verdict_cache.v1` on-disk byte format: a magic header, the encoder
@@ -992,11 +1062,15 @@ pub(crate) mod persist {
     /// verdicts *mean* — bump it whenever the fingerprint function, the
     /// violation templates, or the anomaly vocabulary changes, so a cache
     /// persisted by an older build is refused instead of silently trusted
-    /// (stale verdicts would bypass re-detection; ROADMAP item 4's proof
-    /// certificates are the long-term fix). The value is high-entropy on
-    /// purpose: pre-revision files carry a small entry count in these
-    /// bytes, which can never collide with it.
-    pub(crate) const ENCODER_REVISION: u32 = 0xA750_0001;
+    /// (stale verdicts would bypass re-detection — unless the record
+    /// carries proof certificates that still check, in which case the
+    /// sharded store salvages it; see `corpus::read_shard`). The value is
+    /// high-entropy on purpose: pre-revision files carry a small entry
+    /// count in these bytes, which can never collide with it.
+    ///
+    /// `0xA750_0002`: verdict entries gained an embedded proof-blob
+    /// section.
+    pub(crate) const ENCODER_REVISION: u32 = 0xA750_0002;
 
     pub(crate) fn bad(msg: &str) -> io::Error {
         io::Error::new(io::ErrorKind::InvalidData, format!("verdict_cache.v1: {msg}"))
@@ -1033,6 +1107,17 @@ pub(crate) mod persist {
             put_str(out, &p.txn2);
             put_set(out, &p.witnesses);
             out.push(p.kind.tag());
+        }
+    }
+
+    /// Proof certificate blobs: a `u32` count, then each blob as a `u32`
+    /// length prefix plus its bytes (the blob itself is an opaque
+    /// `atropos_proof` certificate, checksummed internally).
+    pub(crate) fn put_blobs(out: &mut Vec<u8>, blobs: &[Vec<u8>]) {
+        put_u32(out, blobs.len() as u32);
+        for b in blobs {
+            put_u32(out, b.len() as u32);
+            out.extend_from_slice(b);
         }
     }
 
@@ -1141,6 +1226,20 @@ pub(crate) mod persist {
             }
             Ok(out)
         }
+
+        pub(crate) fn blobs(&mut self) -> io::Result<Vec<Vec<u8>>> {
+            let n = self.u32()? as usize;
+            // Each promised blob costs at least its 4-byte length prefix.
+            if n > self.bytes.len().saturating_sub(self.pos) / 4 {
+                return Err(bad("truncated"));
+            }
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                let len = self.u32()? as usize;
+                out.push(self.take(len)?.to_vec());
+            }
+            Ok(out)
+        }
     }
 }
 
@@ -1189,7 +1288,7 @@ mod tests {
             witnesses: BTreeSet::new(),
             kind: crate::AnomalyKind::LostUpdate,
         };
-        cache.insert(fp, fp, true, ConsistencyLevel::EventualConsistency, t, t, vec![pair]);
+        cache.insert(fp, fp, true, ConsistencyLevel::EventualConsistency, t, t, vec![pair], vec![]);
         cache.record_renames(&BTreeMap::from([("R".to_owned(), "R2".to_owned())]));
         cache.record_renames(&BTreeMap::from([("R2".to_owned(), "R3".to_owned())]));
         let got = cache
@@ -1217,7 +1316,7 @@ mod tests {
             witnesses: BTreeSet::new(),
             kind: crate::AnomalyKind::LostUpdate,
         };
-        cache.insert(fp, fp, true, ConsistencyLevel::EventualConsistency, t, t, vec![pair]);
+        cache.insert(fp, fp, true, ConsistencyLevel::EventualConsistency, t, t, vec![pair], vec![]);
         cache.record_renames(&BTreeMap::from([
             ("R".to_owned(), "W".to_owned()),
             ("W".to_owned(), "R".to_owned()),
@@ -1384,7 +1483,7 @@ mod tests {
         let ts = summaries(COUNTER);
         let (fp, t) = (txn_fingerprint(&ts[0]), &ts[0]);
         let mut cache = VerdictCache::new();
-        cache.insert(fp, fp, true, ConsistencyLevel::EventualConsistency, t, t, vec![]);
+        cache.insert(fp, fp, true, ConsistencyLevel::EventualConsistency, t, t, vec![], vec![]);
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.invalidate_txns(&BTreeSet::from(["other".to_owned()])), 0);
         assert_eq!(cache.invalidate_txns(&BTreeSet::from(["bump".to_owned()])), 1);
@@ -1426,7 +1525,7 @@ mod tests {
         let key = (fps[0].0, fps[1].0, fps[2].0, ConsistencyLevel::EventualConsistency);
         for victim in ["post", "relay", "timeline"] {
             let mut cache = VerdictCache::new();
-            cache.insert_triple(key, [fps[0].1, fps[1].1, fps[2].1], vec![]);
+            cache.insert_triple(key, [fps[0].1, fps[1].1, fps[2].1], vec![], vec![]);
             assert_eq!(cache.triple_len(), 1);
             assert_eq!(cache.invalidate_txns(&BTreeSet::from(["other".to_owned()])), 0);
             assert_eq!(
@@ -1470,7 +1569,7 @@ mod tests {
         .unwrap();
 
         let mut cache = VerdictCache::new();
-        let (dirty, _) = detect_with_cache(1, &before, ec, DetectMode::Triples, &mut cache, None, None);
+        let (dirty, _) = detect_with_cache(1, &before, ec, DetectMode::Triples, &mut cache, None, None, false);
         assert_eq!(dirty.len(), 1, "{dirty:?}");
         assert!(cache.triple_len() > 0);
 
@@ -1478,9 +1577,9 @@ mod tests {
         assert!(cache.invalidate_txns(&edited) > 0);
         assert_eq!(cache.triple_len(), 0, "stale triple verdicts survived the edit");
 
-        let (warm, _) = detect_with_cache(1, &after, ec, DetectMode::Triples, &mut cache, None, None);
+        let (warm, _) = detect_with_cache(1, &after, ec, DetectMode::Triples, &mut cache, None, None, false);
         let (cold, _) =
-            detect_with_cache(1, &after, ec, DetectMode::Triples, &mut VerdictCache::new(), None, None);
+            detect_with_cache(1, &after, ec, DetectMode::Triples, &mut VerdictCache::new(), None, None, false);
         assert_eq!(warm, cold, "invalidated cache must agree with a cold oracle");
         assert!(warm.is_empty(), "{warm:?}");
     }

@@ -218,6 +218,22 @@ fn shard_of_fp(fp1: u64) -> usize {
     ((fp1 >> 60) as usize) % SHARD_COUNT
 }
 
+/// Whether a record from a revision-stale shard may be trusted anyway: it
+/// must be a **clean** verdict (an anomaly list would rest on uncertified
+/// SAT witnesses) carrying at least one proof certificate, and every
+/// certificate must pass the independent `atropos_proof` checker.
+fn entry_is_certified(e: &StoreEntry) -> bool {
+    let (pairs, proofs) = match e {
+        StoreEntry::Pair(_, entry) => (&entry.pairs, &entry.proofs),
+        StoreEntry::Triple(_, entry) => (&entry.pairs, &entry.proofs),
+    };
+    pairs.is_empty()
+        && !proofs.is_empty()
+        && proofs
+            .iter()
+            .all(|b| atropos_proof::check_blob(b).is_ok())
+}
+
 fn encode_payload(stamp: u64, e: &StoreEntry) -> Vec<u8> {
     let mut out = Vec::new();
     match e {
@@ -231,6 +247,7 @@ fn encode_payload(stamp: u64, e: &StoreEntry) -> Vec<u8> {
             persist::put_str(&mut out, &entry.txn1);
             persist::put_str(&mut out, &entry.txn2);
             persist::put_pairs(&mut out, &entry.pairs);
+            persist::put_blobs(&mut out, &entry.proofs);
         }
         StoreEntry::Triple((fp1, fp2, fp3, level), entry) => {
             out.push(1u8);
@@ -243,6 +260,7 @@ fn encode_payload(stamp: u64, e: &StoreEntry) -> Vec<u8> {
                 persist::put_str(&mut out, t);
             }
             persist::put_pairs(&mut out, &entry.pairs);
+            persist::put_blobs(&mut out, &entry.proofs);
         }
     }
     out
@@ -262,6 +280,7 @@ fn decode_payload(payload: &[u8]) -> io::Result<(u64, StoreEntry)> {
             let txn1 = r.string()?;
             let txn2 = r.string()?;
             let pairs = r.pairs()?;
+            let proofs = r.blobs()?;
             StoreEntry::Pair(
                 (fp1, fp2, symmetric, level),
                 VerdictEntry {
@@ -269,6 +288,7 @@ fn decode_payload(payload: &[u8]) -> io::Result<(u64, StoreEntry)> {
                     txn2,
                     run: 0,
                     pairs,
+                    proofs,
                 },
             )
         }
@@ -280,12 +300,14 @@ fn decode_payload(payload: &[u8]) -> io::Result<(u64, StoreEntry)> {
                 .ok_or_else(|| bad("unknown consistency-level tag"))?;
             let txns = [r.string()?, r.string()?, r.string()?];
             let pairs = r.pairs()?;
+            let proofs = r.blobs()?;
             StoreEntry::Triple(
                 (fp1, fp2, fp3, level),
                 TripleEntry {
                     txns,
                     run: 0,
                     pairs,
+                    proofs,
                 },
             )
         }
@@ -378,7 +400,11 @@ impl CorpusStore {
     }
 
     /// Reads and validates one shard file into `into` (keyed records,
-    /// newest stamp wins). A missing shard is an empty shard.
+    /// newest stamp wins). A missing shard is an empty shard. A shard
+    /// written by a different encoder revision is not refused wholesale:
+    /// it degrades to per-record salvage, keeping exactly the clean
+    /// verdicts whose proof certificates still check (see
+    /// [`entry_is_certified`]).
     fn read_shard(
         &self,
         shard: usize,
@@ -396,13 +422,16 @@ impl CorpusStore {
             return Err(bad("bad shard magic (not a v2 shard, or a future version)"));
         }
         let revision = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if revision != persist::ENCODER_REVISION {
-            return Err(bad(&format!(
-                "encoder revision mismatch: shard was written by encoder {revision:#010x}, \
-                 this build expects {:#010x} — delete the store directory and regenerate it",
-                persist::ENCODER_REVISION
-            )));
-        }
+        // A revision mismatch used to refuse the shard wholesale — a stale
+        // verdict means "decided by a build whose templates/fingerprints
+        // may differ", and trusting it would bypass re-detection. Proof
+        // certificates relax this per record: a **clean** verdict whose
+        // refutations all still pass the independent checker is evidence
+        // in its own right, so it is salvaged; everything else in the
+        // stale shard (dirty verdicts — their SAT witnesses carry no
+        // certificate — proofless records, and anything malformed) is
+        // dropped and will be re-solved.
+        let salvage = revision != persist::ENCODER_REVISION;
         let idx = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
         let count = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes")) as usize;
         if idx != shard || count != SHARD_COUNT {
@@ -413,6 +442,9 @@ impl CorpusStore {
         let mut pos = 20;
         while pos < bytes.len() {
             if bytes.len() - pos < 12 {
+                if salvage {
+                    break;
+                }
                 return Err(bad("truncated record header"));
             }
             let len =
@@ -420,14 +452,27 @@ impl CorpusStore {
             let sum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
             pos += 12;
             if bytes.len() - pos < len {
+                if salvage {
+                    break;
+                }
                 return Err(bad("truncated record payload"));
             }
             let payload = &bytes[pos..pos + len];
             pos += len;
             if fnv1a(payload) != sum {
+                if salvage {
+                    continue;
+                }
                 return Err(bad("record checksum mismatch (corrupt shard)"));
             }
-            let (stamp, entry) = decode_payload(payload)?;
+            let (stamp, entry) = match decode_payload(payload) {
+                Ok(v) => v,
+                Err(_) if salvage => continue,
+                Err(e) => return Err(e),
+            };
+            if salvage && !entry_is_certified(&entry) {
+                continue;
+            }
             let key = record_key(&entry);
             match into.get(&key) {
                 Some((existing, _)) if *existing >= stamp => {}
@@ -468,8 +513,10 @@ impl CorpusStore {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors; a corrupt or revision-stale shard fails
-    /// the merge with `InvalidData` (nothing is overwritten).
+    /// Propagates I/O errors; a corrupt shard fails the merge with
+    /// `InvalidData` (nothing is overwritten). A revision-stale shard is
+    /// salvaged per record instead — certified clean verdicts survive
+    /// the merge, everything else is dropped.
     pub fn merge_cache(&self, cache: &VerdictCache) -> io::Result<usize> {
         self.merge_cache_stamped(cache, now_secs())
     }
@@ -700,6 +747,7 @@ pub fn analyse_corpus(
     let started = Instant::now();
     let threads = engine.threads();
     let pool = engine.learnt_pool();
+    let proofs = engine.proofs_enabled();
     let (cache, per_worker) = session.cache_and_workers();
     let mut stats = CorpusStats {
         programs: programs.len(),
@@ -777,19 +825,21 @@ pub fn analyse_corpus(
             Some(_) => None,
             None => pool.and_then(|p| p.pair_seed(key.0, key.1, level)),
         };
-        let (pairs, st) = solve_pair_with_state(
+        let (pairs, st, certs) = solve_pair_with_state(
             t1,
             t2,
             m.symmetric,
             level,
             &mut state,
             seed.as_deref().map(Vec::as_slice),
+            proofs,
         );
         cache.states().store(key, state);
         Outcome {
             pairs,
             stats: st,
             solver_reused,
+            proofs: certs,
         }
     });
     absorb(per_worker, &worker_stats);
@@ -812,6 +862,7 @@ pub fn analyse_corpus(
             &sums[m.prog][m.i],
             &sums[m.prog][m.j],
             o.pairs,
+            o.proofs,
         );
     }
 
@@ -840,7 +891,7 @@ pub fn analyse_corpus(
                         if has_candidates(ts, [pfps[idx[0]], pfps[idx[1]], pfps[idx[2]]]) {
                             trio_misses.push(CorpusTrioMiss { prog, idx, key });
                         } else {
-                            cache.insert_triple(key, ts, Vec::new());
+                            cache.insert_triple(key, ts, Vec::new(), Vec::new());
                         }
                     }
                 }
@@ -884,18 +935,20 @@ pub fn analyse_corpus(
                 Some(_) => None,
                 None => pool.and_then(|p| p.triple_seed(&m.key)),
             };
-            let (pairs, st) = solve_triple_with_state(
+            let (pairs, st, certs) = solve_triple_with_state(
                 ts,
                 tfps,
                 level,
                 &mut state,
                 seed.as_deref().map(Vec::as_slice),
+                proofs,
             );
             cache.triple_states().store(key, state);
             Outcome {
                 pairs,
                 stats: st,
                 solver_reused,
+                proofs: certs,
             }
         });
         absorb(per_worker, &trio_workers);
@@ -916,6 +969,7 @@ pub fn analyse_corpus(
                     &sums[m.prog][m.idx[2]],
                 ],
                 o.pairs,
+                o.proofs,
             );
         }
     }
@@ -928,7 +982,7 @@ pub fn analyse_corpus(
         .map(|(name, program)| {
             // All-warm by construction (zero queries), so no pool: nothing
             // would be solved, seeded, or published here anyway.
-            let (v, st) = detect_with_cache(1, program, level, mode, cache, None, None);
+            let (v, st) = detect_with_cache(1, program, level, mode, cache, None, None, false);
             CorpusVerdict {
                 name: name.clone(),
                 verdicts: v,

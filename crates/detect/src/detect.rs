@@ -318,9 +318,10 @@ fn pair_query(
     reqs: &[VisRequirement],
     stats: &mut DetectStats,
     seed: Option<&[Vec<atropos_sat::Lit>]>,
+    proofs: bool,
 ) -> bool {
     let ps = solver.get_or_insert_with(|| {
-        let mut ps = PairSolver::new(model);
+        let mut ps = PairSolver::with_proofs(model, proofs);
         if let Some(seed) = seed {
             ps.seed_learnts(seed);
             stats.learnt_seeded += seed.len() as u64;
@@ -382,7 +383,9 @@ fn detect_core(
                     }
                     stats.queries += 1;
                     let incremental = (path != SolvePath::Fresh)
-                        .then(|| pair_query(&mut pair_solver, &model, eff, &reqs, &mut stats, None));
+                        .then(|| {
+                            pair_query(&mut pair_solver, &model, eff, &reqs, &mut stats, None, false)
+                        });
                     let fresh = if path != SolvePath::Incremental {
                         let (r, s, clauses) = fresh_query(&model, eff, &reqs);
                         if path == SolvePath::Fresh {
@@ -483,6 +486,7 @@ pub fn detect_anomalies_cached(
         cache,
         None,
         None,
+        crate::engine::proofs_enabled_from_env(),
     )
 }
 
@@ -534,6 +538,7 @@ pub fn detect_anomalies_triples(
         &mut cache,
         None,
         None,
+        crate::engine::proofs_enabled_from_env(),
     )
 }
 
@@ -549,7 +554,8 @@ pub(crate) fn solve_pair_with_state(
     level: ConsistencyLevel,
     state: &mut crate::cache::PairState,
     seed: Option<&[Vec<atropos_sat::Lit>]>,
-) -> (Vec<AccessPair>, DetectStats) {
+    proofs: bool,
+) -> (Vec<AccessPair>, DetectStats, Vec<Vec<u8>>) {
     let mut stats = DetectStats::default();
     let clauses_before = state
         .solver
@@ -564,7 +570,7 @@ pub(crate) fn solve_pair_with_state(
                 return r;
             }
             stats.queries += 1;
-            let r = pair_query(solver, model, level, &reqs, &mut stats, seed);
+            let r = pair_query(solver, model, level, &reqs, &mut stats, seed, proofs);
             if r {
                 stats.sat_queries += 1;
             }
@@ -573,7 +579,8 @@ pub(crate) fn solve_pair_with_state(
         };
         analyse_pair(t1, t2, model, symmetric, &mut sat)
     };
-    if let Some(ps) = &state.solver {
+    let mut certs = Vec::new();
+    if let Some(ps) = &mut state.solver {
         // A retained solver's counters are cumulative across calls;
         // charge this pass only with the delta it caused.
         let (c0, s0) = clauses_before.unwrap_or_default();
@@ -582,8 +589,9 @@ pub(crate) fn solve_pair_with_state(
         stats.propagations += s.propagations - s0.propagations;
         stats.decisions += s.decisions - s0.decisions;
         stats.clauses_encoded += (ps.encoded_clauses() - c0) as u64;
+        certs = ps.take_certificates();
     }
-    (pairs, stats)
+    (pairs, stats, certs)
 }
 
 /// Canonical dedup key of one verdict: labels in sorted order plus the

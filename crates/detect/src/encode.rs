@@ -638,6 +638,16 @@ pub struct PairSolver {
     /// allocated above it, so learnt clauses entirely below `base_vars`
     /// transfer verbatim between such solvers.
     base_vars: usize,
+    /// Whether UNSAT queries capture proof certificates.
+    proofs: bool,
+    /// Incremental certificate encoder over the solver's cumulative proof
+    /// log — each event is encoded once, however many queries snapshot it.
+    certifier: crate::certify::Certifier,
+    /// Certificates of UNSAT queries since the last
+    /// [`PairSolver::take_certificates`], in query order. Each blob is the
+    /// solver's cumulative proof log plus the failed-core trailer, encoded
+    /// in the `atropos_proof` binary format.
+    pending: Vec<Vec<u8>>,
 }
 
 // Retained pair solvers travel between the detection engine's workers via
@@ -653,7 +663,18 @@ impl PairSolver {
     /// Builds the level-independent encoding for `model`; each level's
     /// axiom group is added lazily on first query.
     pub fn new(model: &InstanceModel) -> PairSolver {
+        PairSolver::with_proofs(model, false)
+    }
+
+    /// Like [`PairSolver::new`], but with `proofs` on the solver logs
+    /// every clause addition/deletion and each UNSAT query yields a
+    /// certificate blob (collected via [`PairSolver::take_certificates`])
+    /// that the independent `atropos_proof` checker accepts. Logging must
+    /// be switched on before the base encoding so the certificate's input
+    /// section is complete.
+    pub fn with_proofs(model: &InstanceModel, proofs: bool) -> PairSolver {
         let mut solver = Solver::new();
+        solver.set_proof_logging(proofs);
         let enc = encode_base(&mut solver, model);
         let base_clauses = solver.num_clauses();
         let base_vars = solver.num_vars();
@@ -665,7 +686,32 @@ impl PairSolver {
             base_clauses,
             level_clauses: [0usize; 4],
             base_vars,
+            proofs,
+            certifier: crate::certify::Certifier::default(),
+            pending: Vec::new(),
         }
+    }
+
+    /// Drains the certificates captured since the last call, in query
+    /// order. Empty unless the solver was built via
+    /// [`PairSolver::with_proofs`] and answered at least one query UNSAT.
+    pub fn take_certificates(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Dispatches one assumption query, capturing a certificate on UNSAT
+    /// when proof logging is on — the single solve path shared by
+    /// [`PairSolver::satisfiable`] and [`PairSolver::witness`].
+    fn solve(&mut self, assumptions: &[Lit]) -> atropos_sat::SolveResult {
+        let result = self.solver.solve_with_assumptions(assumptions);
+        if self.proofs && !result.is_sat() {
+            let blob = self.certifier.certificate_blob(
+                self.solver.proof_events(),
+                self.solver.failed_assumptions(),
+            );
+            self.pending.push(blob);
+        }
+        result
     }
 
     /// Imports lemmas a fingerprint-identical solver published (see
@@ -720,9 +766,7 @@ impl PairSolver {
     ) -> bool {
         self.ensure_level(model, level);
         let assumptions = self.assumptions(level, requirements);
-        self.solver
-            .solve_with_assumptions(&assumptions)
-            .is_sat()
+        self.solve(&assumptions).is_sat()
     }
 
     /// The assumption vector of one pattern query: the queried level's
@@ -760,7 +804,7 @@ impl PairSolver {
     ) -> Option<WitnessTruth> {
         self.ensure_level(model, level);
         let assumptions = self.assumptions(level, requirements);
-        let result = self.solver.solve_with_assumptions(&assumptions);
+        let result = self.solve(&assumptions);
         let m = result.model()?;
         let value = |l: Lit| m[l.var().index()] == l.is_positive();
         let n = self.enc.ord.len();

@@ -138,6 +138,8 @@ pub struct DetectionEngine {
     threads: usize,
     /// `None` when learnt-clause sharing is disabled.
     pool: Option<Arc<LearntPool>>,
+    /// Whether UNSAT verdicts capture proof certificates.
+    proofs: bool,
 }
 
 impl std::fmt::Debug for DetectionEngine {
@@ -145,6 +147,7 @@ impl std::fmt::Debug for DetectionEngine {
         f.debug_struct("DetectionEngine")
             .field("threads", &self.threads)
             .field("learnt_pool", &self.pool.is_some())
+            .field("proofs", &self.proofs)
             .finish()
     }
 }
@@ -159,6 +162,7 @@ impl DetectionEngine {
         DetectionEngine {
             threads: threads.max(1),
             pool: pool_enabled_from_env().then(|| Arc::new(LearntPool::new())),
+            proofs: proofs_enabled_from_env(),
         }
     }
 
@@ -172,6 +176,22 @@ impl DetectionEngine {
             self.pool = Some(Arc::new(LearntPool::new()));
         }
         self
+    }
+
+    /// Enables or disables proof-certificate capture on this engine,
+    /// overriding the `ATROPOS_PROOFS` default (off). With proofs on,
+    /// every UNSAT query behind a verdict is logged and certified; the
+    /// blobs are stored alongside the verdict entries in the session's
+    /// cache (see [`VerdictCache::proof_blobs`]). Like the thread count
+    /// and the learnt pool, certificates never change verdicts.
+    pub fn with_proofs(mut self, enabled: bool) -> DetectionEngine {
+        self.proofs = enabled;
+        self
+    }
+
+    /// Whether this engine captures proof certificates.
+    pub fn proofs_enabled(&self) -> bool {
+        self.proofs
     }
 
     /// The engine's learnt-clause pool, when sharing is enabled.
@@ -240,6 +260,7 @@ impl DetectionEngine {
             cache,
             Some(per_worker),
             self.pool.as_deref(),
+            self.proofs,
         )
     }
 }
@@ -250,6 +271,20 @@ fn pool_enabled_from_env() -> bool {
     match std::env::var("ATROPOS_LEARNT_POOL") {
         Ok(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "false" | "off"),
         Err(_) => true,
+    }
+}
+
+/// Whether `ATROPOS_PROOFS` switches proof-certificate capture on: unset
+/// (the default) means off — proof logging is strictly opt-in, so the
+/// plain detection paths stay zero-cost — and anything but `0` / `false` /
+/// `off` enables it.
+pub(crate) fn proofs_enabled_from_env() -> bool {
+    match std::env::var("ATROPOS_PROOFS") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "" | "0" | "false" | "off"
+        ),
+        Err(_) => false,
     }
 }
 
@@ -303,6 +338,9 @@ pub(crate) struct Outcome {
     pub(crate) pairs: Vec<AccessPair>,
     pub(crate) stats: DetectStats,
     pub(crate) solver_reused: bool,
+    /// Proof certificates of this item's UNSAT queries (empty when proof
+    /// capture is off), stored with the verdict at the merge point.
+    pub(crate) proofs: Vec<Vec<u8>>,
 }
 
 fn solve_miss(
@@ -311,6 +349,7 @@ fn solve_miss(
     level: ConsistencyLevel,
     states: &crate::cache::ShardedStateMap,
     pool: Option<&LearntPool>,
+    proofs: bool,
     m: &Miss,
 ) -> Outcome {
     let (t1, t2) = (&summaries[m.i], &summaries[m.j]);
@@ -324,13 +363,21 @@ fn solve_miss(
         Some(_) => None,
         None => pool.and_then(|p| p.pair_seed(key.0, key.1, level)),
     };
-    let (pairs, stats) =
-        solve_pair_with_state(t1, t2, m.symmetric, level, &mut state, seed.as_deref().map(Vec::as_slice));
+    let (pairs, stats, certs) = solve_pair_with_state(
+        t1,
+        t2,
+        m.symmetric,
+        level,
+        &mut state,
+        seed.as_deref().map(Vec::as_slice),
+        proofs,
+    );
     states.store(key, state);
     Outcome {
         pairs,
         stats,
         solver_reused,
+        proofs: certs,
     }
 }
 
@@ -340,6 +387,7 @@ fn solve_trio(
     level: ConsistencyLevel,
     states: &ShardedTripleMap,
     pool: Option<&LearntPool>,
+    proofs: bool,
     m: &TrioMiss,
 ) -> Outcome {
     let ts = [
@@ -355,13 +403,20 @@ fn solve_trio(
         Some(_) => None,
         None => pool.and_then(|p| p.triple_seed(&m.key)),
     };
-    let (pairs, stats) =
-        solve_triple_with_state(ts, tfps, level, &mut state, seed.as_deref().map(Vec::as_slice));
+    let (pairs, stats, certs) = solve_triple_with_state(
+        ts,
+        tfps,
+        level,
+        &mut state,
+        seed.as_deref().map(Vec::as_slice),
+        proofs,
+    );
     states.store(key, state);
     Outcome {
         pairs,
         stats,
         solver_reused,
+        proofs: certs,
     }
 }
 
@@ -524,6 +579,7 @@ pub(crate) fn detect_with_cache(
     cache: &mut VerdictCache,
     per_worker: Option<&mut Vec<WorkerStats>>,
     pool: Option<&LearntPool>,
+    proofs: bool,
 ) -> (Vec<AccessPair>, DetectStats) {
     let started = Instant::now();
     let summaries = summarize_program(program);
@@ -584,7 +640,7 @@ pub(crate) fn detect_with_cache(
 
     // Phase 2: solve the dirty pairs on the pool.
     let (outcomes, worker_stats) = run_pool(threads, &misses, |m| {
-        solve_miss(&summaries, &fps, level, cache.states(), pool, m)
+        solve_miss(&summaries, &fps, level, cache.states(), pool, proofs, m)
     });
     absorb(&mut all_workers, &worker_stats);
 
@@ -606,6 +662,7 @@ pub(crate) fn detect_with_cache(
             &summaries[m.i],
             &summaries[m.j],
             o.pairs.clone(),
+            o.proofs,
         );
         slots[m.slot] = Some(o.pairs);
     }
@@ -637,7 +694,7 @@ pub(crate) fn detect_with_cache(
                                 trio_slots.push(None);
                                 trio_misses.push(TrioMiss { slot, idx, key });
                             } else {
-                                cache.insert_triple(key, ts, Vec::new());
+                                cache.insert_triple(key, ts, Vec::new(), Vec::new());
                                 trio_slots.push(Some(Vec::new()));
                             }
                         }
@@ -660,7 +717,7 @@ pub(crate) fn detect_with_cache(
         };
 
         let (trio_outcomes, trio_workers) = run_pool(threads, &trio_misses, |m| {
-            solve_trio(&summaries, &fps, level, cache.triple_states(), pool, m)
+            solve_trio(&summaries, &fps, level, cache.triple_states(), pool, proofs, m)
         });
         absorb(&mut all_workers, &trio_workers);
 
@@ -680,6 +737,7 @@ pub(crate) fn detect_with_cache(
                     &summaries[m.idx[2]],
                 ],
                 o.pairs.clone(),
+                o.proofs,
             );
             trio_slots[m.slot] = Some(o.pairs);
         }

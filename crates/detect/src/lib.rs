@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub(crate) mod certify;
 pub mod corpus;
 pub mod detect;
 pub mod encode;
@@ -66,7 +67,9 @@ pub mod replay;
 pub mod session;
 pub mod triple;
 
-pub use cache::{cmd_fingerprint, txn_fingerprint, CacheStats, LearntPool, VerdictCache};
+pub use cache::{
+    cmd_fingerprint, txn_fingerprint, CacheStats, LearntPool, VerdictAudit, VerdictCache,
+};
 pub use corpus::{
     analyse_corpus, CompactionReport, CorpusReport, CorpusService, CorpusStats, CorpusStore,
     CorpusVerdict, EvictionPolicy,

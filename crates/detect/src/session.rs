@@ -100,6 +100,20 @@ impl DetectSession {
         &self.per_worker
     }
 
+    /// Every proof certificate blob stored in the session's cache, in
+    /// deterministic entry order (see [`VerdictCache::proof_blobs`]).
+    /// Empty unless a proof-capturing engine ran against this session.
+    pub fn proof_blobs(&self) -> Vec<Vec<u8>> {
+        self.cache.proof_blobs()
+    }
+
+    /// One audit record per cached verdict, in deterministic entry order
+    /// (see [`VerdictCache::audits`]) — the raw material of the anomaly
+    /// reports.
+    pub fn audits(&self) -> Vec<crate::cache::VerdictAudit> {
+        self.cache.audits()
+    }
+
     /// Forwards a refactoring step's pure relabelings to the cache (see
     /// [`VerdictCache::record_renames`]).
     pub fn record_renames(&mut self, renames: &BTreeMap<String, String>) {

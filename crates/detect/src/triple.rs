@@ -113,9 +113,22 @@ impl TripleSolver {
     /// Builds the level-independent three-instance encoding; each level's
     /// axiom group is added lazily on first query.
     pub fn new(tm: &TripleModel) -> TripleSolver {
+        TripleSolver::with_proofs(tm, false)
+    }
+
+    /// Like [`TripleSolver::new`], but with `proofs` on every UNSAT chain
+    /// query yields a checkable certificate blob (see
+    /// [`PairSolver::with_proofs`]).
+    pub fn with_proofs(tm: &TripleModel, proofs: bool) -> TripleSolver {
         TripleSolver {
-            inner: PairSolver::new(&tm.model),
+            inner: PairSolver::with_proofs(&tm.model, proofs),
         }
+    }
+
+    /// Drains the certificates captured since the last call (see
+    /// [`PairSolver::take_certificates`]).
+    pub fn take_certificates(&mut self) -> Vec<Vec<u8>> {
+        self.inner.take_certificates()
     }
 
     /// Decides one chain query under `level` via assumptions. `tm` must be
@@ -527,7 +540,8 @@ pub(crate) fn solve_triple_with_state(
     level: ConsistencyLevel,
     state: &mut TripleState,
     seed: Option<&[Vec<atropos_sat::Lit>]>,
-) -> (Vec<AccessPair>, crate::DetectStats) {
+    proofs: bool,
+) -> (Vec<AccessPair>, crate::DetectStats, Vec<Vec<u8>>) {
     use std::collections::HashMap;
     let mut stats = crate::DetectStats::default();
     let clauses_before = state
@@ -557,7 +571,7 @@ pub(crate) fn solve_triple_with_state(
                 None => {
                     stats.queries += 1;
                     let s = solver.get_or_insert_with(|| {
-                        let mut s = TripleSolver::new(tm);
+                        let mut s = TripleSolver::with_proofs(tm, proofs);
                         if let Some(seed) = seed {
                             s.seed_learnts(seed);
                             stats.learnt_seeded += seed.len() as u64;
@@ -579,15 +593,17 @@ pub(crate) fn solve_triple_with_state(
             }
         }
     }
-    if let Some(s) = &state.solver {
+    let mut certs = Vec::new();
+    if let Some(s) = &mut state.solver {
         let (c0, s0) = clauses_before.unwrap_or_default();
         let st = s.solver_stats();
         stats.conflicts += st.conflicts - s0.conflicts;
         stats.propagations += st.propagations - s0.propagations;
         stats.decisions += st.decisions - s0.decisions;
         stats.clauses_encoded += (s.encoded_clauses() - c0) as u64;
+        certs = s.take_certificates();
     }
-    (out, stats)
+    (out, stats, certs)
 }
 
 #[cfg(test)]
@@ -611,7 +627,7 @@ mod tests {
     fn solve(ts: &[TxnSummary], level: ConsistencyLevel) -> Vec<AccessPair> {
         let trio = [&ts[0], &ts[1], &ts[2]];
         let mut state = TripleState::new(trio);
-        solve_triple_with_state(trio, fps(ts), level, &mut state, None).0
+        solve_triple_with_state(trio, fps(ts), level, &mut state, None, false).0
     }
 
     /// The canonical 3-hop relay: post writes, relay reads-then-derives,

@@ -1,7 +1,9 @@
 //! Integration coverage for the sharded `verdict_cache.v2` store: two
-//! concurrent sessions union-merge (no lost verdicts), corrupt and
-//! revision-stale shards are refused by byte surgery, v1 files migrate
-//! transparently, and the compaction pass enforces the eviction policy.
+//! concurrent sessions union-merge (no lost verdicts), corrupt shards
+//! are refused by byte surgery, revision-stale shards degrade to
+//! per-record salvage (only certified clean verdicts survive), v1 files
+//! migrate transparently, and the compaction pass enforces the eviction
+//! policy.
 
 use std::path::{Path, PathBuf};
 
@@ -149,27 +151,88 @@ fn truncated_shard_is_refused() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// A shard written by a different encoder revision must be refused, not
-/// trusted: its verdicts may not mean what this build thinks. Surgery on
-/// the revision field (bytes 8..12, right after the magic — same layout
-/// as v1) leaves everything else byte-identical.
+/// Rewrites every shard's encoder-revision field (bytes 8..12, right
+/// after the magic — same layout as v1), leaving everything else
+/// byte-identical — the surgery simulating a store written by an older
+/// build.
+fn stale_all_shards(dir: &Path) {
+    for shard in shard_files(dir) {
+        let mut bytes = std::fs::read(&shard).expect("read shard");
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&shard, &bytes).expect("write stale shard");
+    }
+}
+
+/// A revision-stale shard whose records carry no proof certificates must
+/// be dropped wholesale: without certificates its verdicts may not mean
+/// what this build thinks, so everything is re-solved.
 #[test]
-fn stale_encoder_revision_shard_is_refused() {
+fn stale_shard_without_proofs_is_dropped_wholesale() {
     let dir = scratch("stale");
     let store = CorpusStore::open(&dir).expect("open");
     store.merge_cache(&warm_cache(COUNTER)).expect("merge");
+    assert!(store.entry_count().expect("count") > 0);
 
-    let shard = shard_files(&dir).pop().expect("at least one shard");
-    let mut bytes = std::fs::read(&shard).expect("read shard");
-    bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
-    std::fs::write(&shard, &bytes).expect("write stale shard");
+    stale_all_shards(&dir);
 
-    let err = match store.load_cache() {
-        Err(e) => e,
-        Ok(_) => panic!("stale revision accepted"),
-    };
-    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
-    assert!(err.to_string().contains("encoder revision"), "{err}");
+    let salvaged = store.load_cache().expect("stale store salvages, not errors");
+    assert_eq!(
+        salvaged.len() + salvaged.triple_len(),
+        0,
+        "proofless stale records must not be trusted"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The revision refusal downgrades to per-record salvage when a record
+/// can vouch for itself: a **clean** verdict whose proof certificates
+/// still pass the independent checker survives the encoder-revision bump
+/// without a re-solve; dirty verdicts (uncertified SAT witnesses) are
+/// still dropped.
+#[test]
+fn stale_shard_salvages_certified_clean_verdicts() {
+    const SER: ConsistencyLevel = ConsistencyLevel::Serializable;
+    let dir = scratch("stale_certified");
+    let _ = CorpusStore::open(&dir).expect("create store");
+    // Warm BANK with proof capture on, at two levels: under SER every
+    // candidate anomaly is refuted, so the write-touching pairs are clean
+    // *with* checking certificates; under EC the deposit pairs are dirty
+    // (lost update), so those verdicts rest on uncertified SAT witnesses.
+    let p = atropos_dsl::parse(BANK).unwrap();
+    let engine = DetectionEngine::serial().with_proofs(true);
+    let mut session = DetectSession::new();
+    engine.detect(&p, SER, &mut session);
+    engine.detect(&p, EC, &mut session);
+    let certified = session
+        .audits()
+        .iter()
+        .filter(|a| a.anomalies == 0 && !a.proofs.is_empty())
+        .count();
+    assert!(certified > 0, "at least one clean verdict is certified");
+    session.save_to(&dir).expect("merge into store");
+    let store = CorpusStore::open(&dir).expect("reopen");
+    let total = store.entry_count().expect("count");
+
+    stale_all_shards(&dir);
+
+    let mut reloaded = DetectSession::load_from(&dir).expect("stale store salvages, not errors");
+    let kept = reloaded.len() + reloaded.triple_len();
+    assert_eq!(
+        kept, certified,
+        "exactly the certified clean verdicts survive the revision bump"
+    );
+    assert!(kept < total, "everything else is dropped for re-solving");
+
+    // The survivors replay warm: a SER pass re-solves only the dropped
+    // (proofless) entries, never a salvaged certified one.
+    let before = reloaded.cache_stats();
+    engine.detect(&p, SER, &mut reloaded);
+    let delta = reloaded.cache_stats().since(&before);
+    assert!(delta.hits > 0, "salvaged verdicts answer warm: {delta:?}");
+    assert!(delta.misses > 0, "dropped verdicts are re-solved: {delta:?}");
+    // And the dropped dirty EC verdicts are genuinely re-found.
+    let (pairs, _) = engine.detect(&p, EC, &mut reloaded);
+    assert!(!pairs.is_empty(), "the lost update is re-found");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -1,0 +1,884 @@
+//! # atropos-proof
+//!
+//! An independent RUP/DRAT certificate checker plus a checksummed binary
+//! proof format.
+//!
+//! Every clean verdict the detector emits rests on UNSAT answers from the
+//! workspace's own CDCL solver (`atropos_sat`). This crate closes that
+//! trust gap: the solver logs DRAT-style events while it runs, the detect
+//! layer assembles them into self-contained certificates, and this crate
+//! re-verifies each certificate by **reverse unit propagation** — a
+//! deliberately separate implementation that shares no code (not even the
+//! literal type) with the solver. Literals here are DIMACS-style `i32`s:
+//! variable `v` is `v` (positive) or `-v` (negated), never `0`.
+//!
+//! A certificate is a sequence of [`Step`]s:
+//!
+//! * [`Step::Input`] — an original problem clause. The inputs embedded in
+//!   the certificate *are* the CNF being refuted, making the blob
+//!   self-contained (checkable without re-running the encoder).
+//! * [`Step::Add`] — a deduced clause. The checker verifies it is RUP:
+//!   asserting the negation of every literal and unit-propagating over
+//!   the live clause database must yield a conflict.
+//! * [`Step::Delete`] — a clause leaving the database. Deletions the
+//!   checker cannot match (or that would drop a unit) are ignored —
+//!   the lax drat-trim convention; soundness is unaffected because every
+//!   database clause is implied by the inputs.
+//! * [`Step::Assume`] — one query assumption, installed as a permanent
+//!   unit. Assumptions certify `CNF ∧ assumptions ⊢ ⊥`; steps before the
+//!   first `Assume` are checked against the CNF alone.
+//!
+//! A certificate is **accepted** ([`check`]) when every `Add` passes its
+//! RUP check and some `Add` is the empty clause (the explicit ⊥ the
+//! derivation must reach). The binary format ([`Proof::encode`]) carries
+//! a magic header and a trailing FNV-1a checksum so corrupted blobs are
+//! rejected before checking begins ([`Proof::decode`]).
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// One step of a proof certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// An original problem clause (DIMACS literals).
+    Input(Vec<i32>),
+    /// A deduced clause; must be RUP over the live database.
+    Add(Vec<i32>),
+    /// A clause removed from the database.
+    Delete(Vec<i32>),
+    /// A query assumption, installed as a permanent unit.
+    Assume(i32),
+}
+
+/// A proof certificate: an ordered list of steps.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Proof {
+    /// The steps, in emission order.
+    pub steps: Vec<Step>,
+}
+
+/// Why a blob failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The blob is shorter than the fixed header + checksum.
+    Truncated,
+    /// The magic header does not match [`MAGIC`].
+    BadMagic,
+    /// The trailing FNV-1a checksum does not match the payload.
+    BadChecksum,
+    /// A step tag, length, or literal is malformed.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "proof blob truncated"),
+            DecodeError::BadMagic => write!(f, "bad proof magic"),
+            DecodeError::BadChecksum => write!(f, "proof checksum mismatch"),
+            DecodeError::Malformed(what) => write!(f, "malformed proof: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Why a decoded certificate was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// An `Add` step failed its reverse-unit-propagation check.
+    NotRup {
+        /// Index of the offending step.
+        step: usize,
+    },
+    /// The proof never derives the empty clause.
+    NoEmptyClause,
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::NotRup { step } => write!(f, "step {step} is not RUP"),
+            CheckError::NoEmptyClause => write!(f, "proof does not derive the empty clause"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Statistics of one accepted certificate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Steps processed.
+    pub steps: usize,
+    /// Input clauses loaded.
+    pub inputs: usize,
+    /// Deduced clauses RUP-verified.
+    pub rup_checks: usize,
+    /// Deletions honoured (matched in the database).
+    pub deletions: usize,
+    /// Assumptions installed.
+    pub assumptions: usize,
+}
+
+/// Magic header of the binary proof format (`ATRPF`, version 1).
+pub const MAGIC: &[u8; 8] = b"ATRPF\x01\0\0";
+
+const TAG_INPUT: u8 = 0;
+const TAG_ADD: u8 = 1;
+const TAG_DELETE: u8 = 2;
+const TAG_ASSUME: u8 = 3;
+
+/// The checksum of the binary format: FNV-1a folded over little-endian
+/// `u64` words (then the remainder bytes) instead of single bytes, so
+/// checksumming stays a negligible slice of certificate production even
+/// for multi-megabyte proofs. Any single flipped byte still lands in
+/// exactly one folded word, so corruption detection is preserved.
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h ^= u64::from_le_bytes(c.try_into().expect("exact chunk"));
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for &b in chunks.remainder() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Plain byte-wise 64-bit FNV-1a — the hash behind [`proof_hash`]. Kept
+/// dependency-free on purpose: this crate must stay independent of the
+/// solver stack it audits.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The fingerprint of an encoded certificate, stored next to cached
+/// verdicts so reports can name a proof without embedding it twice.
+pub fn proof_hash(blob: &[u8]) -> u64 {
+    fnv1a(blob)
+}
+
+/// Appends one step's wire encoding (`tag u8, len u32, len × i32`, all
+/// little-endian) to `out`.
+fn encode_step(out: &mut Vec<u8>, step: &Step) {
+    let (tag, lits): (u8, &[i32]) = match step {
+        Step::Input(l) => (TAG_INPUT, l),
+        Step::Add(l) => (TAG_ADD, l),
+        Step::Delete(l) => (TAG_DELETE, l),
+        Step::Assume(a) => (TAG_ASSUME, std::slice::from_ref(a)),
+    };
+    out.push(tag);
+    out.extend_from_slice(&(lits.len() as u32).to_le_bytes());
+    for &l in lits {
+        out.extend_from_slice(&l.to_le_bytes());
+    }
+}
+
+/// An incremental certificate encoder for producers whose step prefix
+/// grows monotonically across many certificates — a solver's cumulative
+/// proof log, snapshotted at each UNSAT answer. Steps are encoded once,
+/// when pushed; [`ProofWriter::snapshot_with`] then assembles a complete
+/// blob (byte-identical to [`Proof::encode`] over the same steps) without
+/// re-encoding the shared prefix.
+#[derive(Debug, Clone, Default)]
+pub struct ProofWriter {
+    /// Encoded step section (no header, no checksum).
+    body: Vec<u8>,
+    /// Steps encoded into `body`.
+    steps: u32,
+}
+
+impl ProofWriter {
+    /// An empty writer.
+    pub fn new() -> ProofWriter {
+        ProofWriter::default()
+    }
+
+    /// Appends one step to the retained prefix.
+    pub fn push(&mut self, step: &Step) {
+        encode_step(&mut self.body, step);
+        self.steps += 1;
+    }
+
+    /// Appends an input-clause step without materializing a [`Step`].
+    pub fn push_input<I: IntoIterator<Item = i32>>(&mut self, lits: I) {
+        self.push_tagged(TAG_INPUT, lits);
+    }
+
+    /// Appends a deduced-clause step without materializing a [`Step`].
+    pub fn push_add<I: IntoIterator<Item = i32>>(&mut self, lits: I) {
+        self.push_tagged(TAG_ADD, lits);
+    }
+
+    /// Appends a deletion step without materializing a [`Step`].
+    pub fn push_delete<I: IntoIterator<Item = i32>>(&mut self, lits: I) {
+        self.push_tagged(TAG_DELETE, lits);
+    }
+
+    /// Encodes `tag, len u32, lits` in place, backpatching the length
+    /// once the iterator is drained.
+    fn push_tagged<I: IntoIterator<Item = i32>>(&mut self, tag: u8, lits: I) {
+        self.body.push(tag);
+        let at = self.body.len();
+        self.body.extend_from_slice(&0u32.to_le_bytes());
+        let mut n = 0u32;
+        for l in lits {
+            self.body.extend_from_slice(&l.to_le_bytes());
+            n += 1;
+        }
+        self.body[at..at + 4].copy_from_slice(&n.to_le_bytes());
+        self.steps += 1;
+    }
+
+    /// Steps pushed so far.
+    pub fn len(&self) -> usize {
+        self.steps as usize
+    }
+
+    /// True when no step has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.steps == 0
+    }
+
+    /// Assembles a complete encoded certificate: the retained prefix plus
+    /// `trailer` (not retained), headed and checksummed like
+    /// [`Proof::encode`].
+    pub fn snapshot_with(&self, trailer: &[Step]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.body.len() + trailer.len() * 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.steps + trailer.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.body);
+        for step in trailer {
+            encode_step(&mut out, step);
+        }
+        let sum = checksum(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+}
+
+impl Proof {
+    /// Serializes the certificate: [`MAGIC`], a `u32` step count, each
+    /// step as `tag u8, len u32, len × i32` (all little-endian), and a
+    /// trailing FNV-1a checksum of everything before it.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.steps.len() * 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.steps.len() as u32).to_le_bytes());
+        for step in &self.steps {
+            encode_step(&mut out, step);
+        }
+        let sum = checksum(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates a blob produced by [`Proof::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects wrong magic, checksum mismatches (any corrupted payload
+    /// byte), truncation, unknown tags, zero literals, and trailing bytes.
+    pub fn decode(blob: &[u8]) -> Result<Proof, DecodeError> {
+        if blob.len() < MAGIC.len() + 4 + 8 {
+            return Err(DecodeError::Truncated);
+        }
+        if &blob[..MAGIC.len()] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let (payload, sum_bytes) = blob.split_at(blob.len() - 8);
+        let declared = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+        if checksum(payload) != declared {
+            return Err(DecodeError::BadChecksum);
+        }
+        let mut pos = MAGIC.len();
+        let take_u32 = |pos: &mut usize| -> Result<u32, DecodeError> {
+            let bytes = payload
+                .get(*pos..*pos + 4)
+                .ok_or(DecodeError::Truncated)?;
+            *pos += 4;
+            Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+        };
+        let count = take_u32(&mut pos)? as usize;
+        let mut steps = Vec::with_capacity(count.min(payload.len() / 5));
+        for _ in 0..count {
+            let tag = *payload.get(pos).ok_or(DecodeError::Truncated)?;
+            pos += 1;
+            let len = take_u32(&mut pos)? as usize;
+            let mut lits = Vec::with_capacity(len);
+            for _ in 0..len {
+                let l = take_u32(&mut pos)? as i32;
+                if l == 0 {
+                    return Err(DecodeError::Malformed("zero literal"));
+                }
+                lits.push(l);
+            }
+            steps.push(match tag {
+                TAG_INPUT => Step::Input(lits),
+                TAG_ADD => Step::Add(lits),
+                TAG_DELETE => Step::Delete(lits),
+                TAG_ASSUME => {
+                    if lits.len() != 1 {
+                        return Err(DecodeError::Malformed("assume arity"));
+                    }
+                    Step::Assume(lits[0])
+                }
+                _ => return Err(DecodeError::Malformed("unknown tag")),
+            });
+        }
+        if pos != payload.len() {
+            return Err(DecodeError::Malformed("trailing bytes"));
+        }
+        Ok(Proof { steps })
+    }
+}
+
+/// Decodes and checks a blob in one call — the corpus salvage path and the
+/// test harnesses' entry point.
+///
+/// # Errors
+///
+/// Returns the decode error or the check rejection, stringified (callers
+/// only branch on accept/reject; the message is for diagnostics).
+pub fn check_blob(blob: &[u8]) -> Result<CheckReport, String> {
+    let proof = Proof::decode(blob).map_err(|e| e.to_string())?;
+    check(&proof).map_err(|e| e.to_string())
+}
+
+/// Verifies a certificate by reverse unit propagation.
+///
+/// # Errors
+///
+/// Rejects the first `Add` step that is not RUP over the live database,
+/// and certificates that never add the empty clause.
+pub fn check(proof: &Proof) -> Result<CheckReport, CheckError> {
+    let mut db = Db::default();
+    let mut report = CheckReport::default();
+    let mut empty_added = false;
+    for (idx, step) in proof.steps.iter().enumerate() {
+        report.steps += 1;
+        match step {
+            Step::Input(lits) => {
+                report.inputs += 1;
+                db.add_clause(lits);
+            }
+            Step::Add(lits) => {
+                if !db.rup(lits) {
+                    return Err(CheckError::NotRup { step: idx });
+                }
+                report.rup_checks += 1;
+                if lits.is_empty() {
+                    empty_added = true;
+                } else {
+                    db.add_clause(lits);
+                }
+            }
+            Step::Delete(lits) => {
+                report.deletions += usize::from(db.delete_clause(lits));
+            }
+            Step::Assume(a) => {
+                report.assumptions += 1;
+                db.assume(*a);
+            }
+        }
+    }
+    if empty_added {
+        Ok(report)
+    } else {
+        Err(CheckError::NoEmptyClause)
+    }
+}
+
+/// Truth value of a literal under the current assignment.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Undef,
+    True,
+    False,
+}
+
+/// The checker's clause database: two-watched-literal unit propagation
+/// with a persistent root trail (inputs, deduced units, assumptions) and
+/// rollback-able scratch assignments for RUP checks.
+#[derive(Default)]
+struct Db {
+    /// `None` = deleted. Clauses are stored normalized (sorted, deduped).
+    clauses: Vec<Option<Vec<i32>>>,
+    /// Live clause indices by normalized content, for deletion matching.
+    by_content: HashMap<Vec<i32>, Vec<usize>>,
+    /// Watch lists indexed by watched-literal encoding; entries may be
+    /// stale (deleted or re-watched clauses) and are dropped on traversal.
+    watches: Vec<Vec<usize>>,
+    /// Assignment per variable index (1-based DIMACS variables).
+    assign: Vec<Val>,
+    trail: Vec<i32>,
+    prop_head: usize,
+    /// A conflict reached by *persistent* propagation (root or assumption
+    /// level) — the formula plus assumptions is refuted from here on.
+    conflict: bool,
+}
+
+fn widx(l: i32) -> usize {
+    let v = l.unsigned_abs() as usize;
+    2 * v + usize::from(l < 0)
+}
+
+impl Db {
+    fn ensure_var(&mut self, l: i32) {
+        let v = l.unsigned_abs() as usize;
+        if self.assign.len() <= v {
+            self.assign.resize(v + 1, Val::Undef);
+        }
+        let w = widx(l).max(widx(-l));
+        if self.watches.len() <= w {
+            self.watches.resize_with(w + 1, Vec::new);
+        }
+    }
+
+    fn val(&self, l: i32) -> Val {
+        match self.assign[l.unsigned_abs() as usize] {
+            Val::Undef => Val::Undef,
+            Val::True => {
+                if l > 0 {
+                    Val::True
+                } else {
+                    Val::False
+                }
+            }
+            Val::False => {
+                if l > 0 {
+                    Val::False
+                } else {
+                    Val::True
+                }
+            }
+        }
+    }
+
+    /// Pushes `l` as true. Caller guarantees `l` is currently undefined.
+    fn push(&mut self, l: i32) {
+        self.assign[l.unsigned_abs() as usize] = if l > 0 { Val::True } else { Val::False };
+        self.trail.push(l);
+    }
+
+    /// Propagates from the current head; returns `false` on conflict (the
+    /// head is left where the conflict was found).
+    fn propagate(&mut self) -> bool {
+        while self.prop_head < self.trail.len() {
+            let p = self.trail[self.prop_head];
+            self.prop_head += 1;
+            // Clauses watching ¬p may have become unit or false.
+            let mut ws = std::mem::take(&mut self.watches[widx(-p)]);
+            let mut keep = 0;
+            let mut conflict = false;
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                i += 1;
+                if conflict {
+                    // Keep un-traversed entries verbatim so the watch
+                    // lists survive the rolled-back scratch conflict.
+                    ws[keep] = ci;
+                    keep += 1;
+                    continue;
+                }
+                let Some(clause) = self.clauses[ci].as_ref() else {
+                    continue; // stale entry for a deleted clause
+                };
+                // Find a replacement watch: a non-false literal other
+                // than the two current watches (positions 0 and 1 by the
+                // convention below).
+                let (w0, w1) = (clause[0], clause[1]);
+                let other = if w0 == -p { w1 } else { w0 };
+                if self.val(other) == Val::True {
+                    ws[keep] = ci;
+                    keep += 1;
+                    continue;
+                }
+                let mut moved = false;
+                for k in 2..clause.len() {
+                    if self.val(clause[k]) != Val::False {
+                        let clause = self.clauses[ci].as_mut().expect("live");
+                        let new_watch = clause[k];
+                        // Keep watches at positions 0/1.
+                        if clause[0] == -p {
+                            clause.swap(0, k);
+                        } else {
+                            clause.swap(1, k);
+                        }
+                        self.watches[widx(new_watch)].push(ci);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // No replacement: the clause is unit (other) or false.
+                ws[keep] = ci;
+                keep += 1;
+                match self.val(other) {
+                    Val::Undef => self.push(other),
+                    Val::False => conflict = true,
+                    Val::True => {}
+                }
+            }
+            ws.truncate(keep);
+            self.watches[widx(-p)] = ws;
+            if conflict {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Installs a normalized clause and performs persistent propagation
+    /// of any resulting units. Empty or all-false clauses set the
+    /// persistent conflict flag.
+    fn add_clause(&mut self, lits: &[i32]) {
+        let Some(norm) = normalize(lits) else {
+            return; // tautology: never propagates, safe to skip
+        };
+        for &l in &norm {
+            self.ensure_var(l);
+        }
+        if self.conflict {
+            return;
+        }
+        // Order a clause so the two most-assignable literals lead: true
+        // or undefined literals first — required for the watch invariant
+        // under the already-established persistent assignment.
+        let mut clause = norm.clone();
+        clause.sort_by_key(|&l| match self.val(l) {
+            Val::True | Val::Undef => 0,
+            Val::False => 1,
+        });
+        match clause.len() {
+            0 => {
+                self.conflict = true;
+            }
+            1 => match self.val(clause[0]) {
+                Val::False => {
+                    self.conflict = true;
+                }
+                Val::Undef => {
+                    self.push(clause[0]);
+                    self.conflict = !self.propagate();
+                }
+                Val::True => {}
+            },
+            _ => {
+                if self.val(clause[0]) == Val::False {
+                    // Every literal false under the persistent trail.
+                    self.conflict = true;
+                    return;
+                }
+                if self.val(clause[1]) == Val::False && self.val(clause[0]) == Val::Undef {
+                    // Unit under the persistent trail: propagate now;
+                    // the watches stay valid because clause[1..] are all
+                    // false only while clause[0] is true.
+                    self.push(clause[0]);
+                }
+                let ci = self.clauses.len();
+                self.watches[widx(clause[0])].push(ci);
+                self.watches[widx(clause[1])].push(ci);
+                self.clauses.push(Some(clause));
+                self.by_content.entry(norm).or_default().push(ci);
+                if !self.propagate() {
+                    self.conflict = true;
+                }
+            }
+        }
+    }
+
+    /// Deletes one clause matching `lits` (normalized). Unit and empty
+    /// deletions are ignored (drat-trim convention — they may be reasons
+    /// of the persistent trail). Returns whether a clause was removed.
+    fn delete_clause(&mut self, lits: &[i32]) -> bool {
+        let Some(norm) = normalize(lits) else {
+            return false;
+        };
+        if norm.len() < 2 {
+            return false;
+        }
+        let Some(indices) = self.by_content.get_mut(&norm) else {
+            return false;
+        };
+        let Some(ci) = indices.pop() else {
+            return false;
+        };
+        if indices.is_empty() {
+            self.by_content.remove(&norm);
+        }
+        self.clauses[ci] = None; // watch entries go stale; dropped lazily
+        true
+    }
+
+    /// Installs a query assumption as a permanent unit (no clause).
+    fn assume(&mut self, a: i32) {
+        self.ensure_var(a);
+        if self.conflict {
+            return;
+        }
+        match self.val(a) {
+            Val::False => self.conflict = true,
+            Val::True => {}
+            Val::Undef => {
+                self.push(a);
+                self.conflict = !self.propagate();
+            }
+        }
+    }
+
+    /// Reverse-unit-propagation check: asserting the negation of every
+    /// literal of `lits` on top of the persistent trail must conflict.
+    /// Scratch assignments are rolled back; persistent state (including
+    /// watch positions, which stay valid under un-assignment) survives.
+    fn rup(&mut self, lits: &[i32]) -> bool {
+        if self.conflict {
+            return true; // ⊥ already derived; anything follows
+        }
+        let Some(norm) = normalize(lits) else {
+            return true; // tautologies are trivially implied
+        };
+        for &l in &norm {
+            self.ensure_var(l);
+        }
+        let mark = self.trail.len();
+        let mut proved = false;
+        for &l in &norm {
+            match self.val(l) {
+                Val::True => {
+                    proved = true; // ¬l contradicts the trail immediately
+                    break;
+                }
+                Val::False => {}
+                Val::Undef => self.push(-l),
+            }
+        }
+        if !proved {
+            proved = !self.propagate();
+        }
+        // Roll back the scratch assignments.
+        for &l in &self.trail[mark..] {
+            self.assign[l.unsigned_abs() as usize] = Val::Undef;
+        }
+        self.trail.truncate(mark);
+        self.prop_head = mark;
+        proved
+    }
+}
+
+/// Sorts by variable then sign, dedups; `None` for tautologies.
+fn normalize(lits: &[i32]) -> Option<Vec<i32>> {
+    let mut v = lits.to_vec();
+    v.sort_unstable_by_key(|&l| (l.unsigned_abs(), l < 0));
+    v.dedup();
+    for w in v.windows(2) {
+        if w[0] == -w[1] {
+            return None;
+        }
+    }
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accepts(steps: Vec<Step>) -> bool {
+        check(&Proof { steps }).is_ok()
+    }
+
+    #[test]
+    fn trivial_contradiction_checks() {
+        assert!(accepts(vec![
+            Step::Input(vec![1]),
+            Step::Input(vec![-1]),
+            Step::Add(vec![]),
+        ]));
+    }
+
+    #[test]
+    fn resolution_chain_checks() {
+        // (1 2)(1 -2)(-1 2)(-1 -2) refuted via RUP lemmas 1 and the
+        // empty clause.
+        assert!(accepts(vec![
+            Step::Input(vec![1, 2]),
+            Step::Input(vec![1, -2]),
+            Step::Input(vec![-1, 2]),
+            Step::Input(vec![-1, -2]),
+            Step::Add(vec![1]),
+            Step::Add(vec![]),
+        ]));
+    }
+
+    #[test]
+    fn non_rup_lemma_is_rejected() {
+        let r = check(&Proof {
+            steps: vec![
+                Step::Input(vec![1, 2]),
+                Step::Add(vec![1]), // not implied by (1 ∨ 2)
+                Step::Add(vec![]),
+            ],
+        });
+        assert_eq!(r, Err(CheckError::NotRup { step: 1 }));
+    }
+
+    #[test]
+    fn missing_empty_clause_is_rejected() {
+        let r = check(&Proof {
+            steps: vec![
+                Step::Input(vec![1]),
+                Step::Input(vec![-1]),
+                // conflict is derivable, but never claimed
+            ],
+        });
+        assert_eq!(r, Err(CheckError::NoEmptyClause));
+    }
+
+    #[test]
+    fn early_empty_clause_is_rejected() {
+        let r = check(&Proof {
+            steps: vec![
+                Step::Add(vec![]),
+                Step::Input(vec![1]),
+                Step::Input(vec![-1]),
+            ],
+        });
+        assert_eq!(r, Err(CheckError::NotRup { step: 0 }));
+    }
+
+    #[test]
+    fn assumptions_scope_the_refutation() {
+        // (−1 ∨ 2) is satisfiable; under assumptions 1 and −2 it is not.
+        assert!(accepts(vec![
+            Step::Input(vec![-1, 2]),
+            Step::Assume(1),
+            Step::Assume(-2),
+            Step::Add(vec![]),
+        ]));
+        // Without the assumptions the same proof must fail.
+        assert!(!accepts(vec![Step::Input(vec![-1, 2]), Step::Add(vec![])]));
+    }
+
+    #[test]
+    fn failed_core_clause_checks_before_assumptions() {
+        // The detect-layer trailer shape: Add(¬core) is RUP over the CNF
+        // alone, then the core literals are assumed, then ⊥.
+        assert!(accepts(vec![
+            Step::Input(vec![-1, -2]),
+            Step::Add(vec![-1, -2]), // ¬core, trivially RUP (subsumed)
+            Step::Assume(1),
+            Step::Assume(2),
+            Step::Add(vec![]),
+        ]));
+    }
+
+    #[test]
+    fn deletion_of_a_needed_clause_breaks_later_rup() {
+        // Neither binary clause propagates at root, so the deletion is
+        // the only difference between the two runs. (Consequences already
+        // on the persistent trail are *not* retracted by deletions — the
+        // drat-trim convention.)
+        assert!(accepts(vec![
+            Step::Input(vec![1, 2]),
+            Step::Input(vec![1, -2]),
+            Step::Add(vec![1]),
+            Step::Input(vec![-1]),
+            Step::Add(vec![]),
+        ]));
+        assert_eq!(
+            check(&Proof {
+                steps: vec![
+                    Step::Input(vec![1, 2]),
+                    Step::Input(vec![1, -2]),
+                    Step::Delete(vec![1, 2]),
+                    Step::Add(vec![1]), // no longer derivable
+                    Step::Input(vec![-1]),
+                    Step::Add(vec![]),
+                ],
+            }),
+            Err(CheckError::NotRup { step: 3 })
+        );
+    }
+
+    #[test]
+    fn unmatched_and_unit_deletions_are_ignored() {
+        assert!(accepts(vec![
+            Step::Input(vec![1]),
+            Step::Delete(vec![1]),     // unit: ignored
+            Step::Delete(vec![5, 6]),  // never added: ignored
+            Step::Input(vec![-1]),
+            Step::Add(vec![]),
+        ]));
+    }
+
+    #[test]
+    fn tautologies_are_inert() {
+        assert!(accepts(vec![
+            Step::Input(vec![1, -1]),
+            Step::Add(vec![2, -2]),
+            Step::Input(vec![1]),
+            Step::Input(vec![-1]),
+            Step::Add(vec![]),
+        ]));
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let proof = Proof {
+            steps: vec![
+                Step::Input(vec![1, -2, 3]),
+                Step::Add(vec![-3]),
+                Step::Delete(vec![1, -2, 3]),
+                Step::Assume(2),
+                Step::Add(vec![]),
+            ],
+        };
+        let blob = proof.encode();
+        assert_eq!(Proof::decode(&blob).unwrap(), proof);
+        assert_eq!(proof_hash(&blob), fnv1a(&blob));
+    }
+
+    #[test]
+    fn corrupted_blob_is_rejected() {
+        let blob = Proof {
+            steps: vec![Step::Input(vec![1]), Step::Add(vec![])],
+        }
+        .encode();
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x40;
+            assert!(Proof::decode(&bad).is_err(), "flipped byte {i} accepted");
+        }
+        let mut truncated = blob.clone();
+        truncated.pop();
+        assert!(Proof::decode(&truncated).is_err());
+    }
+
+    #[test]
+    fn zero_literal_is_malformed() {
+        // Hand-build a payload with a zero literal and a valid checksum.
+        let mut payload = MAGIC.to_vec();
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.push(TAG_INPUT);
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&0i32.to_le_bytes());
+        let sum = checksum(&payload);
+        payload.extend_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            Proof::decode(&payload),
+            Err(DecodeError::Malformed("zero literal"))
+        );
+    }
+}

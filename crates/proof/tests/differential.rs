@@ -1,0 +1,239 @@
+//! Differential fuzz of the certificate pipeline: random CNFs are solved
+//! by both the arena solver and the retained reference implementation with
+//! proof logging on; every UNSAT verdict must yield a certificate this
+//! crate's independent checker accepts, and mutated certificates
+//! (corrupted bytes, a dropped final empty clause, a reordered empty
+//! clause) must be rejected.
+//!
+//! The `Lit` → DIMACS bridge is deliberately re-implemented here: the
+//! checker library itself must stay independent of the solver stack, so
+//! the only shared vocabulary is the `i32` literal convention.
+
+use atropos_proof::{check, check_blob, proof_hash, Proof, Step};
+use atropos_sat::{reference, Lit, ProofEvent, SolveResult, Var};
+use proptest::prelude::*;
+
+fn to_dimacs_lit(l: Lit) -> i32 {
+    let v = l.var().0 as i32 + 1;
+    if l.is_positive() {
+        v
+    } else {
+        -v
+    }
+}
+
+fn to_steps(events: &[ProofEvent]) -> Vec<Step> {
+    events
+        .iter()
+        .map(|e| match e {
+            ProofEvent::Input(l) => Step::Input(l.iter().copied().map(to_dimacs_lit).collect()),
+            ProofEvent::Add(l) => Step::Add(l.iter().copied().map(to_dimacs_lit).collect()),
+            ProofEvent::Delete(l) => Step::Delete(l.iter().copied().map(to_dimacs_lit).collect()),
+        })
+        .collect()
+}
+
+/// Assembles the full certificate for an UNSAT answer: the cumulative
+/// event log, then the trailer — `Add(¬core)` justified by the final
+/// conflict analysis, one `Assume` per failed assumption, and the empty
+/// clause. A root refutation (empty core) needs only the empty clause.
+fn certificate(events: &[ProofEvent], core: &[Lit]) -> Proof {
+    let mut steps = to_steps(events);
+    if !core.is_empty() {
+        steps.push(Step::Add(
+            core.iter().map(|&l| to_dimacs_lit(!l)).collect(),
+        ));
+        for &l in core {
+            steps.push(Step::Assume(to_dimacs_lit(l)));
+        }
+    }
+    steps.push(Step::Add(vec![]));
+    Proof { steps }
+}
+
+fn to_clauses(raw: &[Vec<(u32, bool)>], num_vars: usize) -> Vec<Vec<Lit>> {
+    raw.iter()
+        .map(|c| {
+            c.iter()
+                .map(|(v, pos)| Lit::new(Var(v % num_vars as u32), *pos))
+                .collect()
+        })
+        .collect()
+}
+
+fn arena_solver(num_vars: usize, clauses: &[Vec<Lit>]) -> atropos_sat::solver::Solver {
+    let mut s = atropos_sat::solver::Solver::new();
+    s.set_proof_logging(true);
+    for _ in 0..num_vars {
+        s.new_var();
+    }
+    for c in clauses {
+        s.add_clause(c.iter().copied());
+    }
+    s
+}
+
+fn reference_solver(num_vars: usize, clauses: &[Vec<Lit>]) -> reference::Solver {
+    let mut s = reference::Solver::new();
+    s.set_proof_logging(true);
+    for _ in 0..num_vars {
+        s.new_var();
+    }
+    for c in clauses {
+        s.add_clause(c.iter().copied());
+    }
+    s
+}
+
+/// All three mutation classes must turn an accepted certificate into a
+/// rejected one.
+fn assert_mutations_rejected(proof: &Proof) {
+    // Corrupted payload byte: the checksum catches every single-byte flip.
+    let blob = proof.encode();
+    let mut corrupt = blob.clone();
+    let mid = blob.len() / 2;
+    corrupt[mid] ^= 0x20;
+    assert!(
+        check_blob(&corrupt).is_err(),
+        "corrupted byte {mid} accepted"
+    );
+    assert_ne!(proof_hash(&corrupt), proof_hash(&blob));
+
+    // Dropped final step: the empty clause is the proof's conclusion;
+    // without an explicit (checked) `Add([])` the certificate is void.
+    let mut dropped = proof.clone();
+    let last = dropped.steps.pop();
+    assert_eq!(last, Some(Step::Add(vec![])));
+    assert!(check(&dropped).is_err(), "dropped conclusion accepted");
+
+    // Reordered: the empty clause moved to the front is not yet RUP.
+    let mut reordered = proof.clone();
+    let conclusion = reordered.steps.pop().unwrap();
+    reordered.steps.insert(0, conclusion);
+    assert!(check(&reordered).is_err(), "reordered conclusion accepted");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Root-level solving: every UNSAT verdict from either solver yields
+    /// a certificate the checker accepts — and that survives the binary
+    /// round-trip but not mutation.
+    #[test]
+    fn root_refutations_certify(
+        num_vars in 1usize..12,
+        raw in prop::collection::vec(
+            prop::collection::vec((0u32..12, any::<bool>()), 1..4),
+            0..40,
+        ),
+    ) {
+        let clauses = to_clauses(&raw, num_vars);
+        let mut arena = arena_solver(num_vars, &clauses);
+        let mut refr = reference_solver(num_vars, &clauses);
+        let a = arena.solve();
+        let r = refr.solve();
+        prop_assert_eq!(a.is_sat(), r.is_sat(), "verdicts diverge");
+        if !a.is_sat() {
+            for (name, events) in [
+                ("arena", arena.proof_events()),
+                ("reference", refr.proof_events()),
+            ] {
+                let proof = certificate(events, &[]);
+                let report = check(&proof);
+                prop_assert!(report.is_ok(), "{} proof rejected: {:?}", name, report);
+                let blob = proof.encode();
+                prop_assert!(check_blob(&blob).is_ok(), "{} blob rejected", name);
+                prop_assert_eq!(&Proof::decode(&blob).unwrap(), &proof);
+                assert_mutations_rejected(&proof);
+            }
+        }
+    }
+
+    /// Incremental solving under assumption sequences: each UNSAT call's
+    /// cumulative log plus the failed-core trailer certifies, in both
+    /// implementations, across retained learnts and re-entrant solves.
+    #[test]
+    fn assumption_refutations_certify(
+        num_vars in 1usize..10,
+        raw in prop::collection::vec(
+            prop::collection::vec((0u32..10, any::<bool>()), 1..4),
+            0..30,
+        ),
+        raw_assumption_sets in prop::collection::vec(
+            prop::collection::vec((0u32..10, any::<bool>()), 0..5),
+            1..4,
+        ),
+    ) {
+        let clauses = to_clauses(&raw, num_vars);
+        let mut arena = arena_solver(num_vars, &clauses);
+        let mut refr = reference_solver(num_vars, &clauses);
+        for set in &raw_assumption_sets {
+            let assumptions: Vec<Lit> = set
+                .iter()
+                .map(|(v, pos)| Lit::new(Var(v % num_vars as u32), *pos))
+                .collect();
+            let a = arena.solve_with_assumptions(&assumptions);
+            let r = refr.solve_with_assumptions(&assumptions);
+            prop_assert_eq!(a.is_sat(), r.is_sat(), "verdicts diverge");
+            if a.is_sat() {
+                continue;
+            }
+            let arena_proof =
+                certificate(arena.proof_events(), arena.failed_assumptions());
+            let ref_proof =
+                certificate(refr.proof_events(), refr.failed_assumptions());
+            for (name, proof) in [("arena", &arena_proof), ("reference", &ref_proof)] {
+                let report = check(proof);
+                prop_assert!(report.is_ok(), "{} proof rejected: {:?}", name, report);
+                prop_assert!(check_blob(&proof.encode()).is_ok(), "{} blob rejected", name);
+                assert_mutations_rejected(proof);
+            }
+        }
+    }
+
+    /// Pool-style lemma import keeps certificates valid: clauses retained
+    /// by one implementation, imported into the other (which RUP-gates and
+    /// logs them), never break a subsequent refutation's certificate.
+    #[test]
+    fn imported_learnts_keep_certificates_valid(
+        num_vars in 2usize..10,
+        raw in prop::collection::vec(
+            prop::collection::vec((0u32..10, any::<bool>()), 2..4),
+            5..30,
+        ),
+        probe in prop::collection::vec((0u32..10, any::<bool>()), 1..4),
+    ) {
+        let clauses = to_clauses(&raw, num_vars);
+        let probe: Vec<Lit> = probe
+            .iter()
+            .map(|(v, pos)| Lit::new(Var(v % num_vars as u32), *pos))
+            .collect();
+        let mut donor = arena_solver(num_vars, &clauses);
+        let donor_sat = donor.solve_with_assumptions(&probe).is_sat();
+        let lemmas = donor.retained_learnts(num_vars);
+
+        let mut seeded = arena_solver(num_vars, &clauses);
+        seeded.import_learnts(lemmas.iter().map(Vec::as_slice));
+        let s = seeded.solve_with_assumptions(&probe);
+        prop_assert_eq!(s.is_sat(), donor_sat, "seeding changed the verdict");
+        if !s.is_sat() {
+            let proof =
+                certificate(seeded.proof_events(), seeded.failed_assumptions());
+            let report = check(&proof);
+            prop_assert!(report.is_ok(), "seeded proof rejected: {:?}", report);
+        }
+
+        let mut seeded_ref = reference_solver(num_vars, &clauses);
+        seeded_ref.import_learnts(lemmas.iter().map(Vec::as_slice));
+        let s = seeded_ref.solve_with_assumptions(&probe);
+        prop_assert_eq!(s.is_sat(), donor_sat, "seeding changed the verdict");
+        if let SolveResult::Unsat = s {
+            let proof = certificate(
+                seeded_ref.proof_events(),
+                seeded_ref.failed_assumptions(),
+            );
+            let report = check(&proof);
+            prop_assert!(report.is_ok(), "seeded reference proof rejected: {:?}", report);
+        }
+    }
+}

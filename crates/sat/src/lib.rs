@@ -14,7 +14,12 @@
 //!   transaction pair and dispatches every anomaly query via assumptions;
 //! * [`CnfBuilder`] — fresh variables, raw clauses, Tseitin gates
 //!   (`and`/`or`/`iff`/`implies`) and cardinality constraints;
-//! * [`dimacs`] — DIMACS CNF import/export.
+//! * [`dimacs`] — DIMACS CNF import/export plus a textual DRAT dump of a
+//!   solver's proof log for cross-checking with external tools;
+//! * [`proof`] — the DRAT-style [`ProofEvent`] log both solver
+//!   implementations emit when [`Solver::set_proof_logging`] is on, from
+//!   which self-contained UNSAT certificates are assembled (checked by
+//!   the independent `atropos_proof` crate).
 //!
 //! [`Solver`] stores clauses in a flat arena (`[header | len | lits...]`
 //! records in one `u32` buffer) and propagates over blocker-literal
@@ -44,11 +49,13 @@
 pub mod cnf;
 pub mod dimacs;
 pub mod lit;
+pub mod proof;
 pub mod reference;
 pub mod solver;
 
 pub use cnf::CnfBuilder;
 pub use lit::{LBool, Lit, Var};
+pub use proof::ProofEvent;
 #[cfg(feature = "baseline-solver")]
 pub use reference::Solver;
 pub use solver::{SolveResult, SolverStats};

@@ -1,0 +1,66 @@
+//! DRAT-style proof events emitted by the solvers while they run.
+//!
+//! When proof logging is enabled ([`crate::Solver::set_proof_logging`]),
+//! a solver records every clause that enters or leaves its database as a
+//! content-based event — literal vectors, never arena offsets, so the log
+//! survives arena compaction and clause relocation unchanged:
+//!
+//! * [`ProofEvent::Input`] — an original clause as stored by `add_clause`
+//!   (sorted, deduplicated, tautologies dropped), *before* root-level
+//!   simplification strips falsified literals. The input events of a log
+//!   therefore reconstruct the problem CNF, making a certificate built
+//!   from the log self-contained.
+//! * [`ProofEvent::Add`] — a deduced clause: a first-UIP learnt clause,
+//!   or an imported pool lemma that passed the in-solver reverse-unit-
+//!   propagation gate (see `import_learnts`). Every added clause is RUP
+//!   with respect to the clauses alive at that point in the log, which is
+//!   exactly what an independent checker re-verifies.
+//! * [`ProofEvent::Delete`] — a clause removed by `simplify` or
+//!   `reduce_db`, logged with its stored literal content.
+//!
+//! The log is cumulative over the solver's whole life: re-entrant
+//! `solve_with_assumptions` calls append to it, so a certificate for the
+//! n-th query is the log prefix at that query plus a per-query trailer
+//! (the failed-assumption core as a RUP clause, the assumptions, and the
+//! empty clause). Building that trailer is the caller's job — the solver
+//! only reports events and [`crate::Solver::failed_assumptions`].
+
+use crate::lit::Lit;
+
+/// One clause-level event of a solver's proof log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofEvent {
+    /// An original problem clause (sorted, deduplicated).
+    Input(Vec<Lit>),
+    /// A deduced clause, RUP over everything alive before it.
+    Add(Vec<Lit>),
+    /// A clause removed from the database (content as stored).
+    Delete(Vec<Lit>),
+}
+
+impl ProofEvent {
+    /// The event's literal payload.
+    pub fn lits(&self) -> &[Lit] {
+        match self {
+            ProofEvent::Input(l) | ProofEvent::Add(l) | ProofEvent::Delete(l) => l,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    #[test]
+    fn event_payload_is_uniform() {
+        let l = vec![Var(0).positive(), Var(1).negative()];
+        for e in [
+            ProofEvent::Input(l.clone()),
+            ProofEvent::Add(l.clone()),
+            ProofEvent::Delete(l.clone()),
+        ] {
+            assert_eq!(e.lits(), &l[..]);
+        }
+    }
+}

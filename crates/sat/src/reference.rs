@@ -20,6 +20,7 @@
 //! Both are deterministic on their own.
 
 use crate::lit::{LBool, Lit, Var};
+use crate::proof::ProofEvent;
 
 pub use crate::solver::{SolveResult, SolverStats};
 
@@ -177,6 +178,8 @@ pub struct Solver {
     seen: Vec<bool>,
     failed: Vec<Lit>,
     num_learnt: usize,
+    /// DRAT-style event log; `None` (the default) makes logging a no-op.
+    proof: Option<Vec<ProofEvent>>,
 }
 
 // A retained solver must be able to migrate between detection workers; any
@@ -219,6 +222,40 @@ impl Solver {
             seen: Vec::new(),
             failed: Vec::new(),
             num_learnt: 0,
+            proof: None,
+        }
+    }
+
+    /// Turns DRAT-style proof logging on or off; mirrors the arena
+    /// solver's [`crate::solver::Solver::set_proof_logging`] so the
+    /// `baseline-solver` feature swap (and the proof differential suite)
+    /// stays source-compatible. Must be enabled before the first clause.
+    pub fn set_proof_logging(&mut self, on: bool) {
+        if on {
+            debug_assert!(
+                self.clauses.is_empty() && self.trail.is_empty(),
+                "proof logging must be enabled before the first clause"
+            );
+            self.proof.get_or_insert_with(Vec::new);
+        } else {
+            self.proof = None;
+        }
+    }
+
+    /// Whether proof logging is on.
+    pub fn proof_logging(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// The DRAT-style events logged so far (empty when logging is off).
+    pub fn proof_events(&self) -> &[ProofEvent] {
+        self.proof.as_deref().unwrap_or(&[])
+    }
+
+    #[inline]
+    fn log_proof(&mut self, event: impl FnOnce() -> ProofEvent) {
+        if let Some(log) = self.proof.as_mut() {
+            log.push(event());
         }
     }
 
@@ -282,6 +319,15 @@ impl Solver {
             if lits.iter().any(|&l| self.value(l) == LBool::True) {
                 continue;
             }
+            // Same RUP gate as the arena solver: with proofs on, a pool
+            // lemma is only installed (and logged) when reverse unit
+            // propagation re-derives it against this solver's database.
+            if self.proof.is_some() {
+                if !self.seed_is_rup(&lits) {
+                    continue;
+                }
+                self.log_proof(|| ProofEvent::Add(lits.clone()));
+            }
             match lits.len() {
                 0 => self.unsat = true,
                 1 => {
@@ -297,6 +343,25 @@ impl Solver {
             }
         }
         installed
+    }
+
+    /// Reverse-unit-propagation check of one candidate clause; see the
+    /// arena solver's `seed_is_rup` — identical semantics.
+    fn seed_is_rup(&mut self, lits: &[Lit]) -> bool {
+        debug_assert!(self.trail_lim.is_empty(), "RUP gate runs at the root");
+        self.trail_lim.push(self.trail.len());
+        let mut proved = false;
+        for &l in lits {
+            if !self.enqueue(!l, None) {
+                proved = true;
+                break;
+            }
+        }
+        if !proved {
+            proved = self.propagate().is_some();
+        }
+        self.backtrack(0);
+        proved
     }
 
     /// Exports root facts and learnt clauses over the first `below_vars`
@@ -370,6 +435,8 @@ impl Solver {
                 return;
             }
         }
+        // Log the clause pre-simplification; see the arena solver.
+        self.log_proof(|| ProofEvent::Input(lits.clone()));
         // Remove root-level falsified literals; detect satisfied clauses.
         lits.retain(|&l| self.value(l) != LBool::False);
         if lits.iter().any(|&l| self.value(l) == LBool::True) {
@@ -625,6 +692,10 @@ impl Solver {
                 self.watches[(!c.lits[1]).index()].push(new_ref);
                 self.clauses.push(c);
             } else {
+                if self.proof.is_some() {
+                    let lits = c.lits.clone();
+                    self.log_proof(|| ProofEvent::Delete(lits));
+                }
                 self.stats.deleted += 1;
                 self.num_learnt -= 1;
             }
@@ -718,6 +789,9 @@ impl Solver {
                     return SolveResult::Unsat;
                 }
                 let (learnt, bt) = self.analyze(conflict);
+                // First-UIP clauses are RUP over the live database; see
+                // the arena solver's identical hook.
+                self.log_proof(|| ProofEvent::Add(learnt.clone()));
                 self.backtrack(bt);
                 if learnt.len() == 1 {
                     let ok = self.enqueue(learnt[0], None);

@@ -22,6 +22,7 @@
 //! through forwarding offsets).
 
 use crate::lit::{LBool, Lit, Var};
+use crate::proof::ProofEvent;
 
 /// Outcome of [`Solver::solve`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -337,6 +338,8 @@ pub struct Solver {
     simplified_at: usize,
     /// Scratch for conflict analysis (avoids a per-conflict allocation).
     analyze_scratch: Vec<Lit>,
+    /// DRAT-style event log; `None` (the default) makes logging a no-op.
+    proof: Option<Vec<ProofEvent>>,
 }
 
 // A retained solver must be able to migrate between detection workers; any
@@ -387,6 +390,46 @@ impl Solver {
             failed: Vec::new(),
             simplified_at: 0,
             analyze_scratch: Vec::new(),
+            proof: None,
+        }
+    }
+
+    /// Turns DRAT-style proof logging on or off. Logging costs nothing
+    /// when off (the default). Enabling must happen before the first
+    /// clause is added: the event log reconstructs the problem CNF from
+    /// its [`ProofEvent::Input`] records, so clauses added while logging
+    /// was off would leave unverifiable holes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when enabled on a solver that already holds clauses
+    /// or root facts.
+    pub fn set_proof_logging(&mut self, on: bool) {
+        if on {
+            debug_assert!(
+                self.clauses.is_empty() && self.learnts.is_empty() && self.trail.is_empty(),
+                "proof logging must be enabled before the first clause"
+            );
+            self.proof.get_or_insert_with(Vec::new);
+        } else {
+            self.proof = None;
+        }
+    }
+
+    /// Whether proof logging is on.
+    pub fn proof_logging(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// The DRAT-style events logged so far (empty when logging is off).
+    pub fn proof_events(&self) -> &[ProofEvent] {
+        self.proof.as_deref().unwrap_or(&[])
+    }
+
+    #[inline]
+    fn log_proof(&mut self, event: impl FnOnce() -> ProofEvent) {
+        if let Some(log) = self.proof.as_mut() {
+            log.push(event());
         }
     }
 
@@ -465,6 +508,10 @@ impl Solver {
                 return;
             }
         }
+        // Log the clause as given (sorted, deduplicated) *before* the
+        // root-level simplifications below: the proof log's input events
+        // must reconstruct the problem formula, not its current residue.
+        self.log_proof(|| ProofEvent::Input(lits.clone()));
         // Remove root-level falsified literals; detect satisfied clauses.
         lits.retain(|&l| self.value(l) != LBool::False);
         if lits.iter().any(|&l| self.value(l) == LBool::True) {
@@ -512,6 +559,19 @@ impl Solver {
             if lits.iter().any(|&l| self.value(l) == LBool::True) {
                 continue;
             }
+            // With proof logging on, every imported lemma must be
+            // re-derivable by the checker at this point in the event log.
+            // Pool lemmas were learnt against a *different* solver's event
+            // order (intermediate lemmas may have been deleted there), so
+            // each one is re-verified by reverse unit propagation against
+            // this solver's live database; seeds that fail the gate are
+            // skipped — always sound, since a seed is only ever a hint.
+            if self.proof.is_some() {
+                if !self.seed_is_rup(&lits) {
+                    continue;
+                }
+                self.log_proof(|| ProofEvent::Add(lits.clone()));
+            }
             match lits.len() {
                 0 => self.unsat = true,
                 1 => {
@@ -527,6 +587,28 @@ impl Solver {
             }
         }
         installed
+    }
+
+    /// Reverse-unit-propagation check of one candidate clause against the
+    /// live database: open a scratch decision level, assert the negation
+    /// of every literal, and propagate. A conflict (or an unenqueueable
+    /// negation — the clause is satisfied by forced literals) proves the
+    /// clause; the scratch level is always rolled back.
+    fn seed_is_rup(&mut self, lits: &[Lit]) -> bool {
+        debug_assert!(self.trail_lim.is_empty(), "RUP gate runs at the root");
+        self.trail_lim.push(self.trail.len());
+        let mut proved = false;
+        for &l in lits {
+            if !self.enqueue(!l, None) {
+                proved = true;
+                break;
+            }
+        }
+        if !proved {
+            proved = self.propagate().is_some();
+        }
+        self.backtrack(0);
+        proved
     }
 
     /// Exports the deduced knowledge another solver with the *same* clause
@@ -597,6 +679,11 @@ impl Solver {
 
     /// Detaches the clause from its two watch lists and frees its record.
     fn remove_clause(&mut self, cref: ClauseRef) {
+        if self.proof.is_some() {
+            let len = self.arena.len(cref);
+            let lits: Vec<Lit> = (0..len).map(|i| self.arena.lit(cref, i)).collect();
+            self.log_proof(|| ProofEvent::Delete(lits));
+        }
         let (l0, l1) = (self.arena.lit(cref, 0), self.arena.lit(cref, 1));
         self.watches[(!l0).index()].retain(|w| w.cref != cref);
         self.watches[(!l1).index()].retain(|w| w.cref != cref);
@@ -1012,6 +1099,11 @@ impl Solver {
                     return SolveResult::Unsat;
                 }
                 let (learnt, bt) = self.analyze(conflict);
+                // First-UIP clauses are RUP over the live database by
+                // construction (they are resolution-derived from the
+                // conflict and its reason clauses), so the log stays
+                // independently checkable.
+                self.log_proof(|| ProofEvent::Add(learnt.clone()));
                 self.backtrack(bt);
                 if learnt.len() == 1 {
                     let ok = self.enqueue(learnt[0], None);
